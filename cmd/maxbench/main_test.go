@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestRunTables(t *testing.T) {
+	for _, table := range []int{1, 2, 3} {
+		if err := run(table, 0, "", 8, true, 1); err != nil {
+			t.Fatalf("table %d: %v", table, err)
+		}
+	}
+	if err := run(9, 0, "", 8, true, 1); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	for _, fig := range []int{2, 3} {
+		if err := run(0, fig, "", 8, true, 1); err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+	}
+	if err := run(0, 7, "", 8, true, 1); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run(0, 2, "", 6, true, 1); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestRunCaseStudies(t *testing.T) {
+	for _, cs := range []string{"recommendation", "portfolio"} {
+		if err := run(0, 0, cs, 8, true, 1); err != nil {
+			t.Fatalf("case %s: %v", cs, err)
+		}
+	}
+	if err := run(0, 0, "timetravel", 8, true, 1); err == nil {
+		t.Fatal("unknown case study accepted")
+	}
+}
+
+func TestRunAllFast(t *testing.T) {
+	if err := run(0, 0, "", 8, true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithLiveMeasurement(t *testing.T) {
+	// One MAC round per width keeps the live path fast in tests.
+	if err := run(2, 0, "", 8, false, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Command maxcli is the client (evaluator) of Fig. 1: it connects to a
+// maxd server, obtains its input-wire labels through IKNP oblivious
+// transfer, evaluates the streamed garbled tables round by round, and
+// prints the decoded matrix-vector product — without ever revealing
+// its input vector to the server.
+//
+// Usage:
+//
+//	maxcli -addr 127.0.0.1:7700 -b 16 -frac 6 -vector "1.5,-2.25,0.5,1"
+//	maxcli -addr 127.0.0.1:7700 -vector-file v.json
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"maxelerator/internal/fixed"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "maxd server address")
+	width := flag.Int("b", 16, "operand bit-width (must match the server)")
+	frac := flag.Int("frac", 6, "fixed-point fraction bits (must match the server)")
+	vec := flag.String("vector", "", "comma-separated client vector")
+	vecFile := flag.String("vector-file", "", "JSON file with the client vector")
+	flag.Parse()
+
+	if err := run(*addr, *width, *frac, *vec, *vecFile); err != nil {
+		fmt.Fprintln(os.Stderr, "maxcli:", err)
+		os.Exit(1)
+	}
+}
+
+func parseVector(vec, vecFile string) ([]float64, error) {
+	switch {
+	case vec != "":
+		parts := strings.Split(vec, ",")
+		out := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	case vecFile != "":
+		data, err := os.ReadFile(vecFile)
+		if err != nil {
+			return nil, err
+		}
+		var out []float64
+		if err := json.Unmarshal(data, &out); err != nil {
+			return nil, fmt.Errorf("parsing vector file: %w", err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("either -vector or -vector-file is required")
+	}
+}
+
+func run(addr string, width, frac int, vec, vecFile string) error {
+	f := fixed.Format{Width: width, Frac: frac}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	xs, err := parseVector(vec, vecFile)
+	if err != nil {
+		return err
+	}
+	raw, err := f.EncodeVector(xs)
+	if err != nil {
+		return err
+	}
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	conn := wire.NewStreamConn(nc)
+	defer conn.Close()
+
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		return err
+	}
+	out, err := cli.Run(conn, raw)
+	if err != nil {
+		return err
+	}
+	for i, v := range out {
+		fmt.Printf("y[%d] = %v\n", i, f.DecodeProduct(v))
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseVectorInline(t *testing.T) {
+	got, err := parseVector("1.5, -2.25,0.5", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -2.25, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d = %v", i, got[i])
+		}
+	}
+}
+
+func TestParseVectorRejectsGarbage(t *testing.T) {
+	if _, err := parseVector("1.5,abc", ""); err == nil {
+		t.Fatal("garbage element accepted")
+	}
+	if _, err := parseVector("", ""); err == nil {
+		t.Fatal("missing vector accepted")
+	}
+}
+
+func TestParseVectorFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.json")
+	if err := os.WriteFile(path, []byte("[1, 2.5, -3]"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseVector("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 2.5 {
+		t.Fatalf("file vector = %v", got)
+	}
+}
+
+func TestParseVectorFileErrors(t *testing.T) {
+	if _, err := parseVector("", "/nonexistent/v.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseVector("", path); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func TestRunValidatesFormat(t *testing.T) {
+	if err := run("127.0.0.1:1", 16, 30, "1,2", ""); err == nil {
+		t.Fatal("invalid fixed-point format accepted")
+	}
+	if err := run("127.0.0.1:1", 16, 6, "", ""); err == nil {
+		t.Fatal("missing vector accepted")
+	}
+	if err := run("127.0.0.1:1", 16, 6, "1e9", ""); err == nil {
+		t.Fatal("overflowing vector accepted")
+	}
+}

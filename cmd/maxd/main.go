@@ -1,0 +1,162 @@
+// Command maxd is the cloud-server daemon of Fig. 1: it owns the model
+// matrix (the garbler's private input), drives the MAXelerator
+// simulator to garble MAC streams, and serves privacy-preserving
+// matrix-vector products to connecting clients over TCP.
+//
+// Usage:
+//
+//	maxd -listen :7700 -model model.json -b 16 -frac 6
+//	maxd -listen :7700 -demo-rows 4 -demo-cols 8   # random demo model
+//
+// The model file holds a JSON array of rows of floats, e.g.
+// [[1.0, 2.5], [0.25, -1.5]]. Each accepted connection runs one full
+// protocol session (handshake, IKNP OT setup, per-round material
+// streaming) and logs the result and the accelerator statistics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+
+	"maxelerator/internal/fixed"
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/report"
+	"maxelerator/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7700", "TCP listen address")
+	modelPath := flag.String("model", "", "JSON model matrix file (rows of floats)")
+	width := flag.Int("b", 16, "operand bit-width (power of two)")
+	frac := flag.Int("frac", 6, "fixed-point fraction bits")
+	demoRows := flag.Int("demo-rows", 0, "serve a random demo model with this many rows")
+	demoCols := flag.Int("demo-cols", 4, "columns of the random demo model")
+	seed := flag.Int64("seed", 1, "random seed for the demo model")
+	once := flag.Bool("once", false, "serve a single session and exit")
+	flag.Parse()
+
+	if err := run(*listen, *modelPath, *width, *frac, *demoRows, *demoCols, *seed, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "maxd:", err)
+		os.Exit(1)
+	}
+}
+
+func loadModel(path string) ([][]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading model: %w", err)
+	}
+	var rows [][]float64
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("parsing model: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("model is empty")
+	}
+	return rows, nil
+}
+
+func demoModel(rows, cols int, seed int64, f fixed.Format) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, rows)
+	scale := f.Max() / 8
+	for i := range out {
+		out[i] = make([]float64, cols)
+		for j := range out[i] {
+			out[i][j] = (2*rng.Float64() - 1) * scale
+		}
+	}
+	return out
+}
+
+func run(listen, modelPath string, width, frac, demoRows, demoCols int, seed int64, once bool) error {
+	f := fixed.Format{Width: width, Frac: frac}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+
+	var model [][]float64
+	switch {
+	case modelPath != "":
+		m, err := loadModel(modelPath)
+		if err != nil {
+			return err
+		}
+		model = m
+	case demoRows > 0:
+		model = demoModel(demoRows, demoCols, seed, f)
+	default:
+		return fmt.Errorf("either -model or -demo-rows is required")
+	}
+
+	raw := make([][]int64, len(model))
+	for i, row := range model {
+		r, err := f.EncodeVector(row)
+		if err != nil {
+			return fmt.Errorf("model row %d: %w", i, err)
+		}
+		raw[i] = r
+	}
+
+	srv, err := protocol.NewServer(maxsim.Config{Width: width, AccWidth: 2 * width, Signed: true})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	log.Printf("maxd: serving %d×%d model on %s (b=%d, Q%d.%d fixed point)",
+		len(raw), len(raw[0]), ln.Addr(), width, width-frac-1, frac)
+
+	handle := func(c net.Conn) {
+		conn := wire.NewStreamConn(c)
+		defer conn.Close()
+		out, st, err := srv.ServeMatVec(conn, raw)
+		if err != nil {
+			log.Printf("maxd: session from %s failed: %v", c.RemoteAddr(), err)
+			return
+		}
+		dec := make([]float64, len(out))
+		for i, v := range out {
+			dec[i] = f.DecodeProduct(v)
+		}
+		log.Printf("maxd: session from %s done: result %v", c.RemoteAddr(), dec)
+		log.Printf("maxd: %d MACs, %d modelled cycles (%s on FPGA), %s of garbled tables, PCIe %s",
+			st.MACs, st.Cycles, report.Dur(st.ModeledTime), fmtBytes(st.TableBytes), report.Dur(st.PCIeTime))
+	}
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if once {
+			handle(c)
+			return nil
+		}
+		// Fig. 1: "a cloud server architecture with multiple channels
+		// to communicate with the clients" — one goroutine per client;
+		// every session garbles under its own fresh labels.
+		go handle(c)
+	}
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"crypto/rand"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"maxelerator/internal/fixed"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+func TestLoadModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte("[[1, 2], [3, 4]]"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[1][0] != 3 {
+		t.Fatalf("model = %v", m)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := loadModel("/nonexistent.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte("[]"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadModel(path); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("nope"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadModel(bad); err == nil {
+		t.Fatal("malformed model accepted")
+	}
+}
+
+func TestDemoModelShapeAndRange(t *testing.T) {
+	f := fixed.Format{Width: 16, Frac: 6}
+	m := demoModel(3, 5, 42, f)
+	if len(m) != 3 || len(m[0]) != 5 {
+		t.Fatalf("shape %dx%d", len(m), len(m[0]))
+	}
+	for _, row := range m {
+		for _, v := range row {
+			if math.Abs(v) > f.Max()/8 {
+				t.Fatalf("demo value %v outside scale", v)
+			}
+		}
+	}
+	// Deterministic per seed.
+	if demoModel(3, 5, 42, f)[0][0] != m[0][0] {
+		t.Fatal("demo model not reproducible")
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	if fmtBytes(12) != "12 B" {
+		t.Fatalf("got %q", fmtBytes(12))
+	}
+	if got := fmtBytes(4 << 10); !strings.Contains(got, "KiB") {
+		t.Fatalf("got %q", got)
+	}
+	if got := fmtBytes(5 << 20); !strings.Contains(got, "MiB") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("127.0.0.1:0", "", 16, 40, 0, 2, 1, true); err == nil {
+		t.Fatal("bad fixed-point format accepted")
+	}
+	if err := run("127.0.0.1:0", "", 16, 6, 0, 2, 1, true); err == nil {
+		t.Fatal("missing model accepted")
+	}
+	if err := run("256.0.0.1:99999", "", 16, 6, 2, 2, 1, true); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestServeOneSessionEndToEnd(t *testing.T) {
+	// Boot maxd on an ephemeral port in -once mode and run a real
+	// client against it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port for maxd
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, "", 8, 3, 2, 2, 7, true)
+	}()
+
+	f := fixed.Format{Width: 8, Frac: 3}
+	raw, err := f.EncodeVector([]float64{1.0, -1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conn wire.Conn
+	for i := 0; i < 100; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn = wire.NewStreamConn(c)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if conn == nil {
+		t.Fatal("maxd did not come up")
+	}
+	defer conn.Close()
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli.Run(conn, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

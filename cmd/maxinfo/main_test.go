@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestRunScheduleReport(t *testing.T) {
+	for _, b := range []int{8, 16, 32} {
+		if err := run(b, 1, false, 0); err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+	}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	if err := run(6, 1, false, 0); err == nil {
+		t.Fatal("bad width accepted")
+	}
+	if err := run(32, 1000, false, 0); err == nil {
+		t.Fatal("absurd unit count accepted")
+	}
+}
+
+func TestRunMultiUnit(t *testing.T) {
+	if err := run(8, 4, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGReport(t *testing.T) {
+	if err := run(8, 1, true, 5000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceReport(t *testing.T) {
+	if err := traceReport(8, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := traceReport(8, 10, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := traceReport(6, 10, 4); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestTimelineViaReport(t *testing.T) {
+	// The -timeline path delegates to report.Timeline; exercise the
+	// handler arguments it forwards.
+	if err := run(8, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Networked secure matrix-vector product: the full Fig. 1 system in
+// one binary. A garbler server (host CPU + accelerator simulator) and
+// an evaluator client run in separate goroutines connected over a real
+// TCP socket on localhost, with IKNP oblivious transfer for the
+// client's input labels and round-by-round streaming of garbled
+// tables.
+//
+//	go run ./examples/matmul_network
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"net"
+
+	"maxelerator/internal/fixed"
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/report"
+	"maxelerator/internal/wire"
+)
+
+func main() {
+	f := fixed.Format{Width: 16, Frac: 6}
+
+	// Server's private model.
+	model := [][]float64{
+		{0.50, -1.25, 2.00},
+		{1.75, 0.25, -0.50},
+		{-2.25, 1.00, 0.75},
+		{0.30, 0.60, 0.90},
+	}
+	// Client's private features.
+	features := []float64{1.5, -2.0, 0.25}
+
+	modelRaw := make([][]int64, len(model))
+	for i, row := range model {
+		r, err := f.EncodeVector(row)
+		if err != nil {
+			log.Fatal(err)
+		}
+		modelRaw[i] = r
+	}
+	featRaw, err := f.EncodeVector(features)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("garbler server listening on %s\n", ln.Addr())
+
+	type serverDone struct {
+		stats protocol.Stats
+		err   error
+	}
+	done := make(chan serverDone, 1)
+	go func() {
+		srv, err := protocol.NewServer(maxsim.Config{Width: f.Width, AccWidth: 2 * f.Width, Signed: true})
+		if err != nil {
+			done <- serverDone{err: err}
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			done <- serverDone{err: err}
+			return
+		}
+		conn := wire.NewStreamConn(c)
+		defer conn.Close()
+		_, st, err := srv.ServeMatVec(conn, modelRaw)
+		done <- serverDone{stats: st, err: err}
+	}()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn := wire.NewCounting(wire.NewStreamConn(nc))
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := cli.Run(conn, featRaw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvRes := <-done
+	if srvRes.err != nil {
+		log.Fatal(srvRes.err)
+	}
+	conn.Close()
+
+	fmt.Println("\nsecure A·x over TCP with IKNP oblivious transfer:")
+	for i, v := range out {
+		var plain float64
+		for j := range features {
+			plain += model[i][j] * features[j]
+		}
+		got := f.DecodeProduct(v)
+		fmt.Printf("  y[%d] = %8.4f   (plaintext %8.4f)\n", i, got, plain)
+		if diff := got - plain; diff > 0.01 || diff < -0.01 {
+			log.Fatalf("row %d deviates beyond quantisation error", i)
+		}
+	}
+
+	sent, recv, sMsgs, rMsgs := conn.Totals()
+	st := srvRes.stats
+	fmt.Println("\nsession accounting:")
+	fmt.Printf("  client traffic    : %d B sent (%d msgs), %d B received (%d msgs)\n", sent, sMsgs, recv, rMsgs)
+	fmt.Printf("  MAC rounds        : %d\n", st.MACs)
+	fmt.Printf("  garbled tables    : %d (%d B)\n", st.TablesGarbled, st.TableBytes)
+	fmt.Printf("  modelled FPGA time: %s (+%s PCIe)\n", report.Dur(st.ModeledTime), report.Dur(st.PCIeTime))
+	fmt.Println("\nresult verified against plaintext ✓")
+}

@@ -1,0 +1,3 @@
+module maxelerator
+
+go 1.22

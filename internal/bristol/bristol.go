@@ -1,0 +1,342 @@
+// Package bristol reads and writes Boolean circuits in the Bristol
+// Fashion format — the de-facto interchange format of the MPC
+// ecosystem (used by SCALE-MAMBA, MP-SPDZ, EMP and the published
+// circuit collections). It lets this repository's garbling engine run
+// third-party netlists and lets its GC-optimised generators (adders,
+// multipliers, dividers, MAC units) be exported to other frameworks.
+//
+// Format recap (bristol "fashion", not the legacy format):
+//
+//	<ngates> <nwires>
+//	<niv> <width_0> ... <width_{niv−1}>
+//	<nov> <width_0> ... <width_{nov−1}>
+//
+//	<arity> 1 <in...> <out> XOR|AND|INV|EQ|EQW
+//
+// Input wires come first (group by group), output wires are the last
+// wires in order. EQ assigns a constant (its "input" is the literal 0
+// or 1); EQW copies a wire. Both appear in published circuits and are
+// used here to express constant wires and output aliasing.
+package bristol
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"maxelerator/internal/circuit"
+)
+
+// Marshal serialises a combinational circuit (NState == 0) with the
+// garbler inputs as input group 0 and the evaluator inputs as group 1
+// (omitted when empty).
+func Marshal(w io.Writer, c *circuit.Circuit) error {
+	if c.NState != 0 {
+		return fmt.Errorf("bristol: sequential circuits are not representable")
+	}
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("bristol: refusing to serialise invalid circuit: %w", err)
+	}
+
+	nIn := c.NGarbler + c.NEvaluator
+	// Wire remapping: inputs 0..nIn−1, then internal wires, with the
+	// outputs copied (EQW) onto the final wires. Constants are
+	// materialised with EQ gates on demand.
+	remap := make(map[int]int, c.NWires)
+	for i := 0; i < c.NGarbler; i++ {
+		remap[c.GarblerInputWire(i)] = i
+	}
+	for i := 0; i < c.NEvaluator; i++ {
+		remap[c.EvaluatorInputWire(i)] = c.NGarbler + i
+	}
+	next := nIn
+
+	type line struct {
+		arity    int
+		ins      []int
+		out      int
+		mnemonic string
+	}
+	var lines []line
+
+	constWire := map[int]int{}
+	getConst := func(v int) int {
+		if w, ok := constWire[v]; ok {
+			return w
+		}
+		w := next
+		next++
+		lines = append(lines, line{arity: 1, ins: []int{v}, out: w, mnemonic: "EQ"})
+		constWire[v] = w
+		return w
+	}
+	resolve := func(old int) (int, error) {
+		switch old {
+		case circuit.Const0:
+			return getConst(0), nil
+		case circuit.Const1:
+			return getConst(1), nil
+		}
+		w, ok := remap[old]
+		if !ok {
+			return 0, fmt.Errorf("bristol: wire %d used before definition", old)
+		}
+		return w, nil
+	}
+
+	for _, g := range c.Gates {
+		a, err := resolve(g.A)
+		if err != nil {
+			return err
+		}
+		bWire, err := resolve(g.B)
+		if err != nil {
+			return err
+		}
+		out := next
+		next++
+		remap[g.Out] = out
+		mn := "XOR"
+		if g.Op == circuit.AND {
+			mn = "AND"
+		}
+		lines = append(lines, line{arity: 2, ins: []int{a, bWire}, out: out, mnemonic: mn})
+	}
+
+	// Copy outputs onto the trailing wires. Resolve all sources first:
+	// a constant seen for the first time here must allocate its EQ
+	// wire below the output range.
+	srcs := make([]int, len(c.Outputs))
+	for i, ow := range c.Outputs {
+		src, err := resolve(ow)
+		if err != nil {
+			return err
+		}
+		srcs[i] = src
+	}
+	outBase := next
+	for i, src := range srcs {
+		lines = append(lines, line{arity: 1, ins: []int{src}, out: outBase + i, mnemonic: "EQW"})
+	}
+	next = outBase + len(c.Outputs)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", len(lines), next)
+	if c.NEvaluator > 0 {
+		fmt.Fprintf(bw, "2 %d %d\n", c.NGarbler, c.NEvaluator)
+	} else {
+		fmt.Fprintf(bw, "1 %d\n", c.NGarbler)
+	}
+	fmt.Fprintf(bw, "1 %d\n\n", len(c.Outputs))
+	for _, l := range lines {
+		fmt.Fprintf(bw, "%d 1", l.arity)
+		for _, in := range l.ins {
+			fmt.Fprintf(bw, " %d", in)
+		}
+		fmt.Fprintf(bw, " %d %s\n", l.out, l.mnemonic)
+	}
+	return bw.Flush()
+}
+
+// Unmarshal parses a Bristol Fashion circuit. Input group 0 becomes
+// the garbler inputs; group 1 (if present) the evaluator inputs; more
+// than two groups are rejected. All output groups concatenate into the
+// circuit outputs.
+func Unmarshal(r io.Reader) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	nextLine := func() ([]string, error) {
+		for sc.Scan() {
+			fields := strings.Fields(sc.Text())
+			if len(fields) > 0 {
+				return fields, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	ints := func(fields []string) ([]int, error) {
+		out := make([]int, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("bristol: bad integer %q", f)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	hdr, err := nextLine()
+	if err != nil {
+		return nil, fmt.Errorf("bristol: missing header: %w", err)
+	}
+	hv, err := ints(hdr)
+	if err != nil || len(hv) != 2 {
+		return nil, fmt.Errorf("bristol: header must be `ngates nwires`")
+	}
+	nGates, nWires := hv[0], hv[1]
+	if nGates < 0 || nWires <= 0 || nGates > 1<<28 || nWires > 1<<28 {
+		return nil, fmt.Errorf("bristol: implausible sizes %d gates %d wires", nGates, nWires)
+	}
+
+	inHdr, err := nextLine()
+	if err != nil {
+		return nil, fmt.Errorf("bristol: missing input header: %w", err)
+	}
+	iv, err := ints(inHdr)
+	if err != nil || len(iv) < 1 || len(iv) != iv[0]+1 {
+		return nil, fmt.Errorf("bristol: malformed input header")
+	}
+	if iv[0] < 1 || iv[0] > 2 {
+		return nil, fmt.Errorf("bristol: %d input groups unsupported (want 1 or 2)", iv[0])
+	}
+	nGarbler := iv[1]
+	nEvaluator := 0
+	if iv[0] == 2 {
+		nEvaluator = iv[2]
+	}
+	if nGarbler < 0 || nEvaluator < 0 || nGarbler+nEvaluator > nWires {
+		return nil, fmt.Errorf("bristol: %d input wires do not fit %d wires", nGarbler+nEvaluator, nWires)
+	}
+
+	outHdr, err := nextLine()
+	if err != nil {
+		return nil, fmt.Errorf("bristol: missing output header: %w", err)
+	}
+	ov, err := ints(outHdr)
+	if err != nil || len(ov) < 1 || len(ov) != ov[0]+1 {
+		return nil, fmt.Errorf("bristol: malformed output header")
+	}
+	nOut := 0
+	for _, w := range ov[1:] {
+		nOut += w
+	}
+	if nOut <= 0 || nOut > nWires {
+		return nil, fmt.Errorf("bristol: %d output wires outside circuit", nOut)
+	}
+
+	// Bristol wire w maps to builder wire via table; inputs pre-mapped.
+	b := circuit.NewBuilder()
+	g := b.GarblerInputs(nGarbler)
+	e := b.EvaluatorInputs(nEvaluator)
+	wireMap := make([]int, nWires)
+	for i := range wireMap {
+		wireMap[i] = -1
+	}
+	for i, w := range g {
+		wireMap[i] = w
+	}
+	for i, w := range e {
+		wireMap[nGarbler+i] = w
+	}
+
+	resolve := func(w int) (int, error) {
+		if w < 0 || w >= nWires {
+			return 0, fmt.Errorf("bristol: wire %d out of range", w)
+		}
+		if wireMap[w] < 0 {
+			return 0, fmt.Errorf("bristol: wire %d read before assignment", w)
+		}
+		return wireMap[w], nil
+	}
+	assign := func(w, builderWire int) error {
+		if w < 0 || w >= nWires {
+			return fmt.Errorf("bristol: output wire %d out of range", w)
+		}
+		if wireMap[w] >= 0 {
+			return fmt.Errorf("bristol: wire %d assigned twice", w)
+		}
+		wireMap[w] = builderWire
+		return nil
+	}
+
+	for i := 0; i < nGates; i++ {
+		fields, err := nextLine()
+		if err != nil {
+			return nil, fmt.Errorf("bristol: gate %d: %w", i, err)
+		}
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("bristol: gate %d malformed", i)
+		}
+		mnemonic := fields[len(fields)-1]
+		nums, err := ints(fields[:len(fields)-1])
+		if err != nil {
+			return nil, fmt.Errorf("bristol: gate %d: %w", i, err)
+		}
+		arity, outs := nums[0], nums[1]
+		if outs != 1 || len(nums) != 2+arity+1 {
+			return nil, fmt.Errorf("bristol: gate %d has unsupported shape", i)
+		}
+		ins := nums[2 : 2+arity]
+		out := nums[2+arity]
+		switch mnemonic {
+		case "XOR", "AND":
+			if arity != 2 {
+				return nil, fmt.Errorf("bristol: gate %d: %s needs 2 inputs", i, mnemonic)
+			}
+			a, err := resolve(ins[0])
+			if err != nil {
+				return nil, err
+			}
+			c, err := resolve(ins[1])
+			if err != nil {
+				return nil, err
+			}
+			var bw int
+			if mnemonic == "XOR" {
+				bw = b.XOR(a, c)
+			} else {
+				bw = b.AND(a, c)
+			}
+			if err := assign(out, bw); err != nil {
+				return nil, err
+			}
+		case "INV", "NOT":
+			if arity != 1 {
+				return nil, fmt.Errorf("bristol: gate %d: INV needs 1 input", i)
+			}
+			a, err := resolve(ins[0])
+			if err != nil {
+				return nil, err
+			}
+			if err := assign(out, b.NOT(a)); err != nil {
+				return nil, err
+			}
+		case "EQW":
+			if arity != 1 {
+				return nil, fmt.Errorf("bristol: gate %d: EQW needs 1 input", i)
+			}
+			a, err := resolve(ins[0])
+			if err != nil {
+				return nil, err
+			}
+			if err := assign(out, a); err != nil {
+				return nil, err
+			}
+		case "EQ":
+			if arity != 1 || (ins[0] != 0 && ins[0] != 1) {
+				return nil, fmt.Errorf("bristol: gate %d: EQ needs literal 0/1", i)
+			}
+			if err := assign(out, b.Const(ins[0] == 1)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("bristol: gate %d: unsupported op %q", i, mnemonic)
+		}
+	}
+
+	// Outputs are the last nOut wires.
+	for w := nWires - nOut; w < nWires; w++ {
+		bw, err := resolve(w)
+		if err != nil {
+			return nil, fmt.Errorf("bristol: output %w", err)
+		}
+		b.Outputs(bw)
+	}
+	return b.Build()
+}

@@ -1,0 +1,203 @@
+package bristol
+
+import (
+	"bytes"
+	mrand "math/rand"
+	"strings"
+	"testing"
+
+	"maxelerator/internal/circuit"
+)
+
+// roundTrip marshals and re-parses a circuit.
+func roundTrip(t *testing.T, c *circuit.Circuit) *circuit.Circuit {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Marshal(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(&buf)
+	if err != nil {
+		t.Fatalf("re-parsing own output: %v\n%s", err, buf.String())
+	}
+	return back
+}
+
+func randomBits(rng *mrand.Rand, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(2) == 1
+	}
+	return out
+}
+
+// assertEquivalent checks both circuits compute the same function on
+// random inputs.
+func assertEquivalent(t *testing.T, a, b *circuit.Circuit, trials int) {
+	t.Helper()
+	if a.NGarbler != b.NGarbler || a.NEvaluator != b.NEvaluator || len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("interface mismatch: %d/%d/%d vs %d/%d/%d",
+			a.NGarbler, a.NEvaluator, len(a.Outputs), b.NGarbler, b.NEvaluator, len(b.Outputs))
+	}
+	rng := mrand.New(mrand.NewSource(99))
+	for i := 0; i < trials; i++ {
+		g := randomBits(rng, a.NGarbler)
+		e := randomBits(rng, a.NEvaluator)
+		wa, err := a.Eval(g, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := b.Eval(g, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range wa {
+			if wa[j] != wb[j] {
+				t.Fatalf("trial %d output %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripAdder(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(8)
+	y := b.EvaluatorInputs(8)
+	sum, carry := b.AddCarry(x, y, circuit.Const0)
+	b.OutputWord(sum)
+	b.Outputs(carry)
+	c := b.MustBuild()
+	assertEquivalent(t, c, roundTrip(t, c), 50)
+}
+
+func TestRoundTripSignedMultiplier(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(6)
+	y := b.EvaluatorInputs(6)
+	b.OutputWord(b.MulTreeSigned(x, y))
+	c := b.MustBuild()
+	assertEquivalent(t, c, roundTrip(t, c), 50)
+}
+
+func TestRoundTripWithConstants(t *testing.T) {
+	// NOT gates reference the constant-one wire; division uses both
+	// constants heavily.
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(6)
+	y := b.EvaluatorInputs(6)
+	q, r := b.DivMod(x, y)
+	b.OutputWord(q)
+	b.OutputWord(r)
+	c := b.MustBuild()
+	assertEquivalent(t, c, roundTrip(t, c), 50)
+}
+
+func TestRoundTripSingleParty(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(8)
+	b.EvaluatorInputs(0)
+	b.OutputWord(b.Sqrt(x))
+	c := b.MustBuild()
+	back := roundTrip(t, c)
+	if back.NEvaluator != 0 {
+		t.Fatalf("single-party circuit grew %d evaluator inputs", back.NEvaluator)
+	}
+	assertEquivalent(t, c, back, 50)
+}
+
+func TestRoundTripRepeatedOutputWire(t *testing.T) {
+	// The same wire exported as two outputs must survive via EQW.
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(2)
+	b.EvaluatorInputs(0)
+	w := b.AND(x[0], x[1])
+	b.Outputs(w, w)
+	c := b.MustBuild()
+	assertEquivalent(t, c, roundTrip(t, c), 4)
+}
+
+func TestMarshalRejectsSequential(t *testing.T) {
+	c := circuit.MustMAC(circuit.MACConfig{Width: 4, AccWidth: 8})
+	var buf bytes.Buffer
+	if err := Marshal(&buf, c); err == nil {
+		t.Fatal("sequential circuit marshalled")
+	}
+}
+
+func TestUnmarshalHandWrittenAdder(t *testing.T) {
+	// A 1-bit full adder in Bristol Fashion written by hand:
+	// inputs a, b, cin; outputs sum, cout.
+	// sum = a ⊕ (b⊕cin); cout = ((a⊕cin)∧(b⊕cin)) ⊕ cin.
+	src := `7 10
+2 2 1
+1 2
+
+2 1 0 2 3 XOR
+2 1 1 2 4 XOR
+2 1 3 4 5 AND
+2 1 5 2 6 XOR
+2 1 0 4 7 XOR
+1 1 7 8 EQW
+1 1 6 9 EQW
+`
+	c, err := Unmarshal(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NGarbler != 2 || c.NEvaluator != 1 {
+		t.Fatalf("parsed %d/%d inputs", c.NGarbler, c.NEvaluator)
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for cin := 0; cin < 2; cin++ {
+				out, err := c.Eval([]bool{a == 1, b == 1}, []bool{cin == 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				total := a + b + cin
+				if out[0] != (total%2 == 1) || out[1] != (total >= 2) {
+					t.Fatalf("adder(%d,%d,%d) = %v", a, b, cin, out)
+				}
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "x y\n1 1\n1 1\n",
+		"three groups":   "0 4\n3 1 1 1\n1 1\n",
+		"bad gate shape": "1 4\n1 2\n1 1\n\n3 1 0 1 2 3 XOR\n",
+		"unknown op":     "1 4\n1 2\n1 1\n\n2 1 0 1 3 NAND\n",
+		"reuse wire":     "2 4\n1 2\n1 1\n\n2 1 0 1 2 XOR\n2 1 0 1 2 XOR\n",
+		"read undefined": "1 4\n1 2\n1 1\n\n2 1 0 3 3 XOR\n",
+		"truncated":      "3 5\n1 2\n1 1\n\n2 1 0 1 2 XOR\n",
+		"bad EQ literal": "1 4\n1 2\n1 1\n\n1 1 7 3 EQ\n",
+		"huge sizes":     "999999999999 4\n1 2\n1 1\n",
+	}
+	for name, src := range cases {
+		if _, err := Unmarshal(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGarbleImportedCircuit(t *testing.T) {
+	// End-to-end: export our comparator, re-import it, and check the
+	// imported netlist still garbles and evaluates correctly.
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(8)
+	y := b.EvaluatorInputs(8)
+	b.Outputs(b.LessThan(x, y))
+	c := roundTrip(t, b.MustBuild())
+
+	// Quick plaintext spot-check of the imported netlist.
+	out, err := c.Eval(circuit.Uint64ToBits(5, 8), circuit.Uint64ToBits(9, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Fatal("imported comparator: 5 < 9 is false")
+	}
+}

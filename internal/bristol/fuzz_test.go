@@ -1,0 +1,97 @@
+package bristol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"maxelerator/internal/circuit"
+)
+
+// FuzzUnmarshal exercises the parser against malformed and adversarial
+// inputs: it must never panic, and anything it accepts must be a valid
+// circuit that re-serialises.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add("7 10\n2 2 1\n1 2\n\n2 1 0 2 3 XOR\n2 1 1 2 4 XOR\n2 1 3 4 5 AND\n2 1 5 2 6 XOR\n2 1 0 4 7 XOR\n1 1 7 8 EQW\n1 1 6 9 EQW\n")
+	f.Add("1 4\n1 2\n1 1\n\n2 1 0 1 3 AND\n")
+	f.Add("0 2\n1 2\n1 2\n\n")
+	f.Add("1 3\n1 1\n1 1\n\n1 1 1 2 EQ\n")
+	f.Add("x")
+	f.Add("1 4\n1 2\n1 1\n\n2 1 0 1 3 NAND\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Unmarshal(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted invalid circuit: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := Marshal(&buf, c); err != nil {
+			t.Fatalf("accepted circuit failed to re-serialise: %v", err)
+		}
+		back, err := Unmarshal(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if back.NGarbler != c.NGarbler || back.NEvaluator != c.NEvaluator || len(back.Outputs) != len(c.Outputs) {
+			t.Fatal("round trip changed the interface")
+		}
+	})
+}
+
+// FuzzRoundTripEval generates small random circuits from the fuzz
+// corpus bytes and checks Marshal→Unmarshal preserves semantics.
+func FuzzRoundTripEval(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 0, 5, 9, 2, 2, 7}, uint8(3))
+	f.Fuzz(func(t *testing.T, ops []byte, inputs uint8) {
+		ng := int(inputs%4) + 1
+		ne := int(inputs/4%4) + 1
+		b := circuit.NewBuilder()
+		g := b.GarblerInputs(ng)
+		e := b.EvaluatorInputs(ne)
+		wires := append(append(circuit.Word{}, g...), e...)
+		for i := 0; i+2 < len(ops) && i < 60; i += 3 {
+			a := wires[int(ops[i])%len(wires)]
+			c := wires[int(ops[i+1])%len(wires)]
+			if ops[i+2]%2 == 0 {
+				wires = append(wires, b.XOR(a, c))
+			} else {
+				wires = append(wires, b.AND(a, c))
+			}
+		}
+		b.Outputs(wires[len(wires)-1])
+		c := b.MustBuild()
+
+		var buf bytes.Buffer
+		if err := Marshal(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare on a handful of deterministic input patterns.
+		for pattern := 0; pattern < 4; pattern++ {
+			gBits := make([]bool, ng)
+			eBits := make([]bool, ne)
+			for i := range gBits {
+				gBits[i] = (pattern+i)%2 == 0
+			}
+			for i := range eBits {
+				eBits[i] = (pattern+i)%3 == 0
+			}
+			w1, err := c.Eval(gBits, eBits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := back.Eval(gBits, eBits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w1[0] != w2[0] {
+				t.Fatal("round trip changed semantics")
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+// Package casestudy reproduces the three §6 case studies: the movie
+// recommendation system (privacy-preserving matrix factorisation of
+// Nikolaenko et al. [6]), ridge regression on UCI datasets
+// (Nikolaenko et al. [7], Table 3) and portfolio risk analysis
+// (w·cov·wᵀ).
+//
+// The studies are runtime models in the paper, not new measurements:
+// the authors take the published baseline times and accelerate the
+// MAC-dominated fraction by MAXelerator's per-MAC speedup. This
+// package does the same, with the calibration spelled out, and — for
+// the portfolio study — also runs the secure computation for real
+// through the accelerator simulator and protocol stack.
+package casestudy
+
+import (
+	"fmt"
+	"time"
+
+	"maxelerator/internal/paper"
+	"maxelerator/internal/sched"
+)
+
+// MACSpeedup captures the per-MAC acceleration factor between the
+// software baseline and MAXelerator at one bit-width.
+type MACSpeedup struct {
+	// Width is the operand bit-width.
+	Width int
+	// SoftwarePerMAC is the software framework's per-MAC latency.
+	SoftwarePerMAC time.Duration
+	// AcceleratedPerMAC is MAXelerator's per-MAC latency (one unit).
+	AcceleratedPerMAC time.Duration
+}
+
+// Factor is the speedup SoftwarePerMAC / AcceleratedPerMAC.
+func (m MACSpeedup) Factor() float64 {
+	if m.AcceleratedPerMAC <= 0 {
+		return 0
+	}
+	return float64(m.SoftwarePerMAC) / float64(m.AcceleratedPerMAC)
+}
+
+// PaperSpeedup32 is the §6 configuration: the published b=32 numbers
+// (TinyGarble 657.65 µs vs MAXelerator 0.48 µs per MAC — one 24-core
+// MAC unit).
+func PaperSpeedup32() MACSpeedup {
+	return MACSpeedup{
+		Width:             32,
+		SoftwarePerMAC:    paper.TinyGarble.TimePerMAC[32],
+		AcceleratedPerMAC: paper.MAXelerator.TimePerMAC[32],
+	}
+}
+
+// Amdahl returns the accelerated runtime when only a fraction
+// `share` of baseline is sped up by `factor`.
+func Amdahl(baseline time.Duration, share, factor float64) time.Duration {
+	if factor <= 0 {
+		return baseline
+	}
+	rest := float64(baseline) * (1 - share)
+	acc := float64(baseline) * share / factor
+	return time.Duration(rest + acc)
+}
+
+// RecommendationResult is the matrix-factorisation case study outcome.
+type RecommendationResult struct {
+	// BaselinePerIter is Nikolaenko et al.'s per-iteration runtime on
+	// MovieLens (2.9 h).
+	BaselinePerIter time.Duration
+	// GradientShare is the MAC-dominated fraction (> 2/3).
+	GradientShare float64
+	// MACSpeedup is the per-MAC acceleration applied.
+	MACSpeedup float64
+	// AcceleratedPerIter is the modelled runtime with MAXelerator.
+	AcceleratedPerIter time.Duration
+	// ImprovementPct is the runtime reduction percentage.
+	ImprovementPct float64
+	// PaperAcceleratedPerIter is the paper's published result (1 h).
+	PaperAcceleratedPerIter time.Duration
+}
+
+// Recommendation models the §6 recommendation-system study with the
+// given per-MAC speedup factor.
+func Recommendation(macSpeedup float64) (RecommendationResult, error) {
+	if macSpeedup <= 0 {
+		return RecommendationResult{}, fmt.Errorf("casestudy: speedup factor %v must be positive", macSpeedup)
+	}
+	baseline := time.Duration(paper.Recommendation.BaselineHoursPerIter * float64(time.Hour))
+	share := paper.Recommendation.GradientShare
+	acc := Amdahl(baseline, share, macSpeedup)
+	return RecommendationResult{
+		BaselinePerIter:         baseline,
+		GradientShare:           share,
+		MACSpeedup:              macSpeedup,
+		AcceleratedPerIter:      acc,
+		ImprovementPct:          100 * (1 - float64(acc)/float64(baseline)),
+		PaperAcceleratedPerIter: time.Duration(paper.Recommendation.AcceleratedHoursPerIter * float64(time.Hour)),
+	}, nil
+}
+
+// RidgeResult is one Table 3 row with the model's derivation exposed.
+type RidgeResult struct {
+	// Dataset echoes the published row.
+	Dataset paper.RidgeDataset
+	// MACShare is the fraction of the baseline runtime spent in MAC
+	// operations, calibrated from the published improvement: with a
+	// large speedup S, improvement ≈ 1/(1−f) ⇒ f ≈ 1 − 1/improvement.
+	MACShare float64
+	// ModeledSeconds is the accelerated runtime from the Amdahl model.
+	ModeledSeconds float64
+	// ModeledImprovement is baseline/modeled.
+	ModeledImprovement float64
+}
+
+// Ridge models every Table 3 dataset with the given per-MAC speedup.
+func Ridge(macSpeedup float64) ([]RidgeResult, error) {
+	if macSpeedup <= 0 {
+		return nil, fmt.Errorf("casestudy: speedup factor %v must be positive", macSpeedup)
+	}
+	out := make([]RidgeResult, 0, len(paper.Table3))
+	for _, ds := range paper.Table3 {
+		// Calibrate the MAC share from the published improvement under
+		// the published speedup, then re-derive the runtime under the
+		// caller's speedup. The O(d³)+O(d²) MAC counts of [7] set the
+		// share near 1 for large d, which the calibration reflects.
+		pubFactor := PaperSpeedup32().Factor()
+		f := (1 - 1/ds.Improvement) * pubFactor / (pubFactor - 1)
+		base := time.Duration(ds.BaselineSeconds * float64(time.Second))
+		acc := Amdahl(base, f, macSpeedup)
+		out = append(out, RidgeResult{
+			Dataset:            ds,
+			MACShare:           f,
+			ModeledSeconds:     acc.Seconds(),
+			ModeledImprovement: ds.BaselineSeconds / acc.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// PortfolioModel is the analytic §6 portfolio study: the MAC counts of
+// the w·cov·wᵀ kernel at portfolio size d over r rounds, priced with
+// the per-MAC latencies of each framework.
+type PortfolioModel struct {
+	// Rounds and Size are the workload shape (252 rounds, size 2).
+	Rounds, Size int
+	// MACsPerRound is the kernel's MAC count: d² for cov·wᵀ plus d for
+	// w·(cov·wᵀ), plus d(d−1)/2… the paper's own numbers back out to
+	// 2d² per round, which this model adopts (the published TinyGarble
+	// time equals exactly 2d²·rounds·timePerMAC).
+	MACsPerRound int
+	// SoftwareTime and AcceleratedTime are the modelled totals.
+	SoftwareTime, AcceleratedTime time.Duration
+	// PaperSoftware and PaperAccelerated are the published values.
+	PaperSoftware, PaperAccelerated time.Duration
+}
+
+// Portfolio builds the analytic portfolio model for the paper's
+// workload with the given per-MAC latencies.
+func Portfolio(sw MACSpeedup) (PortfolioModel, error) {
+	if sw.SoftwarePerMAC <= 0 || sw.AcceleratedPerMAC <= 0 {
+		return PortfolioModel{}, fmt.Errorf("casestudy: per-MAC latencies must be positive")
+	}
+	d := paper.Portfolio.Size
+	r := paper.Portfolio.Rounds
+	macs := 2 * d * d
+	total := macs * r
+	// The accelerated path pays the pipeline-fill latency once per
+	// round (the rounds arrive as separate requests), then streams.
+	s := sched.MustBuild(sw.Width)
+	fillCycles := uint64(s.LatencyCycles() - s.CyclesPerMAC())
+	fillPerRound := time.Duration(float64(fillCycles) * float64(sw.AcceleratedPerMAC) / float64(s.CyclesPerMAC()))
+	return PortfolioModel{
+		Rounds:           r,
+		Size:             d,
+		MACsPerRound:     macs,
+		SoftwareTime:     time.Duration(total) * sw.SoftwarePerMAC,
+		AcceleratedTime:  time.Duration(total)*sw.AcceleratedPerMAC + time.Duration(r)*fillPerRound,
+		PaperSoftware:    time.Duration(paper.Portfolio.TinyGarbleSeconds * float64(time.Second)),
+		PaperAccelerated: time.Duration(paper.Portfolio.MAXeleratorSeconds * float64(time.Second)),
+	}, nil
+}

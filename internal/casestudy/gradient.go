@@ -1,0 +1,50 @@
+package casestudy
+
+import (
+	"fmt"
+	"time"
+)
+
+// GradientDescentModel prices the kernel-ML iteration of §2.1 / Eq. 2,
+//
+//	xᵗ⁺¹ = xᵗ − µ(AᵀA·xᵗ − Aᵀy),
+//
+// the workload class ("kernel-based machine learning") the paper's
+// introduction motivates. With A an n×d data matrix and AᵀA, Aᵀy
+// precomputed by the data holder, each iteration is one d×d
+// matrix-vector product plus O(d) cheap updates: d² MACs per
+// iteration under the protocol.
+type GradientDescentModel struct {
+	// N and D are the data shape; Iterations the solver budget.
+	N, D, Iterations int
+	// MACsPerIteration is d².
+	MACsPerIteration uint64
+	// TotalMACs is MACsPerIteration × Iterations.
+	TotalMACs uint64
+	// SoftwareTime and AcceleratedTime price the MAC stream on the
+	// software framework and on MAXelerator.
+	SoftwareTime, AcceleratedTime time.Duration
+	// Speedup is the ratio.
+	Speedup float64
+}
+
+// GradientDescent builds the Eq. 2 cost model.
+func GradientDescent(n, d, iterations int, sw MACSpeedup) (GradientDescentModel, error) {
+	if n <= 0 || d <= 0 || iterations <= 0 {
+		return GradientDescentModel{}, fmt.Errorf("casestudy: invalid shape n=%d d=%d iters=%d", n, d, iterations)
+	}
+	if sw.SoftwarePerMAC <= 0 || sw.AcceleratedPerMAC <= 0 {
+		return GradientDescentModel{}, fmt.Errorf("casestudy: per-MAC latencies must be positive")
+	}
+	m := GradientDescentModel{
+		N: n, D: d, Iterations: iterations,
+		MACsPerIteration: uint64(d) * uint64(d),
+	}
+	m.TotalMACs = m.MACsPerIteration * uint64(iterations)
+	m.SoftwareTime = time.Duration(m.TotalMACs) * sw.SoftwarePerMAC
+	m.AcceleratedTime = time.Duration(m.TotalMACs) * sw.AcceleratedPerMAC
+	if m.AcceleratedTime > 0 {
+		m.Speedup = float64(m.SoftwareTime) / float64(m.AcceleratedTime)
+	}
+	return m, nil
+}

@@ -1,0 +1,121 @@
+package casestudy
+
+import (
+	"fmt"
+	"time"
+
+	"maxelerator/internal/circuit"
+)
+
+// RidgeOpsResult prices the Nikolaenko et al. [7] ridge pipeline from
+// first principles: the §6 operation counts — O(d³) MACs, O(d) square
+// roots and O(d²) divisions in the Cholesky phase, O(d²) MACs in the
+// back-substitution phase — multiplied by the real AND-table counts of
+// this repository's netlists. It complements the calibrated Table 3
+// model with a derivation that does not use the published improvement
+// factors at all.
+type RidgeOpsResult struct {
+	// D is the feature dimension.
+	D int
+	// MACs, Divs and Sqrts are the operation counts.
+	MACs, Divs, Sqrts uint64
+	// MACTables, DivTables and SqrtTables are AND tables per operation,
+	// from the synthesised netlists.
+	MACTables, DivTables, SqrtTables uint64
+	// SoftwareTime prices all tables at the software per-table rate.
+	SoftwareTime time.Duration
+	// AcceleratedTime runs the MACs on MAXelerator and leaves division
+	// and square root in software GC (the accelerator is MAC-only).
+	AcceleratedTime time.Duration
+	// Improvement is SoftwareTime / AcceleratedTime.
+	Improvement float64
+	// MACShare is the fraction of software AND tables spent in MACs —
+	// the quantity the calibrated Table 3 model infers from published
+	// numbers, here derived from gate counts.
+	MACShare float64
+}
+
+// ridgeGateCounts synthesises the three operation netlists at
+// bit-width b and returns their AND-table counts.
+func ridgeGateCounts(b int) (mac, div, sqrt uint64, err error) {
+	macCkt, err := circuit.MAC(circuit.MACConfig{Width: b, AccWidth: 2 * b, Signed: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bd := circuit.NewBuilder()
+	x := bd.GarblerInputs(b)
+	y := bd.EvaluatorInputs(b)
+	q, _ := bd.DivMod(x, y)
+	bd.OutputWord(q)
+	divCkt, err := bd.Build()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bs := circuit.NewBuilder()
+	xs := bs.GarblerInputs(b)
+	bs.EvaluatorInputs(0)
+	bs.OutputWord(bs.Sqrt(xs))
+	sqrtCkt, err := bs.Build()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return uint64(macCkt.Stats().ANDs), uint64(divCkt.Stats().ANDs), uint64(sqrtCkt.Stats().ANDs), nil
+}
+
+// RidgeOps prices the ridge pipeline at feature dimension d and the
+// given per-MAC latencies (whose Width sets the netlist bit-width).
+func RidgeOps(d int, sw MACSpeedup) (RidgeOpsResult, error) {
+	if d < 2 {
+		return RidgeOpsResult{}, fmt.Errorf("casestudy: feature dimension %d must be ≥ 2", d)
+	}
+	if sw.SoftwarePerMAC <= 0 || sw.AcceleratedPerMAC <= 0 {
+		return RidgeOpsResult{}, fmt.Errorf("casestudy: per-MAC latencies must be positive")
+	}
+	macT, divT, sqrtT, err := ridgeGateCounts(sw.Width)
+	if err != nil {
+		return RidgeOpsResult{}, err
+	}
+	dd := uint64(d)
+	res := RidgeOpsResult{
+		D: d,
+		// Cholesky: d³/6 MACs, d(d−1)/2 divisions, d square roots;
+		// back substitution: d² MACs and 2d divisions.
+		MACs:       dd*dd*dd/6 + dd*dd,
+		Divs:       dd*(dd-1)/2 + 2*dd,
+		Sqrts:      dd,
+		MACTables:  macT,
+		DivTables:  divT,
+		SqrtTables: sqrtT,
+	}
+
+	// Software prices every AND table at the same rate, derived from
+	// the software per-MAC latency.
+	perTable := float64(sw.SoftwarePerMAC) / float64(macT)
+	macTables := float64(res.MACs * macT)
+	otherTables := float64(res.Divs*divT + res.Sqrts*sqrtT)
+	res.SoftwareTime = time.Duration((macTables + otherTables) * perTable)
+	res.MACShare = macTables / (macTables + otherTables)
+
+	// Accelerated: MACs at the accelerator rate, everything else stays
+	// in software GC.
+	res.AcceleratedTime = time.Duration(float64(res.MACs)*float64(sw.AcceleratedPerMAC)) +
+		time.Duration(otherTables*perTable)
+	if res.AcceleratedTime > 0 {
+		res.Improvement = float64(res.SoftwareTime) / float64(res.AcceleratedTime)
+	}
+	return res, nil
+}
+
+// RidgeOpsSweep runs the ops model over the Table 3 feature
+// dimensions.
+func RidgeOpsSweep(dims []int, sw MACSpeedup) ([]RidgeOpsResult, error) {
+	out := make([]RidgeOpsResult, 0, len(dims))
+	for _, d := range dims {
+		r, err := RidgeOps(d, sw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package casestudy
+
+import (
+	"testing"
+
+	"maxelerator/internal/paper"
+)
+
+func TestRidgeOpsValidation(t *testing.T) {
+	if _, err := RidgeOps(1, PaperSpeedup32()); err == nil {
+		t.Fatal("d=1 accepted")
+	}
+	if _, err := RidgeOps(8, MACSpeedup{Width: 32}); err == nil {
+		t.Fatal("zero latencies accepted")
+	}
+}
+
+func TestRidgeOpsCounts(t *testing.T) {
+	r, err := RidgeOps(8, PaperSpeedup32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MACs != 8*8*8/6+64 {
+		t.Fatalf("MACs = %d", r.MACs)
+	}
+	if r.Divs != 8*7/2+16 {
+		t.Fatalf("Divs = %d", r.Divs)
+	}
+	if r.Sqrts != 8 {
+		t.Fatalf("Sqrts = %d", r.Sqrts)
+	}
+	if r.MACTables == 0 || r.DivTables == 0 || r.SqrtTables == 0 {
+		t.Fatalf("gate counts missing: %+v", r)
+	}
+}
+
+func TestRidgeOpsImprovementGrowsWithDimension(t *testing.T) {
+	// Table 3's structural claim derived from gate counts alone: the
+	// O(d³) MAC share grows with d, so accelerating MACs helps more on
+	// higher-dimensional datasets.
+	sw := PaperSpeedup32()
+	prev := 0.0
+	prevShare := 0.0
+	for _, d := range []int{8, 9, 11, 12, 14, 20} {
+		r, err := RidgeOps(d, sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Improvement <= prev {
+			t.Fatalf("d=%d improvement %.2f not above d-1's %.2f", d, r.Improvement, prev)
+		}
+		if r.MACShare <= prevShare {
+			t.Fatalf("d=%d MAC share %.4f not above previous %.4f", d, r.MACShare, prevShare)
+		}
+		prev = r.Improvement
+		prevShare = r.MACShare
+	}
+}
+
+func TestRidgeOpsSharesAreLarge(t *testing.T) {
+	// Even at the smallest Table 3 dimension the MAC work dominates —
+	// the premise of accelerating only the MAC.
+	r, err := RidgeOps(8, PaperSpeedup32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MACShare < 0.5 {
+		t.Fatalf("d=8 MAC share = %.3f, want > 0.5", r.MACShare)
+	}
+	if r.Improvement < 2 {
+		t.Fatalf("d=8 improvement = %.2f, implausibly low", r.Improvement)
+	}
+}
+
+func TestRidgeOpsSweepCoversTable3Dims(t *testing.T) {
+	dims := make([]int, 0, len(paper.Table3))
+	for _, ds := range paper.Table3 {
+		dims = append(dims, ds.D)
+	}
+	rows, err := RidgeOpsSweep(dims, PaperSpeedup32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(dims) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.D != dims[i] {
+			t.Fatalf("row %d dimension %d", i, r.D)
+		}
+		if r.AcceleratedTime >= r.SoftwareTime {
+			t.Fatalf("d=%d: no acceleration (%v vs %v)", r.D, r.AcceleratedTime, r.SoftwareTime)
+		}
+	}
+}

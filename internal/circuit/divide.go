@@ -1,0 +1,127 @@
+package circuit
+
+import "fmt"
+
+// Division and square-root netlists. The ridge-regression pipeline the
+// paper accelerates (Nikolaenko et al. [7]) contains O(d²) divisions
+// and O(d) square roots alongside its O(d³) MACs; these blocks give
+// the repository a complete garbled arithmetic library and let the
+// case-study cost models price the non-MAC operations from real gate
+// counts instead of guesses.
+
+// DivMod returns the quotient and remainder of unsigned x / y using
+// restoring long division: per quotient bit, one shifted-remainder
+// compare (GEq: one AND per bit) and one conditional subtract (Sub +
+// Mux). Division by zero yields quotient all-ones and remainder x,
+// matching hardware restoring dividers.
+func (b *Builder) DivMod(x, y Word) (quot, rem Word) {
+	if len(x) == 0 || len(y) == 0 {
+		panic("circuit: division of empty word")
+	}
+	w := len(y)
+	// Remainder register one bit wider than y so the shifted-in bit
+	// never overflows the comparison.
+	r := b.ConstWord(0, w+1)
+	yw := b.ZeroExtend(y, w+1)
+	quot = make(Word, len(x))
+	for i := len(x) - 1; i >= 0; i-- {
+		// r = (r << 1) | x[i]
+		shifted := make(Word, w+1)
+		shifted[0] = x[i]
+		copy(shifted[1:], r[:w])
+		ge := b.GEq(shifted, yw)
+		diff := b.Sub(shifted, yw)
+		r = b.Mux(ge, diff, shifted)
+		quot[i] = ge
+	}
+	return quot, r[:w]
+}
+
+// Div returns the quotient of unsigned x / y.
+func (b *Builder) Div(x, y Word) Word {
+	q, _ := b.DivMod(x, y)
+	return q
+}
+
+// Sqrt returns the integer square root ⌊√x⌋ of an unsigned word with
+// even width, via the restoring digit-by-digit algorithm: one compare
+// and one conditional subtract per result bit, no multiplier.
+func (b *Builder) Sqrt(x Word) Word {
+	if len(x) == 0 || len(x)%2 != 0 {
+		panic(fmt.Sprintf("circuit: Sqrt needs a non-empty even-width word, got %d bits", len(x)))
+	}
+	w := len(x)
+	half := w / 2
+	// rem accumulates the running remainder; root the result bits.
+	// Working width w+2 covers the shifted trial subtrahend.
+	rw := w + 2
+	rem := b.ConstWord(0, rw)
+	root := b.ConstWord(0, rw)
+	for i := half - 1; i >= 0; i-- {
+		// rem = (rem << 2) | next two input bits (MSB first).
+		shifted := make(Word, rw)
+		shifted[0] = x[2*i]
+		shifted[1] = x[2*i+1]
+		copy(shifted[2:], rem[:rw-2])
+		// trial = (root << 2) | 01
+		trial := make(Word, rw)
+		trial[0] = Const1
+		trial[1] = Const0
+		copy(trial[2:], root[:rw-2])
+		ge := b.GEq(shifted, trial)
+		diff := b.Sub(shifted, trial)
+		rem = b.Mux(ge, diff, shifted)
+		// root = (root << 1) | ge
+		newRoot := make(Word, rw)
+		newRoot[0] = ge
+		copy(newRoot[1:], root[:rw-1])
+		root = newRoot
+	}
+	return root[:half]
+}
+
+// Abs returns |x| for a signed (2's complement) word, width
+// preserving (the most negative value maps to itself, as in
+// hardware).
+func (b *Builder) Abs(x Word) Word {
+	return b.CondNeg(x, x[len(x)-1])
+}
+
+// MinU and MaxU return the unsigned minimum/maximum of two words.
+func (b *Builder) MinU(x, y Word) Word {
+	return b.Mux(b.GEq(x, y), y, x)
+}
+
+// MaxU returns the unsigned maximum of two words.
+func (b *Builder) MaxU(x, y Word) Word {
+	return b.Mux(b.GEq(x, y), x, y)
+}
+
+// PopCount returns the ⌈log₂(n+1)⌉-bit population count of the word's
+// bits via a balanced adder tree.
+func (b *Builder) PopCount(x Word) Word {
+	if len(x) == 0 {
+		panic("circuit: PopCount of empty word")
+	}
+	width := 1
+	for 1<<uint(width) <= len(x) {
+		width++
+	}
+	terms := make([]Word, len(x))
+	for i, w := range x {
+		t := b.ConstWord(0, width)
+		t[0] = w
+		terms[i] = t
+	}
+	for len(terms) > 1 {
+		next := terms[:0]
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, b.Add(terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	return terms[0]
+}

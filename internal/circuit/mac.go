@@ -1,0 +1,167 @@
+package circuit
+
+import "fmt"
+
+// This file holds the generators for the MAC unit — the paper's unit
+// of computation — in the variants the evaluation exercises:
+//
+//   - MAC: the sequential signed multiply-accumulate garbled once per
+//     matrix element (the outer loop of §4), with the accumulator held
+//     in state wires exactly as TinyGarble holds DFF state.
+//   - MACCombinational: a one-shot MAC with the accumulator exposed as
+//     a third input word, used by unit tests and by the baseline
+//     frameworks that re-garble a full netlist each round.
+//   - DotProduct: a fully unrolled combinational dot product, the
+//     worst-case netlist the paper's sequential approach avoids.
+
+// MACConfig parameterises a MAC netlist.
+type MACConfig struct {
+	// Width is the operand bit-width b (8, 16 or 32 in the paper).
+	Width int
+	// AccWidth is the accumulator bit-width; it must be at least
+	// 2*Width to hold a full product. The paper's 32-bit fixed point
+	// case studies accumulate into 2b bits with the tree multiplier
+	// producing the full product.
+	AccWidth int
+	// Signed selects the signed datapath of §4.3 (multiplexer +
+	// 2's-complement conditioning at multiplier input and output).
+	Signed bool
+	// SerialMultiplier selects the TinyGarble-style serial multiplier
+	// instead of the paper's tree multiplier. The netlists compute the
+	// same function; only the dependency structure differs.
+	SerialMultiplier bool
+}
+
+func (cfg MACConfig) validate() error {
+	if cfg.Width <= 0 {
+		return fmt.Errorf("circuit: MAC width %d must be positive", cfg.Width)
+	}
+	if cfg.AccWidth < 2*cfg.Width {
+		return fmt.Errorf("circuit: accumulator width %d below full product width %d", cfg.AccWidth, 2*cfg.Width)
+	}
+	return nil
+}
+
+// mulAndExtend multiplies x by a and widens the product to the
+// accumulator width according to the config's signedness.
+func (cfg MACConfig) mulAndExtend(b *Builder, x, a Word) Word {
+	var p Word
+	switch {
+	case cfg.Signed:
+		p = b.MulTreeSigned(x, a)
+	case cfg.SerialMultiplier:
+		p = b.MulSerialUnsigned(x, a)
+	default:
+		p = b.MulTreeUnsigned(x, a)
+	}
+	if cfg.Signed {
+		return b.SignExtend(p, cfg.AccWidth)
+	}
+	return b.ZeroExtend(p, cfg.AccWidth)
+}
+
+// MAC builds the sequential MAC unit: garbler input x (the model
+// element), evaluator input a (the client element), and an AccWidth
+// accumulator in state. Each round computes acc ← acc + x·a and
+// outputs the new accumulator value.
+func MAC(cfg MACConfig) (*Circuit, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder()
+	x := b.GarblerInputs(cfg.Width)
+	a := b.EvaluatorInputs(cfg.Width)
+	acc := b.StateInputs(cfg.AccWidth)
+	prod := cfg.mulAndExtend(b, x, a)
+	next := b.Add(acc, prod)
+	b.StateOuts(next...)
+	b.OutputWord(next)
+	return b.Build()
+}
+
+// MustMAC builds the sequential MAC and panics on configuration error.
+func MustMAC(cfg MACConfig) *Circuit {
+	c, err := MAC(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MACCombinational builds a one-shot MAC with the accumulator supplied
+// as an extra garbler input word: out = accIn + x·a.
+func MACCombinational(cfg MACConfig) (*Circuit, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder()
+	x := b.GarblerInputs(cfg.Width)
+	accIn := b.GarblerInputs(cfg.AccWidth)
+	a := b.EvaluatorInputs(cfg.Width)
+	prod := cfg.mulAndExtend(b, x, a)
+	out := b.Add(accIn, prod)
+	b.OutputWord(out)
+	return b.Build()
+}
+
+// DotProduct builds a fully unrolled combinational dot product of two
+// n-element vectors of the given element width: the garbler holds one
+// vector, the evaluator the other. It is the monolithic netlist whose
+// size the sequential approach amortises away.
+func DotProduct(cfg MACConfig, n int) (*Circuit, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("circuit: dot product length %d must be positive", n)
+	}
+	b := NewBuilder()
+	xs := make([]Word, n)
+	for i := range xs {
+		xs[i] = b.GarblerInputs(cfg.Width)
+	}
+	as := make([]Word, n)
+	for i := range as {
+		as[i] = b.EvaluatorInputs(cfg.Width)
+	}
+	acc := b.ConstWord(0, cfg.AccWidth)
+	for i := 0; i < n; i++ {
+		acc = b.Add(acc, cfg.mulAndExtend(b, xs[i], as[i]))
+	}
+	b.OutputWord(acc)
+	return b.Build()
+}
+
+// Uint64ToBits encodes the low width bits of v little-endian.
+func Uint64ToBits(v uint64, width int) []bool {
+	bits := make([]bool, width)
+	for i := range bits {
+		bits[i] = v>>uint(i)&1 == 1
+	}
+	return bits
+}
+
+// Int64ToBits encodes v as width-bit 2's complement, little-endian.
+func Int64ToBits(v int64, width int) []bool {
+	return Uint64ToBits(uint64(v), width)
+}
+
+// BitsToUint64 decodes up to 64 little-endian bits as unsigned.
+func BitsToUint64(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b && i < 64 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// BitsToInt64 decodes little-endian bits as 2's complement.
+func BitsToInt64(bits []bool) int64 {
+	v := BitsToUint64(bits)
+	if len(bits) < 64 && len(bits) > 0 && bits[len(bits)-1] {
+		v |= ^uint64(0) << uint(len(bits))
+	}
+	return int64(v)
+}

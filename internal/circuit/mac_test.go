@@ -1,0 +1,159 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMACConfigValidation(t *testing.T) {
+	if _, err := MAC(MACConfig{Width: 0, AccWidth: 8}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := MAC(MACConfig{Width: 8, AccWidth: 8}); err == nil {
+		t.Fatal("narrow accumulator accepted")
+	}
+	if _, err := MACCombinational(MACConfig{Width: -1, AccWidth: 0}); err == nil {
+		t.Fatal("negative width accepted")
+	}
+	if _, err := DotProduct(MACConfig{Width: 8, AccWidth: 16}, 0); err == nil {
+		t.Fatal("zero-length dot product accepted")
+	}
+}
+
+func TestSequentialMACUnsigned(t *testing.T) {
+	cfg := MACConfig{Width: 8, AccWidth: 24}
+	c := MustMAC(cfg)
+	rng := rand.New(rand.NewSource(1))
+	var state []bool
+	var want uint64
+	for round := 0; round < 20; round++ {
+		x := uint64(rng.Intn(256))
+		a := uint64(rng.Intn(256))
+		want = (want + x*a) & (1<<24 - 1)
+		out, next, err := c.EvalRound(Uint64ToBits(x, 8), Uint64ToBits(a, 8), state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := BitsToUint64(out); got != want {
+			t.Fatalf("round %d: acc = %d, want %d", round, got, want)
+		}
+		state = next
+	}
+}
+
+func TestSequentialMACSigned(t *testing.T) {
+	cfg := MACConfig{Width: 8, AccWidth: 20, Signed: true}
+	c := MustMAC(cfg)
+	rng := rand.New(rand.NewSource(7))
+	var state []bool
+	var want int64
+	mask := int64(1)<<20 - 1
+	for round := 0; round < 30; round++ {
+		x := int64(rng.Intn(256) - 128)
+		a := int64(rng.Intn(256) - 128)
+		want += x * a
+		out, next, err := c.EvalRound(Int64ToBits(x, 8), Int64ToBits(a, 8), state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := BitsToInt64(out); got&mask != want&mask {
+			t.Fatalf("round %d: acc = %d, want %d", round, got, want)
+		}
+		state = next
+	}
+}
+
+func TestMACCombinationalMatchesSequentialStep(t *testing.T) {
+	cfg := MACConfig{Width: 8, AccWidth: 16, Signed: true}
+	comb, err := MACCombinational(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		x := int64(rng.Intn(256) - 128)
+		a := int64(rng.Intn(256) - 128)
+		acc := int64(rng.Intn(1<<16) - 1<<15)
+		g := append(Int64ToBits(x, 8), Int64ToBits(acc, 16)...)
+		out, err := comb.Eval(g, Int64ToBits(a, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (acc + x*a) & (1<<16 - 1)
+		if got := BitsToInt64(out) & (1<<16 - 1); got != want {
+			t.Fatalf("comb MAC(%d,%d,%d) = %d, want %d", x, a, acc, got, want)
+		}
+	}
+}
+
+func TestDotProductMatchesPlaintext(t *testing.T) {
+	cfg := MACConfig{Width: 6, AccWidth: 16, Signed: true}
+	const n = 5
+	c, err := DotProduct(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		var g, e []bool
+		var want int64
+		for i := 0; i < n; i++ {
+			x := int64(rng.Intn(64) - 32)
+			a := int64(rng.Intn(64) - 32)
+			want += x * a
+			g = append(g, Int64ToBits(x, 6)...)
+			e = append(e, Int64ToBits(a, 6)...)
+		}
+		out, err := c.Eval(g, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := BitsToInt64(out); got != want {
+			t.Fatalf("dot product = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestMACSerialAndTreeAgree(t *testing.T) {
+	tree := MustMAC(MACConfig{Width: 8, AccWidth: 16})
+	serial := MustMAC(MACConfig{Width: 8, AccWidth: 16, SerialMultiplier: true})
+	rng := rand.New(rand.NewSource(11))
+	var st1, st2 []bool
+	for round := 0; round < 10; round++ {
+		x := Uint64ToBits(uint64(rng.Intn(256)), 8)
+		a := Uint64ToBits(uint64(rng.Intn(256)), 8)
+		o1, n1, err := tree.EvalRound(x, a, st1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, n2, err := serial.EvalRound(x, a, st2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if BitsToUint64(o1) != BitsToUint64(o2) {
+			t.Fatalf("round %d: tree %d != serial %d", round, BitsToUint64(o1), BitsToUint64(o2))
+		}
+		st1, st2 = n1, n2
+	}
+}
+
+func TestMACStatsScaleWithWidth(t *testing.T) {
+	prev := 0
+	for _, w := range []int{8, 16, 32} {
+		c := MustMAC(MACConfig{Width: w, AccWidth: 2 * w, Signed: true})
+		ands := c.Stats().ANDs
+		if ands <= prev {
+			t.Fatalf("width %d MAC has %d ANDs, not more than previous %d", w, ands, prev)
+		}
+		prev = ands
+	}
+}
+
+func TestMustMACPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMAC with bad config did not panic")
+		}
+	}()
+	MustMAC(MACConfig{Width: 0, AccWidth: 0})
+}

@@ -1,0 +1,128 @@
+package circuit
+
+import "sort"
+
+// Optimize returns a semantically equivalent circuit with dead gates
+// removed and structurally identical gates merged (common
+// subexpression elimination). Garbling cost is proportional to the
+// AND count, so netlist hygiene translates directly into fewer
+// encryption operations and smaller garbled tables; the builder's
+// local constant folding cannot catch duplicates created by separate
+// generator calls, which this global pass does.
+//
+// The pass preserves the circuit interface exactly: input counts,
+// state wiring and output order are unchanged.
+func Optimize(c *Circuit) *Circuit {
+	inputSpan := FirstInput + c.NGarbler + c.NEvaluator + c.NState
+
+	// Structural hashing: map each gate to a canonical key; gates with
+	// equal keys compute equal functions (inputs are canonicalised
+	// first, XOR/AND are commutative).
+	canon := make([]int, c.NWires)
+	for i := 0; i < inputSpan; i++ {
+		canon[i] = i
+	}
+	type key struct {
+		op   Op
+		a, b int
+	}
+	seen := make(map[key]int)
+	keep := make([]Gate, 0, len(c.Gates))
+	gateOf := make(map[int]int) // canonical wire -> index in keep
+	for _, g := range c.Gates {
+		a, b := canon[g.A], canon[g.B]
+		if a > b {
+			a, b = b, a
+		}
+		// Algebraic folds on canonical operands.
+		switch {
+		case g.Op == XOR && a == b:
+			canon[g.Out] = Const0
+			continue
+		case g.Op == XOR && a == Const0:
+			canon[g.Out] = b
+			continue
+		case g.Op == AND && a == b:
+			canon[g.Out] = a
+			continue
+		case g.Op == AND && a == Const0:
+			canon[g.Out] = Const0
+			continue
+		case g.Op == AND && a == Const1:
+			canon[g.Out] = b
+			continue
+		}
+		k := key{op: g.Op, a: a, b: b}
+		if w, ok := seen[k]; ok {
+			canon[g.Out] = w
+			continue
+		}
+		seen[k] = g.Out
+		canon[g.Out] = g.Out
+		gateOf[g.Out] = len(keep)
+		keep = append(keep, Gate{Op: g.Op, A: a, B: b, Out: g.Out})
+	}
+
+	// Liveness from outputs and state-outs backwards.
+	live := make(map[int]bool)
+	var stack []int
+	mark := func(w int) {
+		w = canon[w]
+		if w >= inputSpan && !live[w] {
+			live[w] = true
+			stack = append(stack, w)
+		}
+	}
+	for _, w := range c.Outputs {
+		mark(w)
+	}
+	for _, w := range c.StateOuts {
+		mark(w)
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g := keep[gateOf[w]]
+		mark(g.A)
+		mark(g.B)
+	}
+
+	// Renumber surviving gates densely, preserving topological order.
+	liveWires := make([]int, 0, len(live))
+	for w := range live {
+		liveWires = append(liveWires, w)
+	}
+	sort.Ints(liveWires)
+	remap := make(map[int]int, len(liveWires)+inputSpan)
+	for i := 0; i < inputSpan; i++ {
+		remap[i] = i
+	}
+	next := inputSpan
+	var gates []Gate
+	for _, g := range keep {
+		if !live[g.Out] {
+			continue
+		}
+		ng := Gate{Op: g.Op, A: remap[canon[g.A]], B: remap[canon[g.B]], Out: next}
+		remap[g.Out] = next
+		next++
+		gates = append(gates, ng)
+	}
+
+	out := &Circuit{
+		NGarbler:   c.NGarbler,
+		NEvaluator: c.NEvaluator,
+		NState:     c.NState,
+		Gates:      gates,
+		Outputs:    make([]int, len(c.Outputs)),
+		StateOuts:  make([]int, len(c.StateOuts)),
+		NWires:     next,
+	}
+	for i, w := range c.Outputs {
+		out.Outputs[i] = remap[canon[w]]
+	}
+	for i, w := range c.StateOuts {
+		out.StateOuts[i] = remap[canon[w]]
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	mrand "math/rand"
+	"testing"
+)
+
+func assertSameFunction(t *testing.T, a, b *Circuit, trials int, seed int64) {
+	t.Helper()
+	if a.NGarbler != b.NGarbler || a.NEvaluator != b.NEvaluator ||
+		a.NState != b.NState || len(a.Outputs) != len(b.Outputs) {
+		t.Fatal("optimisation changed the circuit interface")
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	bits := func(n int) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = rng.Intn(2) == 1
+		}
+		return out
+	}
+	for i := 0; i < trials; i++ {
+		g := bits(a.NGarbler)
+		e := bits(a.NEvaluator)
+		st := bits(a.NState)
+		oa, sa, err := a.EvalRound(g, e, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, sb, err := b.EvalRound(g, e, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("trial %d output %d differs", i, j)
+			}
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("trial %d state out %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestOptimizeRemovesDeadGates(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(4)
+	y := b.EvaluatorInputs(4)
+	used := b.AND(x[0], y[0])
+	b.AND(x[1], y[1]) // dead
+	b.XOR(x[2], y[2]) // dead
+	b.Outputs(used)
+	c := b.MustBuild()
+	opt := Optimize(c)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.Stats().ANDs; got != 1 {
+		t.Fatalf("optimised circuit has %d ANDs, want 1", got)
+	}
+	assertSameFunction(t, c, opt, 20, 1)
+}
+
+func TestOptimizeMergesDuplicates(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(2)
+	y := b.EvaluatorInputs(2)
+	a1 := b.AND(x[0], y[0])
+	a2 := b.AND(y[0], x[0]) // commutative duplicate
+	x1 := b.XOR(x[1], y[1])
+	x2 := b.XOR(y[1], x[1]) // duplicate
+	b.Outputs(b.AND(a1, x1), b.AND(a2, x2))
+	c := b.MustBuild()
+	opt := Optimize(c)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// a1≡a2 and x1≡x2, so their consumers merge too: 2 ANDs total.
+	if got := opt.Stats().ANDs; got != 2 {
+		t.Fatalf("optimised circuit has %d ANDs, want 2", got)
+	}
+	assertSameFunction(t, c, opt, 20, 2)
+}
+
+func TestOptimizeFoldsAlgebra(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(2)
+	b.EvaluatorInputs(0)
+	selfXor := b.gate(XOR, x[0], x[0]) // bypasses builder folding
+	selfAnd := b.gate(AND, x[1], x[1])
+	b.Outputs(b.XOR(selfXor, selfAnd)) // = 0 ⊕ x[1] = x[1]
+	c := b.MustBuild()
+	opt := Optimize(c)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.Stats(); got.ANDs != 0 || got.XORs != 0 {
+		t.Fatalf("folding left %d ANDs %d XORs", got.ANDs, got.XORs)
+	}
+	assertSameFunction(t, c, opt, 8, 3)
+}
+
+func TestOptimizePreservesMACSemantics(t *testing.T) {
+	c := MustMAC(MACConfig{Width: 8, AccWidth: 16, Signed: true})
+	opt := Optimize(c)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats().ANDs > c.Stats().ANDs {
+		t.Fatalf("optimisation increased ANDs: %d → %d", c.Stats().ANDs, opt.Stats().ANDs)
+	}
+	assertSameFunction(t, c, opt, 40, 4)
+}
+
+func TestOptimizeReducesRedundantGenerators(t *testing.T) {
+	// Two calls to the same generator on the same operands duplicate
+	// the whole block; the optimiser must collapse them.
+	b := NewBuilder()
+	x := b.GarblerInputs(8)
+	y := b.EvaluatorInputs(8)
+	s1 := b.Add(x, y)
+	s2 := b.Add(x, y)
+	b.OutputWord(s1)
+	b.OutputWord(s2)
+	c := b.MustBuild()
+	opt := Optimize(c)
+	// The duplicate block halves, and the dead final-carry AND of the
+	// adder goes too: 16 → 7.
+	if got := opt.Stats().ANDs; got != 7 {
+		t.Fatalf("duplicate adders: %d ANDs, want 7", got)
+	}
+	assertSameFunction(t, c, opt, 20, 5)
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	c := MustMAC(MACConfig{Width: 8, AccWidth: 16})
+	once := Optimize(c)
+	twice := Optimize(once)
+	if len(twice.Gates) != len(once.Gates) {
+		t.Fatalf("second pass changed gate count %d → %d", len(once.Gates), len(twice.Gates))
+	}
+	assertSameFunction(t, once, twice, 20, 6)
+}
+
+func TestOptimizeDivider(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(8)
+	y := b.EvaluatorInputs(8)
+	q, r := b.DivMod(x, y)
+	b.OutputWord(q)
+	b.OutputWord(r)
+	c := b.MustBuild()
+	opt := Optimize(c)
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameFunction(t, c, opt, 30, 7)
+}
+
+func TestOptimizedCircuitGarbles(t *testing.T) {
+	// The optimised netlist must still garble and evaluate — the whole
+	// point of shrinking it.
+	b := NewBuilder()
+	x := b.GarblerInputs(6)
+	y := b.EvaluatorInputs(6)
+	p1 := b.MulTreeUnsigned(x, y)
+	p2 := b.MulTreeUnsigned(x, y) // duplicate work
+	b.OutputWord(b.Add(p1, p2))
+	c := Optimize(b.MustBuild())
+	out, err := c.Eval(Uint64ToBits(7, 6), Uint64ToBits(9, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BitsToUint64(out); got != 2*7*9 {
+		t.Fatalf("optimised duplicate-mult circuit = %d, want %d", got, 2*7*9)
+	}
+}

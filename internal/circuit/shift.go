@@ -1,0 +1,71 @@
+package circuit
+
+// Barrel shifters: shift by a *secret* amount, one mux layer (one AND
+// per bit) per bit of the shift word. Needed whenever a fixed-point
+// rescaling factor is itself private — e.g. normalisation steps inside
+// the ridge pipeline.
+
+// barrel applies log-many conditional shifts of x controlled by the
+// bits of s; shiftBy produces the candidate at distance d.
+func (b *Builder) barrel(x Word, s Word, shiftBy func(Word, int) Word) Word {
+	if len(x) == 0 {
+		panic("circuit: barrel shift of empty word")
+	}
+	cur := x
+	for i, sel := range s {
+		d := 1 << uint(i)
+		if d >= len(x)*2 { // further stages cannot change anything representable
+			d = len(x) * 2
+		}
+		cur = b.Mux(sel, shiftBy(cur, d), cur)
+	}
+	return cur
+}
+
+// ShiftLeftVar returns x << s (zero filling) for a secret shift amount
+// s. Shift amounts ≥ len(x) yield zero.
+func (b *Builder) ShiftLeftVar(x Word, s Word) Word {
+	return b.barrel(x, s, func(w Word, d int) Word {
+		if d >= len(w) {
+			return b.ConstWord(0, len(w))
+		}
+		return b.ShiftLeft(w, d)
+	})
+}
+
+// ShiftRightVar returns x >> s (logical, zero filling) for a secret
+// shift amount s. Shift amounts ≥ len(x) yield zero.
+func (b *Builder) ShiftRightVar(x Word, s Word) Word {
+	return b.barrel(x, s, func(w Word, d int) Word {
+		out := make(Word, len(w))
+		for i := range out {
+			if i+d < len(w) {
+				out[i] = w[i+d]
+			} else {
+				out[i] = Const0
+			}
+		}
+		return out
+	})
+}
+
+// ShiftRightArithVar returns x >> s (arithmetic, sign filling) for a
+// secret shift amount on a signed word. Shift amounts ≥ len(x) yield
+// the sign replicated everywhere.
+func (b *Builder) ShiftRightArithVar(x Word, s Word) Word {
+	if len(x) == 0 {
+		panic("circuit: arithmetic shift of empty word")
+	}
+	sign := x[len(x)-1]
+	return b.barrel(x, s, func(w Word, d int) Word {
+		out := make(Word, len(w))
+		for i := range out {
+			if i+d < len(w) {
+				out[i] = w[i+d]
+			} else {
+				out[i] = sign
+			}
+		}
+		return out
+	})
+}

@@ -1,0 +1,117 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildShift(t *testing.T, w, sw int, f func(b *Builder, x, s Word) Word) func(x uint64, s uint64) uint64 {
+	t.Helper()
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	s := b.EvaluatorInputs(sw)
+	out := f(b, x, s)
+	if len(out) != w {
+		t.Fatalf("shift output width %d, want %d", len(out), w)
+	}
+	b.OutputWord(out)
+	c := b.MustBuild()
+	return func(xv, sv uint64) uint64 {
+		bits, err := c.Eval(Uint64ToBits(xv, w), Uint64ToBits(sv, sw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BitsToUint64(bits)
+	}
+}
+
+func TestShiftLeftVar(t *testing.T) {
+	const w, sw = 16, 5
+	eval := buildShift(t, w, sw, func(b *Builder, x, s Word) Word { return b.ShiftLeftVar(x, s) })
+	f := func(x uint16, s uint8) bool {
+		sv := uint64(s) % (1 << sw)
+		want := uint64(0)
+		if sv < w {
+			want = (uint64(x) << sv) & (1<<w - 1)
+		}
+		return eval(uint64(x), sv) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftRightVar(t *testing.T) {
+	const w, sw = 16, 5
+	eval := buildShift(t, w, sw, func(b *Builder, x, s Word) Word { return b.ShiftRightVar(x, s) })
+	f := func(x uint16, s uint8) bool {
+		sv := uint64(s) % (1 << sw)
+		want := uint64(0)
+		if sv < w {
+			want = uint64(x) >> sv
+		}
+		return eval(uint64(x), sv) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftRightArithVar(t *testing.T) {
+	const w, sw = 12, 4
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	s := b.EvaluatorInputs(sw)
+	b.OutputWord(b.ShiftRightArithVar(x, s))
+	c := b.MustBuild()
+	for _, xv := range []int64{-2048, -1000, -1, 0, 1, 931, 2047} {
+		for sv := uint64(0); sv < 1<<sw; sv++ {
+			bits, err := c.Eval(Int64ToBits(xv, w), Uint64ToBits(sv, sw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := xv >> min64(sv, 63)
+			if sv >= w {
+				if xv < 0 {
+					want = -1
+				} else {
+					want = 0
+				}
+			}
+			if got := BitsToInt64(bits); got != want {
+				t.Fatalf("%d >>a %d = %d, want %d", xv, sv, got, want)
+			}
+		}
+	}
+}
+
+func min64(a uint64, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestShiftVarCostIsLogLayers(t *testing.T) {
+	// One mux layer (w ANDs) per shift bit.
+	const w, sw = 16, 4
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	s := b.EvaluatorInputs(sw)
+	b.OutputWord(b.ShiftLeftVar(x, s))
+	c := b.MustBuild()
+	if got := c.Stats().ANDs; got > w*sw {
+		t.Fatalf("barrel shifter uses %d ANDs, want ≤ %d", got, w*sw)
+	}
+}
+
+func TestShiftVarEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty barrel shift did not panic")
+		}
+	}()
+	b := NewBuilder()
+	s := b.GarblerInputs(2)
+	b.ShiftLeftVar(Word{}, s)
+}

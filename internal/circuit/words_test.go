@@ -1,0 +1,360 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildBinOp builds a circuit computing f over a garbler word and an
+// evaluator word of the given width and returns an evaluate closure.
+func buildBinOp(t *testing.T, width, outWidth int, f func(b *Builder, x, y Word) Word) func(x, y uint64) uint64 {
+	t.Helper()
+	b := NewBuilder()
+	x := b.GarblerInputs(width)
+	y := b.EvaluatorInputs(width)
+	out := f(b, x, y)
+	if len(out) != outWidth {
+		t.Fatalf("op produced %d bits, want %d", len(out), outWidth)
+	}
+	b.OutputWord(out)
+	c := b.MustBuild()
+	return func(xv, yv uint64) uint64 {
+		bits, err := c.Eval(Uint64ToBits(xv, width), Uint64ToBits(yv, width))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BitsToUint64(bits)
+	}
+}
+
+func TestAddMatchesIntegerAddition(t *testing.T) {
+	const w = 16
+	eval := buildBinOp(t, w, w, func(b *Builder, x, y Word) Word { return b.Add(x, y) })
+	f := func(x, y uint16) bool {
+		return eval(uint64(x), uint64(y)) == uint64(x+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCarryOut(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(8)
+	y := b.EvaluatorInputs(8)
+	sum, carry := b.AddCarry(x, y, Const0)
+	b.OutputWord(sum)
+	b.Outputs(carry)
+	c := b.MustBuild()
+	f := func(xv, yv uint8) bool {
+		bits, err := c.Eval(Uint64ToBits(uint64(xv), 8), Uint64ToBits(uint64(yv), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := uint64(xv) + uint64(yv)
+		return BitsToUint64(bits[:8]) == total&0xff && bits[8] == (total > 0xff)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdderANDCountIsOnePerBit(t *testing.T) {
+	// The paper relies on TinyGarble's adder: exactly one AND per bit.
+	for _, w := range []int{4, 8, 16, 32} {
+		b := NewBuilder()
+		x := b.GarblerInputs(w)
+		y := b.EvaluatorInputs(w)
+		b.OutputWord(b.Add(x, y))
+		c := b.MustBuild()
+		if got := c.Stats().ANDs; got != w {
+			t.Fatalf("width %d adder has %d ANDs, want %d", w, got, w)
+		}
+	}
+}
+
+func TestSubMatchesIntegerSubtraction(t *testing.T) {
+	const w = 16
+	eval := buildBinOp(t, w, w, func(b *Builder, x, y Word) Word { return b.Sub(x, y) })
+	f := func(x, y uint16) bool {
+		return eval(uint64(x), uint64(y)) == uint64(x-y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegMatchesTwosComplement(t *testing.T) {
+	const w = 12
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	b.EvaluatorInputs(0)
+	b.OutputWord(b.Neg(x))
+	c := b.MustBuild()
+	for _, v := range []uint64{0, 1, 5, 1<<w - 1, 1 << (w - 1)} {
+		bits, err := c.Eval(Uint64ToBits(v, w), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (-v) & (1<<w - 1)
+		if got := BitsToUint64(bits); got != want {
+			t.Fatalf("Neg(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestCondNeg(t *testing.T) {
+	const w = 10
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	s := b.EvaluatorInputs(1)
+	b.OutputWord(b.CondNeg(x, s[0]))
+	c := b.MustBuild()
+	f := func(v uint16, neg bool) bool {
+		xv := uint64(v) & (1<<w - 1)
+		bits, err := c.Eval(Uint64ToBits(xv, w), []bool{neg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := xv
+		if neg {
+			want = (-xv) & (1<<w - 1)
+		}
+		return BitsToUint64(bits) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxSelects(t *testing.T) {
+	const w = 8
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	rest := b.EvaluatorInputs(w + 1)
+	y, s := rest[:w], rest[w]
+	b.OutputWord(b.Mux(s, x, y))
+	c := b.MustBuild()
+	f := func(xv, yv uint8, sel bool) bool {
+		ev := append(Uint64ToBits(uint64(yv), w), sel)
+		bits, err := c.Eval(Uint64ToBits(uint64(xv), w), ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(yv)
+		if sel {
+			want = uint64(xv)
+		}
+		return BitsToUint64(bits) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxANDCountIsOnePerBit(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(16)
+	rest := b.EvaluatorInputs(17)
+	b.OutputWord(b.Mux(rest[16], x, rest[:16]))
+	c := b.MustBuild()
+	if got := c.Stats().ANDs; got != 16 {
+		t.Fatalf("16-bit mux has %d ANDs, want 16", got)
+	}
+}
+
+func TestShiftLeft(t *testing.T) {
+	const w = 16
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	b.EvaluatorInputs(0)
+	b.OutputWord(b.ShiftLeft(x, 3))
+	c := b.MustBuild()
+	f := func(v uint16) bool {
+		bits, err := c.Eval(Uint64ToBits(uint64(v), w), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BitsToUint64(bits) == uint64(v<<3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendWidths(t *testing.T) {
+	b := NewBuilder()
+	x := b.GarblerInputs(4)
+	b.EvaluatorInputs(0)
+	ze := b.ZeroExtend(x, 8)
+	se := b.SignExtend(x, 8)
+	b.OutputWord(ze)
+	b.OutputWord(se)
+	c := b.MustBuild()
+	for v := int64(-8); v < 8; v++ {
+		bits, err := c.Eval(Int64ToBits(v, 4), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := BitsToUint64(bits[:8]); got != uint64(v)&0xf {
+			t.Fatalf("ZeroExtend(%d) = %d", v, got)
+		}
+		if got := BitsToInt64(bits[8:16]); got != v {
+			t.Fatalf("SignExtend(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestComparators(t *testing.T) {
+	const w = 8
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	y := b.EvaluatorInputs(w)
+	b.Outputs(b.GEq(x, y), b.LessThan(x, y), b.Equal(x, y))
+	c := b.MustBuild()
+	f := func(xv, yv uint8) bool {
+		bits, err := c.Eval(Uint64ToBits(uint64(xv), w), Uint64ToBits(uint64(yv), w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bits[0] == (xv >= yv) && bits[1] == (xv < yv) && bits[2] == (xv == yv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulTreeUnsigned(t *testing.T) {
+	const w = 8
+	eval := buildBinOp(t, w, 2*w, func(b *Builder, x, y Word) Word { return b.MulTreeUnsigned(x, y) })
+	f := func(x, y uint8) bool {
+		return eval(uint64(x), uint64(y)) == uint64(x)*uint64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSerialUnsigned(t *testing.T) {
+	const w = 8
+	eval := buildBinOp(t, w, 2*w, func(b *Builder, x, y Word) Word { return b.MulSerialUnsigned(x, y) })
+	f := func(x, y uint8) bool {
+		return eval(uint64(x), uint64(y)) == uint64(x)*uint64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulTreeSigned(t *testing.T) {
+	const w = 8
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	y := b.EvaluatorInputs(w)
+	b.OutputWord(b.MulTreeSigned(x, y))
+	c := b.MustBuild()
+	check := func(xv, yv int64) {
+		bits, err := c.Eval(Int64ToBits(xv, w), Int64ToBits(yv, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := BitsToInt64(bits); got != xv*yv {
+			t.Fatalf("signed %d*%d = %d, want %d", xv, yv, got, xv*yv)
+		}
+	}
+	// Exhaustive corner cases including the -2^(b-1) edge.
+	for _, xv := range []int64{-128, -127, -1, 0, 1, 2, 63, 127} {
+		for _, yv := range []int64{-128, -5, -1, 0, 1, 7, 127} {
+			check(xv, yv)
+		}
+	}
+	f := func(a, b int8) bool {
+		bits, err := c.Eval(Int64ToBits(int64(a), w), Int64ToBits(int64(b), w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BitsToInt64(bits) == int64(a)*int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeVsSerialStructure(t *testing.T) {
+	// Both multipliers cost the same number of garbled tables; the tree
+	// buys adder-level parallelism (⌈log₂ b⌉ adder levels instead of b
+	// chained adders — exercised by the scheduler package), not a
+	// shorter raw AND chain: ripple carries dominate AND depth in both.
+	const w = 16
+	mk := func(serial bool) Stats {
+		b := NewBuilder()
+		x := b.GarblerInputs(w)
+		y := b.EvaluatorInputs(w)
+		if serial {
+			b.OutputWord(b.MulSerialUnsigned(x, y))
+		} else {
+			b.OutputWord(b.MulTreeUnsigned(x, y))
+		}
+		return b.MustBuild().Stats()
+	}
+	tree, serial := mk(false), mk(true)
+	if tree.ANDs != serial.ANDs {
+		t.Fatalf("tree %d ANDs != serial %d ANDs", tree.ANDs, serial.ANDs)
+	}
+	if tree.ANDDepth > serial.ANDDepth {
+		t.Fatalf("tree depth %d exceeds serial depth %d", tree.ANDDepth, serial.ANDDepth)
+	}
+}
+
+func TestMulTreePartialProductsAreParallel(t *testing.T) {
+	// Every partial-product AND reads only primary inputs, so the whole
+	// pp layer sits at AND depth 1 — the parallelism the FSM exploits.
+	const w = 8
+	b := NewBuilder()
+	x := b.GarblerInputs(w)
+	y := b.EvaluatorInputs(w)
+	b.OutputWord(b.MulTreeUnsigned(x, y))
+	c := b.MustBuild()
+	inputs := FirstInput + c.NGarbler + c.NEvaluator
+	ppANDs := 0
+	for _, g := range c.Gates {
+		if g.Op == AND && g.A < inputs && g.B < inputs {
+			ppANDs++
+		}
+	}
+	if ppANDs != w*w {
+		t.Fatalf("found %d input-level partial-product ANDs, want %d", ppANDs, w*w)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(b *Builder, x, y Word){
+		"Add":      func(b *Builder, x, y Word) { b.Add(x, y[:len(y)-1]) },
+		"Mux":      func(b *Builder, x, y Word) { b.Mux(x[0], x, y[:len(y)-1]) },
+		"GEq":      func(b *Builder, x, y Word) { b.GEq(x, y[:len(y)-1]) },
+		"Equal":    func(b *Builder, x, y Word) { b.Equal(x, y[:len(y)-1]) },
+		"ZeroExt":  func(b *Builder, x, y Word) { b.ZeroExtend(x, 2) },
+		"SignExt":  func(b *Builder, x, y Word) { b.SignExtend(x, 2) },
+		"NegShift": func(b *Builder, x, y Word) { b.ShiftLeft(x, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with bad widths did not panic", name)
+				}
+			}()
+			b := NewBuilder()
+			x := b.GarblerInputs(4)
+			y := b.EvaluatorInputs(4)
+			f(b, x, y)
+		}()
+	}
+}
+
+func TestEqualEmptyWordIsTrue(t *testing.T) {
+	b := NewBuilder()
+	b.GarblerInputs(1)
+	if b.Equal(Word{}, Word{}) != Const1 {
+		t.Fatal("empty equality is not constant true")
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	mrand "math/rand"
+	"testing"
+
+	"maxelerator/internal/fixed"
+)
+
+func accel(t *testing.T, cfg Config) *Accelerator {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Width: 9}); err == nil {
+		t.Fatal("bad width accepted")
+	}
+	if _, err := New(Config{Width: 32, AccWidth: 80}); err == nil {
+		t.Fatal("undecodable accumulator width accepted")
+	}
+}
+
+func TestSecureDotProductSigned(t *testing.T) {
+	a := accel(t, Config{Width: 8, AccWidth: 24, Signed: true})
+	rng := mrand.New(mrand.NewSource(1))
+	x := make([]int64, 10)
+	y := make([]int64, 10)
+	var want int64
+	for i := range x {
+		x[i] = int64(rng.Intn(256) - 128)
+		y[i] = int64(rng.Intn(256) - 128)
+		want += x[i] * y[i]
+	}
+	got, st, err := a.SecureDotProduct(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("dot = %d, want %d", got, want)
+	}
+	if st.MACs != 10 || st.Cycles == 0 || st.TableBytes == 0 {
+		t.Fatalf("stats incomplete: %+v", st)
+	}
+}
+
+func TestSecureDotProductLengthMismatch(t *testing.T) {
+	a := accel(t, Config{Width: 8})
+	if _, _, err := a.SecureDotProduct([]int64{1}, []int64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSecureMatVec(t *testing.T) {
+	a := accel(t, Config{Width: 8, AccWidth: 24, Signed: true})
+	A := [][]int64{{1, 2, 3}, {-4, 5, -6}, {7, 0, 9}}
+	y := []int64{10, -20, 30}
+	got, st, err := a.SecureMatVec(A, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10 - 40 + 90, -40 - 100 - 180, 70 + 270}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if st.MACs != 9 {
+		t.Fatalf("stats MACs = %d", st.MACs)
+	}
+	if st.ModeledTime <= 0 || st.Cycles == 0 {
+		t.Fatalf("timing missing: %+v", st)
+	}
+}
+
+func TestSecureMatVecValidation(t *testing.T) {
+	a := accel(t, Config{Width: 8, Signed: true})
+	if _, _, err := a.SecureMatVec(nil, []int64{1}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, _, err := a.SecureMatVec([][]int64{{1, 2}}, []int64{1}); err == nil {
+		t.Fatal("ragged shapes accepted")
+	}
+}
+
+func TestSecureDotProductFixed(t *testing.T) {
+	a := accel(t, Config{Width: 16, AccWidth: 48, Signed: true})
+	f := fixed.Format{Width: 16, Frac: 6}
+	x := []float64{1.5, -2.25, 0.5}
+	y := []float64{2.0, 1.0, -4.0}
+	want := 1.5*2.0 - 2.25*1.0 + 0.5*-4.0
+	got, _, err := a.SecureDotProductFixed(f, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fixed dot = %v, want %v", got, want)
+	}
+}
+
+func TestSecureDotProductFixedValidation(t *testing.T) {
+	a := accel(t, Config{Width: 16, Signed: true})
+	if _, _, err := a.SecureDotProductFixed(fixed.Format{Width: 8, Frac: 2}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("format/width mismatch accepted")
+	}
+	u := accel(t, Config{Width: 16}) // unsigned datapath
+	if _, _, err := u.SecureDotProductFixed(fixed.Format{Width: 16, Frac: 4}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("fixed-point on unsigned datapath accepted")
+	}
+	if _, _, err := a.SecureDotProductFixed(fixed.Format{Width: 16, Frac: 20}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("invalid format accepted")
+	}
+	if _, _, err := a.SecureDotProductFixed(fixed.Format{Width: 16, Frac: 4}, []float64{1e9}, []float64{1}); err == nil {
+		t.Fatal("overflowing value accepted")
+	}
+}
+
+func TestSecureQuadraticForm(t *testing.T) {
+	a := accel(t, Config{Width: 16, AccWidth: 48, Signed: true})
+	f := fixed.Format{Width: 16, Frac: 6}
+	// cov = [[2, 0.5], [0.5, 1]], w = [0.5, 0.25]
+	cov := [][]int64{
+		{f.MustEncode(2), f.MustEncode(0.5)},
+		{f.MustEncode(0.5), f.MustEncode(1)},
+	}
+	w := []int64{f.MustEncode(0.5), f.MustEncode(0.25)}
+	got, st, err := a.SecureQuadraticForm(cov, w, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*0.5*2 + 2*0.5*0.25*0.5 + 0.25*0.25*1
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("quadratic form = %v, want %v", got, want)
+	}
+	if st.MACs != 6 { // 2×2 mat-vec (4 MACs) + final dot (2 MACs)
+		t.Fatalf("stats MACs = %d, want 6", st.MACs)
+	}
+}
+
+func TestTable2MetricsExposed(t *testing.T) {
+	a := accel(t, Config{Width: 32})
+	if got := a.Simulator().ThroughputPerCoreMACsPerSec(); got < 8.59e4 || got > 8.77e4 {
+		t.Fatalf("b=32 per-core throughput = %v", got)
+	}
+	if a.Schedule().NumCores() != 24 {
+		t.Fatalf("b=32 cores = %d", a.Schedule().NumCores())
+	}
+	if a.Config().Width != 32 {
+		t.Fatal("config not echoed")
+	}
+}
+
+func TestSecureMatMul(t *testing.T) {
+	a := accel(t, Config{Width: 8, AccWidth: 24, Signed: true})
+	A := [][]int64{{1, 2}, {3, -4}}
+	B := [][]int64{{5, -6}, {7, 8}}
+	got, st, err := a.SecureMatMul(A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{5 + 14, -6 + 16}, {15 - 28, -18 - 32}}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("Y[%d][%d] = %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if st.MACs != 8 { // 2×2 result × inner dimension 2
+		t.Fatalf("MACs = %d", st.MACs)
+	}
+	if st.Cycles == 0 || st.ModeledTime <= 0 {
+		t.Fatalf("timing missing: %+v", st)
+	}
+}
+
+func TestSecureMatMulValidation(t *testing.T) {
+	a := accel(t, Config{Width: 8, Signed: true})
+	if _, _, err := a.SecureMatMul(nil, [][]int64{{1}}); err == nil {
+		t.Fatal("empty A accepted")
+	}
+	if _, _, err := a.SecureMatMul([][]int64{{1, 2}}, [][]int64{{1}}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, _, err := a.SecureMatMul([][]int64{{1}}, [][]int64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged B accepted")
+	}
+	if _, _, err := a.SecureMatMul([][]int64{{1}, {2, 3}}, [][]int64{{1}}); err == nil {
+		t.Fatal("ragged A accepted")
+	}
+}
+
+func TestSecureMatVecParallelMatchesSerial(t *testing.T) {
+	a := accel(t, Config{Width: 8, AccWidth: 24, Signed: true, MACUnits: 4})
+	rng := mrand.New(mrand.NewSource(8))
+	A := make([][]int64, 9)
+	y := make([]int64, 5)
+	for j := range y {
+		y[j] = int64(rng.Intn(256) - 128)
+	}
+	for i := range A {
+		A[i] = make([]int64, 5)
+		for j := range A[i] {
+			A[i][j] = int64(rng.Intn(256) - 128)
+		}
+	}
+	serial, _, err := a.SecureMatVec(A, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, st, err := a.SecureMatVecParallel(A, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("row %d: serial %d parallel %d", i, serial[i], parallel[i])
+		}
+	}
+	if st.MACs != 45 {
+		t.Fatalf("parallel stats MACs = %d", st.MACs)
+	}
+}
+
+func TestSecureMatVecParallelValidation(t *testing.T) {
+	a := accel(t, Config{Width: 8, Signed: true})
+	if _, _, err := a.SecureMatVecParallel(nil, []int64{1}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, _, err := a.SecureMatVecParallel([][]int64{{1, 2}}, []int64{1}); err == nil {
+		t.Fatal("ragged shapes accepted")
+	}
+	if _, _, err := a.SecureMatVecParallel([][]int64{{500}}, []int64{1}); err == nil {
+		t.Fatal("out-of-range element accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"maxelerator/internal/core"
+)
+
+// The simplest use of the library: a privacy-preserving dot product
+// between a server-held and a client-held vector.
+func ExampleAccelerator_SecureDotProduct() {
+	acc, err := core.New(core.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := []int64{10, -20, 30}
+	client := []int64{1, 2, 3}
+	result, stats, err := acc.SecureDotProduct(server, client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", result)
+	fmt.Println("MAC rounds:", stats.MACs)
+	fmt.Println("cycles per MAC (steady state):", acc.Schedule().CyclesPerMAC())
+	// Output:
+	// result: 60
+	// MAC rounds: 3
+	// cycles per MAC (steady state): 24
+}
+
+// The Table 2 headline numbers fall out of the schedule model.
+func ExampleAccelerator_table2() {
+	for _, b := range []int{8, 16, 32} {
+		acc, err := core.New(core.Config{Width: b})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("b=%d: %d cores, %v per MAC\n",
+			b, acc.Schedule().NumCores(), acc.Simulator().TimePerMAC())
+	}
+	// Output:
+	// b=8: 8 cores, 120ns per MAC
+	// b=16: 14 cores, 240ns per MAC
+	// b=32: 24 cores, 480ns per MAC
+}

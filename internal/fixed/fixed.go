@@ -1,0 +1,130 @@
+// Package fixed implements the signed fixed-point number format of the
+// case studies (§6: "We assume a 32 bit fixed point system"). Values
+// are stored as two's-complement integers with an implicit binary
+// point: a Q(w−f−1).f format with w total bits and f fraction bits.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a fixed-point encoding.
+type Format struct {
+	// Width is the total bit-width, including the sign bit.
+	Width int
+	// Frac is the number of fraction bits.
+	Frac int
+}
+
+// Default32 is the case studies' 32-bit system with 16 fraction bits.
+var Default32 = Format{Width: 32, Frac: 16}
+
+// Validate checks the format parameters.
+func (f Format) Validate() error {
+	if f.Width < 2 || f.Width > 63 {
+		return fmt.Errorf("fixed: width %d outside [2, 63]", f.Width)
+	}
+	if f.Frac < 0 || f.Frac >= f.Width {
+		return fmt.Errorf("fixed: %d fraction bits do not fit in width %d", f.Frac, f.Width)
+	}
+	return nil
+}
+
+// Scale returns 2^Frac.
+func (f Format) Scale() float64 { return math.Ldexp(1, f.Frac) }
+
+// Max returns the largest representable value.
+func (f Format) Max() float64 {
+	return float64(int64(1)<<(f.Width-1)-1) / f.Scale()
+}
+
+// Min returns the most negative representable value.
+func (f Format) Min() float64 {
+	return -float64(int64(1)<<(f.Width-1)) / f.Scale()
+}
+
+// Eps returns the quantisation step 2^−Frac.
+func (f Format) Eps() float64 { return 1 / f.Scale() }
+
+// Encode quantises x to the nearest representable raw value. It
+// errors on NaN or values outside the representable range.
+func (f Format) Encode(x float64) (int64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if math.IsNaN(x) {
+		return 0, fmt.Errorf("fixed: cannot encode NaN")
+	}
+	raw := math.RoundToEven(x * f.Scale())
+	lo := -math.Ldexp(1, f.Width-1)
+	hi := math.Ldexp(1, f.Width-1) - 1
+	if raw < lo || raw > hi {
+		return 0, fmt.Errorf("fixed: %v overflows Q%d.%d range [%v, %v]", x, f.Width-f.Frac-1, f.Frac, f.Min(), f.Max())
+	}
+	return int64(raw), nil
+}
+
+// MustEncode quantises x and panics on overflow; for constants known
+// to fit.
+func (f Format) MustEncode(x float64) int64 {
+	v, err := f.Encode(x)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Saturate quantises x, clamping to the representable range instead
+// of failing.
+func (f Format) Saturate(x float64) int64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	if x > f.Max() {
+		x = f.Max()
+	}
+	if x < f.Min() {
+		x = f.Min()
+	}
+	v, err := f.Encode(x)
+	if err != nil {
+		// Clamped values always encode; reaching here is a bug.
+		panic(err)
+	}
+	return v
+}
+
+// Decode converts a raw value back to a float.
+func (f Format) Decode(raw int64) float64 {
+	return float64(raw) / f.Scale()
+}
+
+// DecodeProduct converts a raw value that is the product of two
+// f-encoded values (so it carries 2·Frac fraction bits), as produced
+// by the MAC accumulator.
+func (f Format) DecodeProduct(raw int64) float64 {
+	return float64(raw) / (f.Scale() * f.Scale())
+}
+
+// EncodeVector quantises a slice.
+func (f Format) EncodeVector(xs []float64) ([]int64, error) {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		v, err := f.Encode(x)
+		if err != nil {
+			return nil, fmt.Errorf("fixed: element %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// DecodeVector converts raw values back to floats.
+func (f Format) DecodeVector(raws []int64) []float64 {
+	out := make([]float64, len(raws))
+	for i, r := range raws {
+		out[i] = f.Decode(r)
+	}
+	return out
+}

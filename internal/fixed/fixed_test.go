@@ -1,0 +1,122 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	for _, f := range []Format{{Width: 1, Frac: 0}, {Width: 64, Frac: 2}, {Width: 8, Frac: 8}, {Width: 8, Frac: -1}} {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("format %+v validated", f)
+		}
+	}
+	if err := Default32.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTripWithinEps(t *testing.T) {
+	f := Format{Width: 16, Frac: 8}
+	cases := []float64{0, 1, -1, 0.5, -0.5, 3.14159, -100.25, f.Max(), f.Min()}
+	for _, x := range cases {
+		raw, err := f.Encode(x)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", x, err)
+		}
+		if d := math.Abs(f.Decode(raw) - x); d > f.Eps()/2+1e-12 {
+			t.Fatalf("round trip of %v off by %v (eps %v)", x, d, f.Eps())
+		}
+	}
+}
+
+func TestEncodeRejectsOverflowAndNaN(t *testing.T) {
+	f := Format{Width: 8, Frac: 4}
+	for _, x := range []float64{f.Max() + 1, f.Min() - 1, math.NaN(), math.Inf(1)} {
+		if _, err := f.Encode(x); err == nil {
+			t.Fatalf("Encode(%v) succeeded", x)
+		}
+	}
+}
+
+func TestSaturateClamps(t *testing.T) {
+	f := Format{Width: 8, Frac: 4}
+	if got := f.Decode(f.Saturate(1000)); got != f.Max() {
+		t.Fatalf("Saturate(1000) decoded to %v, want %v", got, f.Max())
+	}
+	if got := f.Decode(f.Saturate(-1000)); got != f.Min() {
+		t.Fatalf("Saturate(-1000) decoded to %v, want %v", got, f.Min())
+	}
+	if got := f.Saturate(math.NaN()); got != 0 {
+		t.Fatalf("Saturate(NaN) = %d", got)
+	}
+	if f.Decode(f.Saturate(1.25)) != 1.25 {
+		t.Fatal("in-range saturate not exact")
+	}
+}
+
+func TestQuantisationPropertyRandom(t *testing.T) {
+	f := Format{Width: 24, Frac: 10}
+	prop := func(seed int64) bool {
+		x := math.Mod(float64(seed)/1e6, f.Max()/2)
+		raw, err := f.Encode(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(f.Decode(raw)-x) <= f.Eps()/2+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeProduct(t *testing.T) {
+	f := Format{Width: 16, Frac: 6}
+	a, b := 3.25, -2.5
+	ra := f.MustEncode(a)
+	rb := f.MustEncode(b)
+	if got := f.DecodeProduct(ra * rb); math.Abs(got-a*b) > 1e-9 {
+		t.Fatalf("DecodeProduct = %v, want %v", got, a*b)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	f := Format{Width: 16, Frac: 8}
+	xs := []float64{1.5, -2.25, 0}
+	raw, err := f.EncodeVector(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := f.DecodeVector(raw)
+	for i := range xs {
+		if back[i] != xs[i] {
+			t.Fatalf("vector round trip[%d] = %v, want %v", i, back[i], xs[i])
+		}
+	}
+	if _, err := f.EncodeVector([]float64{1e12}); err == nil {
+		t.Fatal("overflow element accepted")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEncode overflow did not panic")
+		}
+	}()
+	Format{Width: 8, Frac: 4}.MustEncode(1e9)
+}
+
+func TestRangeConstants(t *testing.T) {
+	f := Format{Width: 8, Frac: 4}
+	if f.Max() != 127.0/16 || f.Min() != -8 {
+		t.Fatalf("range [%v, %v]", f.Min(), f.Max())
+	}
+	if f.Eps() != 1.0/16 {
+		t.Fatalf("eps = %v", f.Eps())
+	}
+	if f.Scale() != 16 {
+		t.Fatalf("scale = %v", f.Scale())
+	}
+}

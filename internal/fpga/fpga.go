@@ -1,0 +1,175 @@
+// Package fpga models the hardware substrate MAXelerator runs on: the
+// target device catalogue, clocking, the LUT/LUTRAM/flip-flop resource
+// model of one MAC unit (Table 1 of the paper), and the PCIe link that
+// drains garbled tables to the host CPU.
+//
+// The resource model is calibrated to the paper's published synthesis
+// results at b ∈ {8, 16, 32} and interpolates linearly elsewhere —
+// Table 1's claim is precisely that "the underlying resource
+// utilization of our design increases linearly with b".
+package fpga
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Resources is a bundle of FPGA fabric resources.
+type Resources struct {
+	// LUT is the number of 6-input look-up tables.
+	LUT int
+	// LUTRAM is the number of LUTs used as distributed RAM (the AES
+	// s-boxes of the GC engines, §5.1).
+	LUTRAM int
+	// FlipFlop is the number of fabric registers (the shift registers
+	// of the TREE segment dominate, §4.3).
+	FlipFlop int
+}
+
+// Add returns the component-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{LUT: r.LUT + o.LUT, LUTRAM: r.LUTRAM + o.LUTRAM, FlipFlop: r.FlipFlop + o.FlipFlop}
+}
+
+// Scale returns the resources multiplied by n.
+func (r Resources) Scale(n int) Resources {
+	return Resources{LUT: r.LUT * n, LUTRAM: r.LUTRAM * n, FlipFlop: r.FlipFlop * n}
+}
+
+// macUnitTable holds the paper's Table 1 synthesis results.
+var macUnitTable = map[int]Resources{
+	8:  {LUT: 29500, LUTRAM: 128, FlipFlop: 24400},
+	16: {LUT: 59100, LUTRAM: 384, FlipFlop: 48800},
+	32: {LUT: 111000, LUTRAM: 640, FlipFlop: 84000},
+}
+
+// calibratedWidths are the bit-widths with published numbers.
+var calibratedWidths = []int{8, 16, 32}
+
+// MACUnitResources returns the fabric cost of one MAC unit at
+// bit-width b. Calibrated points return the paper's exact Table 1
+// values; other widths interpolate (or extrapolate) linearly on b.
+func MACUnitResources(b int) (Resources, error) {
+	if b < 2 || b%2 != 0 {
+		return Resources{}, fmt.Errorf("fpga: bit-width %d must be an even integer ≥ 2", b)
+	}
+	if r, ok := macUnitTable[b]; ok {
+		return r, nil
+	}
+	// Pick the calibration segment bracketing b, or the nearest
+	// segment for extrapolation.
+	lo, hi := calibratedWidths[0], calibratedWidths[1]
+	if b > calibratedWidths[1] {
+		lo, hi = calibratedWidths[1], calibratedWidths[2]
+	}
+	rl, rh := macUnitTable[lo], macUnitTable[hi]
+	t := float64(b-lo) / float64(hi-lo)
+	lerp := func(a, b int) int {
+		v := math.Round(float64(a) + t*float64(b-a))
+		if v < 1 {
+			// Extrapolation below the calibrated range can hit zero;
+			// every real design consumes at least something.
+			v = 1
+		}
+		return int(v)
+	}
+	return Resources{
+		LUT:      lerp(rl.LUT, rh.LUT),
+		LUTRAM:   lerp(rl.LUTRAM, rh.LUTRAM),
+		FlipFlop: lerp(rl.FlipFlop, rh.FlipFlop),
+	}, nil
+}
+
+// Device describes an FPGA part.
+type Device struct {
+	// Name is the part name.
+	Name string
+	// Fabric is the total available resources.
+	Fabric Resources
+	// MaxClockMHz is the maximum clock the MAXelerator design closes
+	// timing at on this part.
+	MaxClockMHz float64
+}
+
+// VCU108 is the paper's evaluation platform: a Virtex UltraSCALE
+// VCU108 board with the XCVU095 part. Fabric numbers are the public
+// part figures; the 200 MHz clock is the paper's reported maximum.
+var VCU108 = Device{
+	Name: "Virtex UltraSCALE VCU108 (XCVU095)",
+	Fabric: Resources{
+		LUT:      537600,
+		LUTRAM:   76800,
+		FlipFlop: 1075200,
+	},
+	MaxClockMHz: 200,
+}
+
+// ClockPeriod returns the period of the device clock.
+func (d Device) ClockPeriod() time.Duration {
+	return time.Duration(float64(time.Second) / (d.MaxClockMHz * 1e6))
+}
+
+// CyclesToDuration converts a cycle count at the device clock.
+func (d Device) CyclesToDuration(cycles uint64) time.Duration {
+	return time.Duration(float64(cycles) * 1e9 / (d.MaxClockMHz * 1e6) * float64(time.Nanosecond))
+}
+
+// MaxMACUnits reports how many MAC units of bit-width b fit in the
+// fabric, limited by whichever resource is scarcest.
+func (d Device) MaxMACUnits(b int) (int, error) {
+	r, err := MACUnitResources(b)
+	if err != nil {
+		return 0, err
+	}
+	n := d.Fabric.LUT / r.LUT
+	if m := d.Fabric.LUTRAM / r.LUTRAM; m < n {
+		n = m
+	}
+	if m := d.Fabric.FlipFlop / r.FlipFlop; m < n {
+		n = m
+	}
+	return n, nil
+}
+
+// Utilization reports the fraction of the scarcest fabric resource
+// consumed by r.
+func (d Device) Utilization(r Resources) float64 {
+	u := float64(r.LUT) / float64(d.Fabric.LUT)
+	if v := float64(r.LUTRAM) / float64(d.Fabric.LUTRAM); v > u {
+		u = v
+	}
+	if v := float64(r.FlipFlop) / float64(d.Fabric.FlipFlop); v > u {
+		u = v
+	}
+	return u
+}
+
+// PCIeLink models the Xillybus host interconnect (§5, [27]) as a
+// bandwidth/latency pipe.
+type PCIeLink struct {
+	// BandwidthMBps is sustained throughput in MiB/s.
+	BandwidthMBps float64
+	// LatencyPerTransfer is the fixed per-DMA-transfer overhead.
+	LatencyPerTransfer time.Duration
+}
+
+// DefaultPCIe approximates the Xillybus Gen2 x4 core used by the
+// paper's platform.
+var DefaultPCIe = PCIeLink{BandwidthMBps: 800, LatencyPerTransfer: 10 * time.Microsecond}
+
+// TransferTime returns the modelled time to move n bytes to the host.
+func (l PCIeLink) TransferTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return l.LatencyPerTransfer + time.Duration(float64(n)/(l.BandwidthMBps*1024*1024)*float64(time.Second))
+}
+
+// SustainsThroughput reports whether the link can drain bytesPerSecond
+// of garbled-table traffic — the check behind the paper's closing
+// caveat that "after certain threshold, communication capability of
+// the server may become the bottleneck".
+func (l PCIeLink) SustainsThroughput(bytesPerSecond float64) bool {
+	return bytesPerSecond <= l.BandwidthMBps*1024*1024
+}

@@ -1,0 +1,151 @@
+package fpga
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMACUnitResourcesMatchTable1(t *testing.T) {
+	want := map[int]Resources{
+		8:  {LUT: 29500, LUTRAM: 128, FlipFlop: 24400},
+		16: {LUT: 59100, LUTRAM: 384, FlipFlop: 48800},
+		32: {LUT: 111000, LUTRAM: 640, FlipFlop: 84000},
+	}
+	for b, w := range want {
+		got, err := MACUnitResources(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("b=%d: %+v, want %+v", b, got, w)
+		}
+	}
+}
+
+func TestMACUnitResourcesLinearScaling(t *testing.T) {
+	// Table 1's stated property: resources grow (roughly linearly)
+	// with b — so they must be strictly monotone across widths.
+	prev := Resources{}
+	for _, b := range []int{4, 8, 12, 16, 24, 32, 48, 64} {
+		r, err := MACUnitResources(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LUT <= prev.LUT || r.FlipFlop <= prev.FlipFlop {
+			t.Fatalf("b=%d resources %+v not above previous %+v", b, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestMACUnitResourcesInterpolation(t *testing.T) {
+	r24, err := MACUnitResources(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Midpoint of the 16–32 segment.
+	if r24.LUT != (59100+111000)/2 {
+		t.Fatalf("b=24 LUT = %d", r24.LUT)
+	}
+	if r24.LUTRAM != (384+640)/2 {
+		t.Fatalf("b=24 LUTRAM = %d", r24.LUTRAM)
+	}
+}
+
+func TestMACUnitResourcesRejectsBadWidths(t *testing.T) {
+	for _, b := range []int{0, -8, 1, 7, 9} {
+		if _, err := MACUnitResources(b); err == nil {
+			t.Fatalf("width %d accepted", b)
+		}
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{LUT: 1, LUTRAM: 2, FlipFlop: 3}
+	b := Resources{LUT: 10, LUTRAM: 20, FlipFlop: 30}
+	if got := a.Add(b); got != (Resources{11, 22, 33}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := a.Scale(4); got != (Resources{4, 8, 12}) {
+		t.Fatalf("Scale = %+v", got)
+	}
+}
+
+func TestVCU108Clock(t *testing.T) {
+	if VCU108.MaxClockMHz != 200 {
+		t.Fatalf("VCU108 clock = %v MHz", VCU108.MaxClockMHz)
+	}
+	if got := VCU108.ClockPeriod(); got != 5*time.Nanosecond {
+		t.Fatalf("clock period = %v", got)
+	}
+	// Table 2: 24 cycles per MAC at b=8 is 0.12 µs at 200 MHz.
+	if got := VCU108.CyclesToDuration(24); got != 120*time.Nanosecond {
+		t.Fatalf("24 cycles = %v", got)
+	}
+}
+
+func TestMaxMACUnits(t *testing.T) {
+	n32, err := VCU108.MaxMACUnits(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 537600 LUT / 111000 LUT per unit = 4 full b=32 MAC units.
+	if n32 != 4 {
+		t.Fatalf("b=32 units = %d, want 4", n32)
+	}
+	n8, err := VCU108.MaxMACUnits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n8 <= n32 {
+		t.Fatalf("narrower MACs should fit more units: b=8 %d vs b=32 %d", n8, n32)
+	}
+	if _, err := VCU108.MaxMACUnits(3); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r, err := MACUnitResources(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := VCU108.Utilization(r)
+	if u <= 0 || u >= 1 {
+		t.Fatalf("one b=32 MAC unit utilisation = %v", u)
+	}
+	full := VCU108.Utilization(VCU108.Fabric)
+	if full != 1 {
+		t.Fatalf("full-fabric utilisation = %v", full)
+	}
+}
+
+func TestPCIeTransferTime(t *testing.T) {
+	l := PCIeLink{BandwidthMBps: 100, LatencyPerTransfer: time.Millisecond}
+	if got := l.TransferTime(0); got != 0 {
+		t.Fatalf("zero-byte transfer = %v", got)
+	}
+	// 100 MiB at 100 MiB/s = 1 s + 1 ms latency.
+	got := l.TransferTime(100 * 1024 * 1024)
+	want := time.Second + time.Millisecond
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("100 MiB transfer = %v, want ≈%v", got, want)
+	}
+}
+
+func TestPCIeSustainsThroughput(t *testing.T) {
+	if !DefaultPCIe.SustainsThroughput(1024 * 1024) {
+		t.Fatal("1 MiB/s not sustained")
+	}
+	if DefaultPCIe.SustainsThroughput(10e9) {
+		t.Fatal("10 GB/s claimed sustainable over PCIe model")
+	}
+}
+
+func TestCyclesToDurationScales(t *testing.T) {
+	d1 := VCU108.CyclesToDuration(1000)
+	d2 := VCU108.CyclesToDuration(2000)
+	if d2 != 2*d1 {
+		t.Fatalf("cycle durations not linear: %v vs %v", d1, d2)
+	}
+}

@@ -1,0 +1,180 @@
+package gc
+
+import (
+	"bytes"
+	"crypto/rand"
+	"reflect"
+	"testing"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/label"
+)
+
+func sampleMaterial(t *testing.T, seqState bool) *Material {
+	t.Helper()
+	var c *circuit.Circuit
+	if seqState {
+		c = circuit.MustMAC(circuit.MACConfig{Width: 4, AccWidth: 8})
+	} else {
+		b := circuit.NewBuilder()
+		x := b.GarblerInputs(3)
+		y := b.EvaluatorInputs(3)
+		b.Outputs(b.GEq(x, y), b.Equal(x, y))
+		c = b.MustBuild()
+	}
+	g, err := NewGarbler(DefaultParams(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := g.Garble(c, GarbleOptions{GarblerInputs: make([]bool, c.NGarbler), TweakBase: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &gb.Material
+}
+
+func TestMaterialCodecRoundTrip(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		m := sampleMaterial(t, seq)
+		enc, err := MarshalMaterial(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalMaterial(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("seq=%v: round trip mismatch", seq)
+		}
+	}
+}
+
+func TestMaterialCodecDeterministic(t *testing.T) {
+	m := sampleMaterial(t, false)
+	a, err := MarshalMaterial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalMaterial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestMaterialCodecRejectsTruncation(t *testing.T) {
+	m := sampleMaterial(t, true)
+	enc, err := MarshalMaterial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 5, len(enc) / 2, len(enc) - 1} {
+		if _, err := UnmarshalMaterial(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestMaterialCodecRejectsTrailingBytes(t *testing.T) {
+	m := sampleMaterial(t, false)
+	enc, err := MarshalMaterial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalMaterial(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestMaterialCodecRejectsBadVersion(t *testing.T) {
+	m := sampleMaterial(t, false)
+	enc, err := MarshalMaterial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[0] = 99
+	if _, err := UnmarshalMaterial(enc); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestMaterialCodecRejectsHugeCounts(t *testing.T) {
+	// A corrupt table count must not drive a huge allocation.
+	enc := []byte{codecVersion}
+	enc = append(enc, make([]byte, 8)...)             // tweak
+	enc = append(enc, 0xff, 0xff, 0xff, 0xff)         // table count = 2^32-1
+	if _, err := UnmarshalMaterial(enc); err == nil { // must reject
+		t.Fatal("huge table count accepted")
+	}
+}
+
+func TestMaterialCodecPreservesEvaluationResult(t *testing.T) {
+	// Full pipeline: garble, serialise, parse, evaluate.
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(8)
+	y := b.EvaluatorInputs(8)
+	b.OutputWord(b.Add(x, y))
+	c := b.MustBuild()
+	p := DefaultParams()
+	g, err := NewGarbler(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := g.Garble(c, GarbleOptions{GarblerInputs: circuit.Uint64ToBits(57, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := MarshalMaterial(&gb.Material)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := UnmarshalMaterial(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yBits := circuit.Uint64ToBits(66, 8)
+	active := make([]label.Label, 8)
+	for i := range active {
+		active[i] = gb.EvalPairs[i].Get(yBits[i])
+	}
+	res, err := Evaluate(p, c, m, active, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := circuit.BitsToUint64(res.Outputs); got != 57+66 {
+		t.Fatalf("decoded sum = %d", got)
+	}
+}
+
+func FuzzUnmarshalMaterial(f *testing.F) {
+	m := &Material{
+		Tables:        [][]label.Label{{label.MustRandom(), label.MustRandom()}},
+		GarblerActive: []label.Label{label.MustRandom()},
+		OutputPerm:    []bool{true, false, true},
+		TweakBase:     7,
+	}
+	seed, _ := MarshalMaterial(m)
+	f.Add(seed)
+	f.Add([]byte{codecVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalMaterial(data)
+		if err != nil {
+			return
+		}
+		enc, err := MarshalMaterial(m)
+		if err != nil {
+			t.Fatalf("accepted material failed to re-encode: %v", err)
+		}
+		back, err := UnmarshalMaterial(enc)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatal("re-encoding changed the material")
+		}
+	})
+}

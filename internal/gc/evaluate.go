@@ -1,0 +1,96 @@
+package gc
+
+import (
+	"fmt"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/label"
+)
+
+// EvalResult is the evaluator-side outcome of one garbled execution.
+type EvalResult struct {
+	// Outputs are the decoded plaintext output bits.
+	Outputs []bool
+	// OutputLabels are the active labels of the output wires, useful
+	// when only the garbler should learn the result.
+	OutputLabels []label.Label
+	// StateActive are the active labels of the state-output wires,
+	// carried into the next sequential round.
+	StateActive []label.Label
+}
+
+// Evaluate runs the evaluator side of the protocol over one circuit
+// (or one round of a sequential circuit). evalActive are the active
+// labels of the evaluator's input wires, obtained through oblivious
+// transfer; stateActive are the active state labels from the previous
+// round (nil for round 0, where the garbler set the state to 0 and the
+// evaluator receives the corresponding labels out of band — here, the
+// convention is that nil state means the garbler chose State0 = nil in
+// its GarbleOptions too, so the FALSE labels are the active ones and
+// must be provided by the garbler; see seqgc for the wiring).
+func Evaluate(params Params, c *circuit.Circuit, m *Material, evalActive, stateActive []label.Label) (*EvalResult, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if len(evalActive) != c.NEvaluator {
+		return nil, fmt.Errorf("gc: got %d evaluator labels, want %d", len(evalActive), c.NEvaluator)
+	}
+	if stateActive == nil && m.StateInActive != nil {
+		stateActive = m.StateInActive // round 0 of a sequential run
+	}
+	if len(stateActive) != c.NState {
+		return nil, fmt.Errorf("gc: got %d state labels, want %d", len(stateActive), c.NState)
+	}
+	if len(m.GarblerActive) != c.NGarbler {
+		return nil, fmt.Errorf("gc: material has %d garbler labels, want %d", len(m.GarblerActive), c.NGarbler)
+	}
+	if len(m.OutputPerm) != len(c.Outputs) {
+		return nil, fmt.Errorf("gc: material has %d output permute bits, want %d", len(m.OutputPerm), len(c.Outputs))
+	}
+
+	active := make([]label.Label, c.NWires)
+	active[circuit.Const0] = m.ConstActive[0]
+	active[circuit.Const1] = m.ConstActive[1]
+	copy(active[circuit.FirstInput:], m.GarblerActive)
+	copy(active[circuit.FirstInput+c.NGarbler:], evalActive)
+	copy(active[circuit.FirstInput+c.NGarbler+c.NEvaluator:], stateActive)
+
+	tweak := m.TweakBase
+	tableIdx := 0
+	for gi, gate := range c.Gates {
+		switch gate.Op {
+		case circuit.XOR:
+			active[gate.Out] = active[gate.A].Xor(active[gate.B])
+		case circuit.AND:
+			if tableIdx >= len(m.Tables) {
+				return nil, fmt.Errorf("gc: gate %d: ran out of garbled tables after %d", gi, tableIdx)
+			}
+			out, err := params.Scheme.EvalAND(params.Hash, active[gate.A], active[gate.B], m.Tables[tableIdx], tweak)
+			if err != nil {
+				return nil, fmt.Errorf("gc: gate %d: %w", gi, err)
+			}
+			active[gate.Out] = out
+			tableIdx++
+			tweak += params.Scheme.TweaksPerGate()
+		default:
+			return nil, fmt.Errorf("gc: unsupported op %v", gate.Op)
+		}
+	}
+	if tableIdx != len(m.Tables) {
+		return nil, fmt.Errorf("gc: %d garbled tables unused", len(m.Tables)-tableIdx)
+	}
+
+	res := &EvalResult{
+		Outputs:      make([]bool, len(c.Outputs)),
+		OutputLabels: make([]label.Label, len(c.Outputs)),
+		StateActive:  make([]label.Label, c.NState),
+	}
+	for i, ow := range c.Outputs {
+		res.OutputLabels[i] = active[ow]
+		res.Outputs[i] = active[ow].LSB() != m.OutputPerm[i]
+	}
+	for i, sw := range c.StateOuts {
+		res.StateActive[i] = active[sw]
+	}
+	return res, nil
+}

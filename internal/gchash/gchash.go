@@ -1,0 +1,125 @@
+// Package gchash implements the fixed-key block-cipher garbling hash of
+// Bellare, Hoang, Keelveedhi and Rogaway ("Efficient Garbling from a
+// Fixed-Key Blockcipher", IEEE S&P 2013), which MAXelerator instantiates
+// with a single-stage AES core on the FPGA.
+//
+// The hash is H(x, T) = π(K) ⊕ K with K = 2x ⊕ T, where π is AES-128
+// under a fixed public key and T is a per-gate unique tweak. The
+// Davies–Meyer-style feed-forward makes H non-invertible even though π
+// is a public permutation, and the GF(2^128) doubling of x breaks the
+// symmetry between hash inputs that share a tweak.
+//
+// The package also provides a SHA-256-based hash with the same
+// interface, used by the ablation benchmarks to quantify the cost of
+// the SHA-based garbling that the FPGA overlay baseline [Fang et al.]
+// pays for.
+package gchash
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"maxelerator/internal/label"
+)
+
+// Hasher computes the garbling hash H(x, T) for wire label x and gate
+// tweak T. Implementations must be deterministic and safe for
+// concurrent use after construction.
+type Hasher interface {
+	// Hash returns H(x, T).
+	Hash(x label.Label, tweak uint64) label.Label
+	// HashInto computes H(x, T) into dst without allocating.
+	HashInto(x *label.Label, tweak uint64, dst *label.Label)
+	// Name identifies the hash construction for reports.
+	Name() string
+}
+
+// fixedKey is the public fixed AES key. Any constant works; security
+// rests on the permutation being fixed and public, not secret. The
+// value spells out the construction for debuggability.
+var fixedKey = [16]byte{
+	0x4d, 0x41, 0x58, 0x65, 0x6c, 0x65, 0x72, 0x61, // "MAXelera"
+	0x74, 0x6f, 0x72, 0x2d, 0x47, 0x43, 0x48, 0x31, // "tor-GCH1"
+}
+
+// AES is the fixed-key AES-128 garbling hash.
+type AES struct {
+	block cipher.Block
+}
+
+// NewAES constructs the fixed-key AES hasher.
+func NewAES() (*AES, error) {
+	b, err := aes.NewCipher(fixedKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("gchash: initialising fixed-key AES: %w", err)
+	}
+	return &AES{block: b}, nil
+}
+
+// MustAES constructs the fixed-key AES hasher and panics on failure,
+// which cannot happen for a well-formed 16-byte key.
+func MustAES() *AES {
+	h, err := NewAES()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Name implements Hasher.
+func (h *AES) Name() string { return "fixed-key-aes" }
+
+// Hash implements Hasher.
+func (h *AES) Hash(x label.Label, tweak uint64) label.Label {
+	var out label.Label
+	h.HashInto(&x, tweak, &out)
+	return out
+}
+
+// HashInto implements Hasher.
+func (h *AES) HashInto(x *label.Label, tweak uint64, dst *label.Label) {
+	k := x.Double()
+	// Fold the tweak into the low 8 bytes of K (little endian), leaving
+	// the high bytes to the doubled label.
+	t := binary.LittleEndian.Uint64(k[0:8]) ^ tweak
+	binary.LittleEndian.PutUint64(k[0:8], t)
+	var ct label.Label
+	h.block.Encrypt(ct[:], k[:])
+	ct.XorInto(&k, dst)
+}
+
+// SHA256 is a hash with the same interface built from SHA-256. It
+// models the SHA-based garbling cost of the overlay baseline and
+// exists only for the ablation benchmarks; the accelerator itself uses
+// fixed-key AES.
+type SHA256 struct{}
+
+// NewSHA256 constructs the SHA-256 garbling hash.
+func NewSHA256() *SHA256 { return &SHA256{} }
+
+// Name implements Hasher.
+func (*SHA256) Name() string { return "sha256" }
+
+// Hash implements Hasher.
+func (s *SHA256) Hash(x label.Label, tweak uint64) label.Label {
+	var out label.Label
+	s.HashInto(&x, tweak, &out)
+	return out
+}
+
+// HashInto implements Hasher.
+func (*SHA256) HashInto(x *label.Label, tweak uint64, dst *label.Label) {
+	var buf [label.Size + 8]byte
+	copy(buf[:label.Size], x[:])
+	binary.LittleEndian.PutUint64(buf[label.Size:], tweak)
+	sum := sha256.Sum256(buf[:])
+	copy(dst[:], sum[:label.Size])
+}
+
+var (
+	_ Hasher = (*AES)(nil)
+	_ Hasher = (*SHA256)(nil)
+)

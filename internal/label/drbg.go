@@ -1,0 +1,56 @@
+package label
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// DRBG is a fast deterministic random bit generator: AES-128 in
+// counter mode keyed from a seed. Garbling draws two fresh labels per
+// input wire per round; reading each from the operating system is
+// syscall-bound, so production garblers (TinyGarble included) expand a
+// crypto-strength seed instead. The DRBG is not safe for concurrent
+// use.
+type DRBG struct {
+	stream cipher.Stream
+}
+
+// NewDRBG builds a DRBG from a 16-byte seed.
+func NewDRBG(seed [16]byte) (*DRBG, error) {
+	blk, err := aes.NewCipher(seed[:])
+	if err != nil {
+		return nil, fmt.Errorf("label: keying DRBG: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	return &DRBG{stream: cipher.NewCTR(blk, iv[:])}, nil
+}
+
+// NewSystemDRBG seeds a DRBG from crypto/rand.
+func NewSystemDRBG() (*DRBG, error) {
+	var seed [16]byte
+	if _, err := io.ReadFull(rand.Reader, seed[:]); err != nil {
+		return nil, fmt.Errorf("label: seeding DRBG: %w", err)
+	}
+	return NewDRBG(seed)
+}
+
+// MustSystemDRBG seeds a DRBG from crypto/rand and panics on failure.
+func MustSystemDRBG() *DRBG {
+	d, err := NewSystemDRBG()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Read implements io.Reader with the AES-CTR keystream.
+func (d *DRBG) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	d.stream.XORKeyStream(p, p)
+	return len(p), nil
+}

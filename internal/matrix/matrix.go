@@ -1,0 +1,187 @@
+// Package matrix provides the dense matrix substrate of the
+// matrix-based ML workloads (§2.1): plaintext reference arithmetic for
+// float64 and raw fixed-point matrices, the gradient-descent iteration
+// of Eq. 2, and shape utilities shared by the secure drivers.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	// Rows and Cols are the matrix dimensions.
+	Rows, Cols int
+	// Data is the row-major backing slice, length Rows·Cols.
+	Data []float64
+}
+
+// NewDense allocates a zero matrix.
+func NewDense(rows, cols int) (*Dense, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %d×%d", rows, cols)
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil
+}
+
+// MustDense allocates a zero matrix and panics on a bad shape.
+func MustDense(rows, cols int) *Dense {
+	m, err := NewDense(rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices of equal length.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("matrix: empty row set")
+	}
+	m, err := NewDense(len(rows), len(rows[0]))
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("matrix: row %d has %d columns, want %d", i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m, nil
+}
+
+// Random fills a matrix with uniform values in [-scale, scale].
+func Random(rows, cols int, scale float64, rng *rand.Rand) (*Dense, error) {
+	m, err := NewDense(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * scale
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := MustDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// MatVec computes m·x.
+func (m *Dense) MatVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("matrix: vector length %d != %d columns", len(x), m.Cols)
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// Mul computes m·o.
+func (m *Dense) Mul(o *Dense) (*Dense, error) {
+	if m.Cols != o.Rows {
+		return nil, fmt.Errorf("matrix: %d×%d · %d×%d shape mismatch", m.Rows, m.Cols, o.Rows, o.Cols)
+	}
+	out := MustDense(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * o.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dot computes the inner product of two equal-length vectors.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("matrix: dot of lengths %d and %d", len(a), len(b))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// QuadraticForm computes w·M·wᵀ — the portfolio risk kernel of §6.
+func QuadraticForm(w []float64, m *Dense) (float64, error) {
+	if m.Rows != m.Cols {
+		return 0, fmt.Errorf("matrix: quadratic form needs a square matrix, got %d×%d", m.Rows, m.Cols)
+	}
+	mv, err := m.MatVec(w)
+	if err != nil {
+		return 0, err
+	}
+	return Dot(w, mv)
+}
+
+// GradientStep performs one iteration of Eq. 2 of the paper:
+// x ← x − µ(AᵀA·x − Aᵀy). It returns the updated vector.
+func GradientStep(a *Dense, x, y []float64, mu float64) ([]float64, error) {
+	if len(y) != a.Rows {
+		return nil, fmt.Errorf("matrix: observation length %d != %d rows", len(y), a.Rows)
+	}
+	ax, err := a.MatVec(x)
+	if err != nil {
+		return nil, err
+	}
+	resid := make([]float64, a.Rows)
+	for i := range resid {
+		resid[i] = ax[i] - y[i]
+	}
+	at := a.T()
+	grad, err := at.MatVec(resid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = x[i] - mu*grad[i]
+	}
+	return out, nil
+}
+
+// MaxAbsDiff returns the ∞-norm distance between two vectors.
+func MaxAbsDiff(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("matrix: comparing lengths %d and %d", len(a), len(b))
+	}
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d, nil
+}

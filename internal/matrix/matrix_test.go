@@ -1,0 +1,210 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDenseValidation(t *testing.T) {
+	for _, shape := range [][2]int{{0, 1}, {1, 0}, {-1, 3}} {
+		if _, err := NewDense(shape[0], shape[1]); err == nil {
+			t.Fatalf("shape %v accepted", shape)
+		}
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("At wrong")
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Fatal("Set wrong")
+	}
+	if got := m.Row(0); got[0] != 1 || got[1] != 2 {
+		t.Fatal("Row wrong")
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty rows accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %d×%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatal("transpose values wrong")
+			}
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y, err := m.MatVec([]float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MatVec = %v", y)
+		}
+	}
+	if _, err := m.MatVec([]float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestMulMatchesManual(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(MustDense(3, 3)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestMulAssociatesWithMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, _ := Random(4, 6, 1, rng)
+	b, _ := Random(6, 1, 1, rng)
+	ab, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = b.At(i, 0)
+	}
+	mv, err := a.MatVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mv {
+		if math.Abs(mv[i]-ab.At(i, 0)) > 1e-12 {
+			t.Fatalf("MatVec and Mul disagree at %d", i)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestQuadraticForm(t *testing.T) {
+	cov, _ := FromRows([][]float64{{2, 0.5}, {0.5, 1}})
+	w := []float64{0.6, 0.4}
+	got, err := QuadraticForm(w, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.6*0.6*2 + 2*0.6*0.4*0.5 + 0.4*0.4*1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("QuadraticForm = %v, want %v", got, want)
+	}
+	if _, err := QuadraticForm(w, MustDense(2, 3)); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func TestGradientStepConverges(t *testing.T) {
+	// Eq. 2 on a tiny well-conditioned least-squares problem must
+	// reduce the residual toward the known solution.
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	trueX := []float64{2, -1}
+	y, _ := a.MatVec(trueX)
+	x := []float64{0, 0}
+	var err error
+	for i := 0; i < 200; i++ {
+		x, err = GradientStep(a, x, y, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := MaxAbsDiff(x, trueX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-6 {
+		t.Fatalf("gradient descent residual %v after 200 iters", d)
+	}
+}
+
+func TestGradientStepValidation(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}})
+	if _, err := GradientStep(a, []float64{1, 2}, []float64{1, 2}, 0.1); err == nil {
+		t.Fatal("bad observation length accepted")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	d, err := MaxAbsDiff([]float64{1, 5}, []float64{1.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if _, err := MaxAbsDiff([]float64{1}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRandomBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := Random(10, 10, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Data {
+		if v < -3 || v > 3 {
+			t.Fatalf("random value %v outside scale", v)
+		}
+	}
+	if _, err := Random(0, 1, 1, rng); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}
+
+func TestMustDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDense(0,0) did not panic")
+		}
+	}()
+	MustDense(0, 0)
+}

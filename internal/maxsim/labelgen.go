@@ -1,0 +1,112 @@
+package maxsim
+
+import (
+	"fmt"
+
+	"maxelerator/internal/label"
+	"maxelerator/internal/rng"
+)
+
+// LabelGenerator models the §5.2 label generator: an array of
+// k·(b/2) ring-oscillator RNGs sized for the worst-case demand of one
+// fresh k-bit label per segment-1 core per cycle, with the FSM gating
+// oscillators off when the actual demand is lower ("The FSM ... fully
+// or partially turns off the operation of the RNGs to conserve
+// energy").
+//
+// The generator draws real bits from the simulated Wold–Tan array of
+// package rng, so its output stream is subject to the same statistical
+// battery as the hardware's. It is a hardware model: protocol-grade
+// label entropy elsewhere comes from crypto/rand.
+type LabelGenerator struct {
+	width int
+	array *rng.RORNG
+
+	// bitsDrawn counts entropy actually consumed.
+	bitsDrawn uint64
+	// cycles counts elapsed accelerator cycles accounted so far.
+	cycles uint64
+}
+
+// NewLabelGenerator builds the generator for bit-width b, seeding the
+// oscillator jitter model deterministically from the seed.
+func NewLabelGenerator(width int, seed int64) (*LabelGenerator, error) {
+	if width < 4 || width%2 != 0 {
+		return nil, fmt.Errorf("maxsim: label generator width %d must be an even integer ≥ 4", width)
+	}
+	array, err := rng.New(rng.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &LabelGenerator{width: width, array: array}, nil
+}
+
+// CapacityBitsPerCycle is the provisioned worst case: k·(b/2) bits per
+// clock cycle.
+func (g *LabelGenerator) CapacityBitsPerCycle() uint64 {
+	return uint64(label.Bits) * uint64(g.width) / 2
+}
+
+// DrawLabel draws one fresh wire label from the oscillator array.
+func (g *LabelGenerator) DrawLabel() (label.Label, error) {
+	l, err := label.Random(g.array)
+	if err != nil {
+		return label.Zero, err
+	}
+	g.bitsDrawn += label.Bits
+	return l, nil
+}
+
+// DrawLabels draws n fresh labels.
+func (g *LabelGenerator) DrawLabels(n int) ([]label.Label, error) {
+	out := make([]label.Label, n)
+	for i := range out {
+		l, err := g.DrawLabel()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = l
+	}
+	return out, nil
+}
+
+// AccountCycles records that the accelerator advanced by the given
+// clock cycles; subsequent gating statistics relate entropy drawn to
+// capacity over these cycles.
+func (g *LabelGenerator) AccountCycles(cycles uint64) { g.cycles += cycles }
+
+// Stats summarises the generator's activity.
+type LabelGenStats struct {
+	// BitsDrawn is the entropy consumed.
+	BitsDrawn uint64
+	// CapacityBits is what the full array could have produced over the
+	// accounted cycles.
+	CapacityBits uint64
+	// GatedFraction is the fraction of RNG capacity the FSM switched
+	// off: 1 − drawn/capacity.
+	GatedFraction float64
+	// ActiveRNGsAverage is the average number of k-bit RNG lanes that
+	// had to run per cycle (out of b/2).
+	ActiveRNGsAverage float64
+}
+
+// Stats computes the gating statistics over the accounted cycles.
+func (g *LabelGenerator) Stats() LabelGenStats {
+	st := LabelGenStats{BitsDrawn: g.bitsDrawn}
+	st.CapacityBits = g.CapacityBitsPerCycle() * g.cycles
+	if st.CapacityBits > 0 {
+		used := float64(g.bitsDrawn) / float64(st.CapacityBits)
+		if used > 1 {
+			used = 1
+		}
+		st.GatedFraction = 1 - used
+		st.ActiveRNGsAverage = used * float64(g.width) / 2
+	}
+	return st
+}
+
+// SelfTest runs the statistical battery over a fresh stream from the
+// oscillator array, as the paper did for its hardware RNG.
+func (g *LabelGenerator) SelfTest(bits int) []rng.TestResult {
+	return rng.Battery(g.array.Bits(bits))
+}

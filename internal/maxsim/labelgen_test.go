@@ -1,0 +1,108 @@
+package maxsim
+
+import (
+	"testing"
+
+	"maxelerator/internal/label"
+)
+
+func TestLabelGeneratorValidation(t *testing.T) {
+	for _, w := range []int{0, 2, 3, 7} {
+		if _, err := NewLabelGenerator(w, 1); err == nil {
+			t.Fatalf("width %d accepted", w)
+		}
+	}
+}
+
+func TestLabelGeneratorCapacity(t *testing.T) {
+	g, err := NewLabelGenerator(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.2 worst case: k·(b/2) = 128·16 bits per cycle.
+	if got := g.CapacityBitsPerCycle(); got != 128*16 {
+		t.Fatalf("capacity = %d bits/cycle", got)
+	}
+}
+
+func TestDrawLabelsDistinctAndCounted(t *testing.T) {
+	g, err := NewLabelGenerator(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := g.DrawLabels(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[label.Label]bool)
+	for _, l := range ls {
+		if seen[l] {
+			t.Fatal("duplicate label from oscillator array")
+		}
+		seen[l] = true
+	}
+	if st := g.Stats(); st.BitsDrawn != 64*label.Bits {
+		t.Fatalf("bits drawn = %d", st.BitsDrawn)
+	}
+}
+
+func TestGatingStatistics(t *testing.T) {
+	g, err := NewLabelGenerator(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draw 10 labels over 100 cycles: demand far below the 4-lane
+	// worst case, so most capacity is gated off.
+	if _, err := g.DrawLabels(10); err != nil {
+		t.Fatal(err)
+	}
+	g.AccountCycles(100)
+	st := g.Stats()
+	if st.CapacityBits != 128*4*100 {
+		t.Fatalf("capacity bits = %d", st.CapacityBits)
+	}
+	if st.GatedFraction <= 0.9 || st.GatedFraction >= 1 {
+		t.Fatalf("gated fraction = %v, want most capacity gated", st.GatedFraction)
+	}
+	if st.ActiveRNGsAverage <= 0 || st.ActiveRNGsAverage >= 4 {
+		t.Fatalf("active lanes = %v", st.ActiveRNGsAverage)
+	}
+}
+
+func TestGatingSaturatesAtFullDemand(t *testing.T) {
+	g, err := NewLabelGenerator(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draw more than capacity for 1 cycle: gating clamps at 0.
+	if _, err := g.DrawLabels(8); err != nil {
+		t.Fatal(err)
+	}
+	g.AccountCycles(1)
+	if st := g.Stats(); st.GatedFraction != 0 {
+		t.Fatalf("over-demand gated fraction = %v, want 0", st.GatedFraction)
+	}
+}
+
+func TestZeroCyclesSafe(t *testing.T) {
+	g, err := NewLabelGenerator(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.GatedFraction != 0 || st.CapacityBits != 0 {
+		t.Fatalf("zero-cycle stats = %+v", st)
+	}
+}
+
+func TestLabelGeneratorSelfTest(t *testing.T) {
+	g, err := NewLabelGenerator(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range g.SelfTest(20000) {
+		if !res.Pass {
+			t.Errorf("label generator failed %s: p=%v", res.Name, res.PValue)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package maxsim is the cycle-accurate MAXelerator simulator: the
+// stand-in for the paper's Virtex UltraSCALE implementation (§5).
+//
+// The simulator has two coupled layers:
+//
+//   - Timing. Clock-cycle accounting follows the FSM schedule of
+//     package sched exactly — 3 cycles per stage, b stages per MAC in
+//     steady state, b + log₂(b) + 2 stages of pipeline-fill latency,
+//     ≤ 2 idle core-slots per stage — at the device clock of the
+//     modelled FPGA, with the PCIe model draining garbled tables.
+//   - Function. Every MAC round is *actually garbled* with the half-
+//     gate engine of package gc over the MAC netlist of package
+//     circuit, so the simulator's output is a stream of genuine
+//     garbled tables that a real evaluator can evaluate. This is what
+//     lets the test suite prove the accelerator's protocol output
+//     correct end to end, not just fast on paper.
+//
+// The two layers are reconciled in Stats: TablesScheduled counts the
+// FSM's slot grid (the paper's bit-serial datapath re-garbles its
+// serial adder cells every stage), TablesGarbled counts the functional
+// netlist's AND gates. Timing always follows the schedule, which is
+// the paper's authoritative cost model.
+package maxsim
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"time"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/fpga"
+	"maxelerator/internal/gc"
+	"maxelerator/internal/label"
+	"maxelerator/internal/sched"
+)
+
+// Config parameterises one simulated accelerator.
+type Config struct {
+	// Width is the operand bit-width b (power of two ≥ 4).
+	Width int
+	// AccWidth is the accumulator width; defaults to 2·Width.
+	AccWidth int
+	// Signed selects the signed datapath (§4.3). The schedule always
+	// provisions the sign slots, as the paper's does.
+	Signed bool
+	// MACUnits is the number of parallel MAC units instantiated on the
+	// fabric. Defaults to 1. Each unit contains sched cores(b) GC
+	// cores.
+	MACUnits int
+	// Device is the modelled FPGA; defaults to the paper's VCU108.
+	Device fpga.Device
+	// PCIe is the host link model; defaults to fpga.DefaultPCIe.
+	PCIe fpga.PCIeLink
+	// Params is the garbling configuration; defaults to
+	// gc.DefaultParams (half gates over fixed-key AES).
+	Params gc.Params
+	// Rand supplies label entropy; defaults to crypto/rand. The
+	// hardware's ring-oscillator label generator is modelled separately
+	// by LabelGenerator.
+	Rand io.Reader
+}
+
+func (c Config) withDefaults() Config {
+	if c.AccWidth == 0 {
+		c.AccWidth = 2 * c.Width
+	}
+	if c.MACUnits == 0 {
+		c.MACUnits = 1
+	}
+	if c.Device.Name == "" {
+		c.Device = fpga.VCU108
+	}
+	if c.PCIe == (fpga.PCIeLink{}) {
+		c.PCIe = fpga.DefaultPCIe
+	}
+	if c.Params.Hash == nil && c.Params.Scheme == nil {
+		c.Params = gc.DefaultParams()
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Reader
+	}
+	return c
+}
+
+// Simulator is a configured MAXelerator instance.
+type Simulator struct {
+	cfg      Config
+	schedule *sched.Schedule
+	macCkt   *circuit.Circuit
+	garbler  *gc.Garbler
+}
+
+// New builds a simulator. It validates that the configured MAC units
+// fit the modelled device.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	s, err := sched.Build(cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MACUnits < 1 {
+		return nil, fmt.Errorf("maxsim: MAC unit count %d must be positive", cfg.MACUnits)
+	}
+	maxUnits, err := cfg.Device.MaxMACUnits(cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MACUnits > maxUnits {
+		return nil, fmt.Errorf("maxsim: %d MAC units of width %d exceed %s capacity of %d",
+			cfg.MACUnits, cfg.Width, cfg.Device.Name, maxUnits)
+	}
+	ckt, err := circuit.MAC(circuit.MACConfig{Width: cfg.Width, AccWidth: cfg.AccWidth, Signed: cfg.Signed})
+	if err != nil {
+		return nil, err
+	}
+	g, err := gc.NewGarbler(cfg.Params, cfg.Rand)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, schedule: s, macCkt: ckt, garbler: g}, nil
+}
+
+// Schedule exposes the FSM schedule driving the timing model.
+func (s *Simulator) Schedule() *sched.Schedule { return s.schedule }
+
+// Circuit exposes the sequential MAC netlist being garbled.
+func (s *Simulator) Circuit() *circuit.Circuit { return s.macCkt }
+
+// Config returns the resolved configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Resources returns the modelled fabric cost of the instantiated MAC
+// units.
+func (s *Simulator) Resources() (fpga.Resources, error) {
+	r, err := fpga.MACUnitResources(s.cfg.Width)
+	if err != nil {
+		return fpga.Resources{}, err
+	}
+	return r.Scale(s.cfg.MACUnits), nil
+}
+
+// Stats aggregates the hardware-model accounting of a run.
+type Stats struct {
+	// MACs is the number of MAC rounds garbled.
+	MACs uint64
+	// Cycles is the modelled clock-cycle count on the critical MAC
+	// unit, including pipeline fill.
+	Cycles uint64
+	// Stages is Cycles / 3.
+	Stages uint64
+	// TablesScheduled is the garbled-table count implied by the FSM
+	// slot grid (the paper's datapath cost).
+	TablesScheduled uint64
+	// TablesGarbled is the number of tables the functional netlist
+	// produced.
+	TablesGarbled uint64
+	// TableBytes is the functional garbled-table volume.
+	TableBytes uint64
+	// IdleSlots is the total idle core-slots over the run.
+	IdleSlots uint64
+	// CoreUtilization is 1 − idle fraction of the steady-state grid.
+	CoreUtilization float64
+	// RNGBitsDrawn is the label entropy consumed, in bits.
+	RNGBitsDrawn uint64
+	// ModeledTime is Cycles at the device clock.
+	ModeledTime time.Duration
+	// PCIeTime is the modelled host-transfer time for TableBytes.
+	PCIeTime time.Duration
+}
+
+// ThroughputMACsPerSec is the steady-state modelled throughput of the
+// whole accelerator (all MAC units).
+func (s *Simulator) ThroughputMACsPerSec() float64 {
+	perUnit := s.cfg.Device.MaxClockMHz * 1e6 / float64(s.schedule.CyclesPerMAC())
+	return perUnit * float64(s.cfg.MACUnits)
+}
+
+// ThroughputPerCoreMACsPerSec is Table 2's "Throughput per core"
+// metric: accelerator throughput divided by total GC cores.
+func (s *Simulator) ThroughputPerCoreMACsPerSec() float64 {
+	return s.ThroughputMACsPerSec() / float64(s.schedule.NumCores()*s.cfg.MACUnits)
+}
+
+// TimePerMAC is Table 2's "Time per MAC" row for one MAC unit.
+func (s *Simulator) TimePerMAC() time.Duration {
+	return s.cfg.Device.CyclesToDuration(uint64(s.schedule.CyclesPerMAC()))
+}
+
+// DotProductRun is the garbler-side result of streaming one dot
+// product (M sequential MAC rounds) through the accelerator.
+type DotProductRun struct {
+	// Rounds holds the per-round garbled material, in order.
+	Rounds []*gc.Garbled
+	// OutputPairs are the final-round accumulator output label pairs.
+	OutputPairs []label.Pair
+	// Stats is the hardware-model accounting.
+	Stats Stats
+}
+
+// GarbleDotProduct garbles the M-round sequential MAC for the
+// garbler-held vector x, producing evaluable material for a client
+// vector of the same length. Timing is accounted on one MAC unit (a
+// single dot product cannot be split across units — rounds are
+// sequentially dependent through the accumulator).
+func (s *Simulator) GarbleDotProduct(x []int64) (*DotProductRun, error) {
+	m := len(x)
+	if m == 0 {
+		return nil, fmt.Errorf("maxsim: empty vector")
+	}
+	run := &DotProductRun{Rounds: make([]*gc.Garbled, 0, m)}
+	var state0 []label.Label
+	var tweak uint64
+	for round, xi := range x {
+		if err := checkRange(xi, s.cfg.Width, s.cfg.Signed); err != nil {
+			return nil, fmt.Errorf("maxsim: round %d: %w", round, err)
+		}
+		gb, err := s.garbler.Garble(s.macCkt, gc.GarbleOptions{
+			GarblerInputs: circuit.Int64ToBits(xi, s.cfg.Width),
+			State0:        state0,
+			TweakBase:     tweak,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("maxsim: garbling round %d: %w", round, err)
+		}
+		run.Rounds = append(run.Rounds, gb)
+		state0 = gb.StateOut0
+		tweak = gb.NextTweak
+		run.Stats.TablesGarbled += uint64(len(gb.Material.Tables))
+		run.Stats.TableBytes += uint64(gb.Material.CiphertextBytes())
+	}
+	run.OutputPairs = run.Rounds[m-1].OutputPairs
+	s.fillStats(&run.Stats, uint64(m))
+	return run, nil
+}
+
+func (s *Simulator) fillStats(st *Stats, macs uint64) {
+	st.MACs = macs
+	st.Cycles = s.schedule.TotalCycles(int(macs))
+	st.Stages = st.Cycles / sched.CyclesPerStage
+	st.TablesScheduled = uint64(s.schedule.TablesPerStage()) * st.Stages
+	st.IdleSlots = uint64(s.schedule.IdleSlotsPerStage()) * st.Stages
+	slots := uint64(s.schedule.NumCores()*sched.CyclesPerStage) * st.Stages
+	if slots > 0 {
+		st.CoreUtilization = 1 - float64(st.IdleSlots)/float64(slots)
+	}
+	// Label entropy: one fresh k-bit label per input wire per round
+	// plus the free-XOR offset once. The §5.2 worst case is
+	// k·(b/2) bits per cycle; the average demand here is far lower,
+	// which is why the FSM gates the RNGs off.
+	inputWires := uint64(s.macCkt.NGarbler + s.macCkt.NEvaluator)
+	st.RNGBitsDrawn = (inputWires*macs + uint64(s.macCkt.NState)) * label.Bits
+	st.ModeledTime = s.cfg.Device.CyclesToDuration(st.Cycles)
+	st.PCIeTime = s.cfg.PCIe.TransferTime(int(st.TableBytes))
+}
+
+// MatMulStats models garbling an (n×m)·(m×p) matrix product: n·p
+// output elements of m MAC rounds each, distributed over the
+// configured MAC units. §4.3: 1 product per 3·M·N·P·b cycles on one
+// unit.
+func (s *Simulator) MatMulStats(n, m, p int) (Stats, error) {
+	if n <= 0 || m <= 0 || p <= 0 {
+		return Stats{}, fmt.Errorf("maxsim: invalid matrix shape %d×%d · %d×%d", n, m, m, p)
+	}
+	elements := uint64(n) * uint64(p)
+	units := uint64(s.cfg.MACUnits)
+	perUnit := (elements + units - 1) / units
+	var st Stats
+	st.MACs = elements * uint64(m)
+	// The critical unit garbles perUnit elements back to back; the
+	// pipeline refills between elements (accumulator reset).
+	cyclesPerElement := s.schedule.TotalCycles(m)
+	st.Cycles = perUnit * cyclesPerElement
+	st.Stages = st.Cycles / sched.CyclesPerStage
+	st.TablesScheduled = uint64(s.schedule.TablesPerStage()) * st.Stages * units
+	st.IdleSlots = uint64(s.schedule.IdleSlotsPerStage()) * st.Stages * units
+	macANDs := uint64(s.macCkt.Stats().ANDs)
+	st.TablesGarbled = macANDs * st.MACs
+	st.TableBytes = st.TablesGarbled * uint64(s.cfg.Params.Scheme.TableSize()) * label.Size
+	st.CoreUtilization = 1 - float64(s.schedule.IdleSlotsPerStage())/float64(s.schedule.NumCores()*sched.CyclesPerStage)
+	inputWires := uint64(s.macCkt.NGarbler + s.macCkt.NEvaluator)
+	st.RNGBitsDrawn = inputWires * st.MACs * label.Bits
+	st.ModeledTime = s.cfg.Device.CyclesToDuration(st.Cycles)
+	st.PCIeTime = s.cfg.PCIe.TransferTime(int(st.TableBytes))
+	return st, nil
+}
+
+func checkRange(v int64, width int, signed bool) error {
+	if signed {
+		lo, hi := -(int64(1) << (width - 1)), int64(1)<<(width-1)-1
+		if v < lo || v > hi {
+			return fmt.Errorf("value %d outside signed %d-bit range [%d, %d]", v, width, lo, hi)
+		}
+		return nil
+	}
+	if v < 0 || v >= int64(1)<<width {
+		return fmt.Errorf("value %d outside unsigned %d-bit range", v, width)
+	}
+	return nil
+}
+
+// EvaluateDotProduct runs the evaluator side over a DotProductRun for
+// the client vector a, chaining state labels across rounds, and
+// returns the decoded accumulator. It stands in for the full network
+// protocol in tests and single-process examples; package protocol
+// performs the same steps over a wire.Conn with real OT.
+func EvaluateDotProduct(params gc.Params, ckt *circuit.Circuit, run *DotProductRun, a []int64, width int, signed bool) (int64, error) {
+	if len(a) != len(run.Rounds) {
+		return 0, fmt.Errorf("maxsim: vector length %d != garbled rounds %d", len(a), len(run.Rounds))
+	}
+	var stateAct []label.Label
+	var out *gc.EvalResult
+	for round, ai := range a {
+		if err := checkRange(ai, width, signed); err != nil {
+			return 0, fmt.Errorf("maxsim: round %d: %w", round, err)
+		}
+		gb := run.Rounds[round]
+		aBits := circuit.Int64ToBits(ai, width)
+		evalActive := make([]label.Label, len(aBits))
+		for i, v := range aBits {
+			evalActive[i] = gb.EvalPairs[i].Get(v) // in-process label pickup
+		}
+		res, err := gc.Evaluate(params, ckt, &gb.Material, evalActive, stateAct)
+		if err != nil {
+			return 0, fmt.Errorf("maxsim: evaluating round %d: %w", round, err)
+		}
+		stateAct = res.StateActive
+		out = res
+	}
+	if signed {
+		return circuit.BitsToInt64(out.Outputs), nil
+	}
+	return int64(circuit.BitsToUint64(out.Outputs)), nil
+}

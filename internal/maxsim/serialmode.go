@@ -1,0 +1,145 @@
+package maxsim
+
+import (
+	"fmt"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/gc"
+	"maxelerator/internal/label"
+	"maxelerator/internal/seqgc"
+	"maxelerator/internal/serial"
+)
+
+// Serial mode: instead of garbling the parallel MAC netlist once per
+// round, garble the bit-serial Fig. 2 datapath once per *stage* — the
+// highest-fidelity software rendition of the FSM-driven hardware,
+// where table production really happens stage by stage and state
+// (carries, delay lines, accumulator) lives in wire labels between
+// stages.
+
+// SerialRun is the garbler-side result of a serial-mode dot product.
+type SerialRun struct {
+	// Layout describes the compiled datapath.
+	Layout serial.Layout
+	// Stages holds the per-stage garbled material in execution order
+	// (len(x) rounds × Layout.StagesPerMAC stages).
+	Stages []*gc.Garbled
+	// Stats is the hardware-model accounting. Cycles follow the
+	// functional datapath (3 cycles per garbled stage), which for the
+	// full-precision serial unit is 2b+2 stages per MAC — see
+	// EXPERIMENTS.md for how this relates to the paper's b-stage
+	// throughput claim.
+	Stats Stats
+	// Signed records which datapath variant the run used.
+	Signed bool
+}
+
+// GarbleDotProductSerial garbles ⟨x, ·⟩ through the bit-serial
+// datapath: the unsigned dataflow of serial.MAC, or — when the
+// simulator is configured Signed — the Baugh–Wooley signed variant of
+// serial.MACSigned, whose stage flags the garbler derives from the
+// public stage counter.
+func (s *Simulator) GarbleDotProductSerial(x []int64) (*SerialRun, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("maxsim: empty vector")
+	}
+	var ckt *circuit.Circuit
+	var layout serial.Layout
+	var err error
+	if s.cfg.Signed {
+		ckt, layout, err = serial.MACSigned(s.cfg.Width)
+	} else {
+		ckt, layout, err = serial.MAC(s.cfg.Width)
+	}
+	if err != nil {
+		return nil, err
+	}
+	gs, err := seqgc.NewGarblerSession(s.cfg.Params, s.cfg.Rand, ckt)
+	if err != nil {
+		return nil, err
+	}
+	run := &SerialRun{Layout: layout, Signed: s.cfg.Signed}
+	for round, xi := range x {
+		if err := checkRange(xi, s.cfg.Width, s.cfg.Signed); err != nil {
+			return nil, fmt.Errorf("maxsim: round %d: %w", round, err)
+		}
+		xBits := circuit.Int64ToBits(xi, s.cfg.Width)
+		for stage := 0; stage < layout.StagesPerMAC; stage++ {
+			g := xBits
+			if s.cfg.Signed {
+				isLast, vj, corr, notFirst := layout.SignedStageInputs(stage)
+				g = append(append([]bool{}, xBits...), isLast, vj, corr, notFirst)
+			}
+			gb, err := gs.NextRound(g)
+			if err != nil {
+				return nil, fmt.Errorf("maxsim: round %d stage %d: %w", round, stage, err)
+			}
+			run.Stages = append(run.Stages, gb)
+			run.Stats.TablesGarbled += uint64(len(gb.Material.Tables))
+			run.Stats.TableBytes += uint64(gb.Material.CiphertextBytes())
+		}
+	}
+	run.Stats.MACs = uint64(len(x))
+	run.Stats.Stages = uint64(len(run.Stages))
+	run.Stats.Cycles = run.Stats.Stages * 3
+	run.Stats.TablesScheduled = run.Stats.TablesGarbled // serial mode: grid = netlist
+	run.Stats.ModeledTime = s.cfg.Device.CyclesToDuration(run.Stats.Cycles)
+	run.Stats.PCIeTime = s.cfg.PCIe.TransferTime(int(run.Stats.TableBytes))
+	run.Stats.CoreUtilization = 1
+	inputWires := uint64(ckt.NGarbler + ckt.NEvaluator)
+	run.Stats.RNGBitsDrawn = inputWires * run.Stats.Stages * label.Bits
+	return run, nil
+}
+
+// EvaluateDotProductSerial evaluates a serial-mode run for the client
+// vector a and returns the decoded accumulator. The final MAC round's
+// per-stage output bits assemble the accumulator LSB-first.
+func EvaluateDotProductSerial(params gc.Params, run *SerialRun, a []int64) (int64, error) {
+	layout := run.Layout
+	if len(run.Stages) != len(a)*layout.StagesPerMAC {
+		return 0, fmt.Errorf("maxsim: run has %d stages for a %d-element vector", len(run.Stages), len(a))
+	}
+	var ckt *circuit.Circuit
+	var err error
+	if run.Signed {
+		ckt, _, err = serial.MACSigned(layout.Width)
+	} else {
+		ckt, _, err = serial.MAC(layout.Width)
+	}
+	if err != nil {
+		return 0, err
+	}
+	es, err := seqgc.NewEvaluatorSession(params, ckt)
+	if err != nil {
+		return 0, err
+	}
+	var accBits []bool
+	idx := 0
+	mask := uint64(1)<<uint(layout.Width) - 1
+	for round, ai := range a {
+		if err := checkRange(ai, layout.Width, run.Signed); err != nil {
+			return 0, fmt.Errorf("maxsim: round %d: %w", round, err)
+		}
+		accBits = accBits[:0]
+		for stage := 0; stage < layout.StagesPerMAC; stage++ {
+			gb := run.Stages[idx]
+			idx++
+			bits := layout.StageInputs(uint64(ai)&mask, stage)
+			active := make([]label.Label, len(bits))
+			for i, v := range bits {
+				active[i] = gb.EvalPairs[i].Get(v)
+			}
+			res, err := es.NextRound(&gb.Material, active)
+			if err != nil {
+				return 0, fmt.Errorf("maxsim: round %d stage %d: %w", round, stage, err)
+			}
+			accBits = append(accBits, res.Outputs[0])
+		}
+	}
+	if run.Signed {
+		// Baugh–Wooley is exact mod 2^{2b}: decode the low 2b bits as
+		// two's complement.
+		return circuit.BitsToInt64(accBits[:2*layout.Width]), nil
+	}
+	return int64(circuit.BitsToUint64(accBits)), nil
+}

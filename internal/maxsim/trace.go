@@ -1,0 +1,178 @@
+package maxsim
+
+import (
+	"fmt"
+
+	"maxelerator/internal/label"
+	"maxelerator/internal/sched"
+)
+
+// Trace is the cycle-by-cycle execution engine for one MAC unit: it
+// walks the FSM slot grid clock by clock and models the §5.1 memory
+// system — each GC core writes its garbled tables into its own memory
+// block through a private input port, while a single shared output
+// port drains all blocks toward the PCIe bus. When the drain rate
+// falls behind production the blocks fill and the FSM must stall,
+// which is the mechanism behind the paper's closing caveat that
+// "after certain threshold, communication capability of the server may
+// become the bottleneck of the operation".
+
+// TraceConfig parameterises a trace run.
+type TraceConfig struct {
+	// MACs is the number of MAC rounds streamed through the unit.
+	MACs int
+	// DrainBytesPerCycle is the output-port bandwidth toward PCIe, in
+	// bytes per clock cycle. The paper's platform moves ≈4 B/cycle
+	// (800 MiB/s at 200 MHz).
+	DrainBytesPerCycle int
+	// MemoryBytesPerCore is the capacity of one core's memory block.
+	MemoryBytesPerCore int
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.DrainBytesPerCycle == 0 {
+		c.DrainBytesPerCycle = 4
+	}
+	if c.MemoryBytesPerCore == 0 {
+		c.MemoryBytesPerCore = 4096
+	}
+	return c
+}
+
+// TraceResult is the outcome of a trace run.
+type TraceResult struct {
+	// Cycles is the total clock count, including stall cycles.
+	Cycles uint64
+	// BusyCycles is the schedule's own cycle count (3·stages).
+	BusyCycles uint64
+	// StallCycles counts cycles the FSM paused because some core's
+	// memory block had no room for its next table.
+	StallCycles uint64
+	// TablesProduced counts garbled tables written to memory.
+	TablesProduced uint64
+	// BytesProduced is TablesProduced × table size.
+	BytesProduced uint64
+	// BytesDrained is what left through the output port; equals
+	// BytesProduced at completion.
+	BytesDrained uint64
+	// PeakOccupancyBytes is the maximum total memory in flight.
+	PeakOccupancyBytes int
+	// PerCoreTables counts tables per GC core over the run.
+	PerCoreTables []uint64
+}
+
+// StallFraction is StallCycles / Cycles.
+func (r TraceResult) StallFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.StallCycles) / float64(r.Cycles)
+}
+
+// Trace runs the cycle-level model for this simulator's schedule.
+func (s *Simulator) Trace(cfg TraceConfig) (TraceResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MACs <= 0 {
+		return TraceResult{}, fmt.Errorf("maxsim: trace needs a positive MAC count")
+	}
+	if cfg.DrainBytesPerCycle < 0 || cfg.MemoryBytesPerCore <= 0 {
+		return TraceResult{}, fmt.Errorf("maxsim: invalid trace memory configuration")
+	}
+	tableBytes := s.cfg.Params.Scheme.TableSize() * label.Size
+	if cfg.MemoryBytesPerCore < tableBytes {
+		return TraceResult{}, fmt.Errorf("maxsim: memory block of %d B cannot hold one %d B table",
+			cfg.MemoryBytesPerCore, tableBytes)
+	}
+
+	schedule := s.schedule
+	cores := schedule.Cores
+	res := TraceResult{PerCoreTables: make([]uint64, len(cores))}
+	res.BusyCycles = schedule.TotalCycles(cfg.MACs)
+	totalStages := res.BusyCycles / sched.CyclesPerStage
+
+	occupancy := make([]int, len(cores))
+	totalOccupancy := 0
+	drainFrom := 0 // round-robin pointer over blocks
+
+	drain := func() {
+		budget := cfg.DrainBytesPerCycle
+		for scanned := 0; budget > 0 && scanned < len(cores); scanned++ {
+			i := (drainFrom + scanned) % len(cores)
+			if occupancy[i] == 0 {
+				continue
+			}
+			take := occupancy[i]
+			if take > budget {
+				take = budget
+			}
+			occupancy[i] -= take
+			totalOccupancy -= take
+			budget -= take
+			res.BytesDrained += uint64(take)
+			if occupancy[i] > 0 {
+				// Port saturated mid-block; resume here next cycle.
+				drainFrom = i
+				return
+			}
+		}
+		drainFrom = (drainFrom + 1) % len(cores)
+	}
+
+	for stage := uint64(0); stage < totalStages; stage++ {
+		for slot := 0; slot < sched.CyclesPerStage; slot++ {
+			// Stall until every producing core has room.
+			for {
+				blocked := false
+				for i, core := range cores {
+					if core.Slots[slot].Kind == sched.Idle {
+						continue
+					}
+					if occupancy[i]+tableBytes > cfg.MemoryBytesPerCore {
+						blocked = true
+						break
+					}
+				}
+				if !blocked {
+					break
+				}
+				res.Cycles++
+				res.StallCycles++
+				drain()
+			}
+			// Produce this cycle's tables.
+			for i, core := range cores {
+				if core.Slots[slot].Kind == sched.Idle {
+					continue
+				}
+				occupancy[i] += tableBytes
+				totalOccupancy += tableBytes
+				res.TablesProduced++
+				res.PerCoreTables[i]++
+			}
+			if totalOccupancy > res.PeakOccupancyBytes {
+				res.PeakOccupancyBytes = totalOccupancy
+			}
+			res.Cycles++
+			drain()
+		}
+	}
+	// Drain the remaining tables.
+	for totalOccupancy > 0 {
+		if cfg.DrainBytesPerCycle == 0 {
+			return TraceResult{}, fmt.Errorf("maxsim: zero drain rate cannot empty memory")
+		}
+		res.Cycles++
+		drain()
+	}
+	res.BytesProduced = res.TablesProduced * uint64(tableBytes)
+	return res, nil
+}
+
+// SustainableDrainBytesPerCycle returns the minimum output-port
+// bandwidth (bytes/cycle) at which steady-state garbling never stalls:
+// the unit produces TablesPerStage tables every 3 cycles.
+func (s *Simulator) SustainableDrainBytesPerCycle() int {
+	tableBytes := s.cfg.Params.Scheme.TableSize() * label.Size
+	perStage := s.schedule.TablesPerStage() * tableBytes
+	return (perStage + sched.CyclesPerStage - 1) / sched.CyclesPerStage
+}

@@ -1,0 +1,140 @@
+package maxsim
+
+import (
+	"testing"
+
+	"maxelerator/internal/sched"
+)
+
+func TestTraceValidation(t *testing.T) {
+	s := sim(t, Config{Width: 8})
+	if _, err := s.Trace(TraceConfig{MACs: 0}); err == nil {
+		t.Fatal("zero MACs accepted")
+	}
+	if _, err := s.Trace(TraceConfig{MACs: 1, MemoryBytesPerCore: 8}); err == nil {
+		t.Fatal("block smaller than one table accepted")
+	}
+	if _, err := s.Trace(TraceConfig{MACs: 1, DrainBytesPerCycle: -1}); err == nil {
+		t.Fatal("negative drain accepted")
+	}
+}
+
+func TestTraceNoStallsWithAmpleBandwidth(t *testing.T) {
+	s := sim(t, Config{Width: 8})
+	drain := s.SustainableDrainBytesPerCycle()
+	res, err := s.Trace(TraceConfig{MACs: 20, DrainBytesPerCycle: drain, MemoryBytesPerCore: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCycles != 0 {
+		t.Fatalf("sustainable drain still stalled %d cycles", res.StallCycles)
+	}
+	// Total cycles = busy cycles + final drain tail only.
+	if res.Cycles < res.BusyCycles {
+		t.Fatalf("cycles %d below busy %d", res.Cycles, res.BusyCycles)
+	}
+	if res.BytesDrained != res.BytesProduced {
+		t.Fatalf("drained %d of %d bytes", res.BytesDrained, res.BytesProduced)
+	}
+}
+
+func TestTraceStallsWhenPCIeTooSlow(t *testing.T) {
+	// The paper's closing caveat: with insufficient host bandwidth the
+	// accelerator must throttle.
+	s := sim(t, Config{Width: 8})
+	res, err := s.Trace(TraceConfig{MACs: 20, DrainBytesPerCycle: 4, MemoryBytesPerCore: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCycles == 0 {
+		t.Fatal("starved output port produced no stalls")
+	}
+	if res.StallFraction() <= 0.5 {
+		t.Fatalf("stall fraction %v, expected production-bound run", res.StallFraction())
+	}
+	if res.BytesDrained != res.BytesProduced {
+		t.Fatal("tables lost")
+	}
+}
+
+func TestTraceTableAccounting(t *testing.T) {
+	s := sim(t, Config{Width: 8})
+	const macs = 5
+	res, err := s.Trace(TraceConfig{MACs: macs, DrainBytesPerCycle: 1 << 12, MemoryBytesPerCore: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := s.Schedule().TotalCycles(macs) / sched.CyclesPerStage
+	want := uint64(s.Schedule().TablesPerStage()) * stages
+	if res.TablesProduced != want {
+		t.Fatalf("produced %d tables, want %d", res.TablesProduced, want)
+	}
+	var perCore uint64
+	for _, n := range res.PerCoreTables {
+		perCore += n
+	}
+	if perCore != res.TablesProduced {
+		t.Fatalf("per-core sum %d != total %d", perCore, res.TablesProduced)
+	}
+	if res.BytesProduced != want*32 { // half gates: 2 × 16 B
+		t.Fatalf("bytes produced = %d", res.BytesProduced)
+	}
+}
+
+func TestTraceMuxAddCoresFullyLoaded(t *testing.T) {
+	// Segment-1 cores garble every cycle; segment-2 cores absorb the
+	// ≤2 idle slots.
+	s := sim(t, Config{Width: 16})
+	res, err := s.Trace(TraceConfig{MACs: 4, DrainBytesPerCycle: 1 << 12, MemoryBytesPerCore: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := s.Schedule().TotalCycles(4) / sched.CyclesPerStage
+	seg1 := s.Schedule().SegmentCores(sched.MuxAdd)
+	for i := 0; i < seg1; i++ {
+		if res.PerCoreTables[i] != stages*sched.CyclesPerStage {
+			t.Fatalf("MUX_ADD core %d produced %d tables over %d stages", i, res.PerCoreTables[i], stages)
+		}
+	}
+}
+
+func TestTracePeakOccupancyBounded(t *testing.T) {
+	s := sim(t, Config{Width: 8})
+	const blocks = 128
+	res, err := s.Trace(TraceConfig{MACs: 10, DrainBytesPerCycle: 2, MemoryBytesPerCore: blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := blocks * s.Schedule().NumCores()
+	if res.PeakOccupancyBytes > limit {
+		t.Fatalf("peak occupancy %d exceeds capacity %d", res.PeakOccupancyBytes, limit)
+	}
+	if res.PeakOccupancyBytes == 0 {
+		t.Fatal("no occupancy recorded")
+	}
+}
+
+func TestSustainableDrainMatchesTable2Volumes(t *testing.T) {
+	// b=8: 24 tables/stage × 32 B / 3 cycles = 256 B/cycle — far above
+	// the ≈4 B/cycle the paper's PCIe sustains, quantifying how
+	// communication-bound a fully-parallel accelerator is.
+	s := sim(t, Config{Width: 8})
+	if got := s.SustainableDrainBytesPerCycle(); got != 256 {
+		t.Fatalf("sustainable drain = %d B/cycle, want 256", got)
+	}
+}
+
+func TestTraceFasterDrainNeverSlower(t *testing.T) {
+	s := sim(t, Config{Width: 8})
+	slow, err := s.Trace(TraceConfig{MACs: 10, DrainBytesPerCycle: 8, MemoryBytesPerCore: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.Trace(TraceConfig{MACs: 10, DrainBytesPerCycle: 64, MemoryBytesPerCore: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cycles > slow.Cycles {
+		t.Fatalf("faster drain took %d cycles vs %d", fast.Cycles, slow.Cycles)
+	}
+}

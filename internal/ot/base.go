@@ -1,0 +1,120 @@
+package ot
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"maxelerator/internal/wire"
+)
+
+// Message is a fixed 16-byte OT payload — exactly one wire label or
+// one PRG seed.
+type Message [16]byte
+
+func xorMsg(a, b Message) Message {
+	var out Message
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// BaseSend runs the sender side of a batch of 1-out-of-2 base OTs over
+// conn: for each pair, the receiver learns exactly one message. The
+// construction follows the simplest-OT pattern: the sender publishes
+// A = g^a; the receiver answers B = g^b (choice 0) or A·g^b (choice 1);
+// the per-transfer keys are k0 = H(B^a) and k1 = H((B/A)^a), of which
+// the receiver can compute only k_choice = H(A^b).
+func BaseSend(conn wire.Conn, rnd io.Reader, pairs [][2]Message) error {
+	gr := modpGroup
+	a, err := gr.randExponent(rnd)
+	if err != nil {
+		return err
+	}
+	bigA := new(big.Int).Exp(gr.g, a, gr.p)
+	if err := conn.SendMsg(marshalElement(bigA)); err != nil {
+		return fmt.Errorf("ot: base sender announcing A: %w", err)
+	}
+	// A^{-a} mod p, used to derive k1 without a per-transfer inversion.
+	invAa := new(big.Int).ModInverse(new(big.Int).Exp(bigA, a, gr.p), gr.p)
+
+	resp, err := conn.RecvMsg()
+	if err != nil {
+		return fmt.Errorf("ot: base sender reading B batch: %w", err)
+	}
+	if len(resp) != elementLen*len(pairs) {
+		return fmt.Errorf("ot: base sender got %d bytes of B values, want %d", len(resp), elementLen*len(pairs))
+	}
+
+	out := make([]byte, 0, len(pairs)*32)
+	for i := range pairs {
+		bigB, err := unmarshalElement(resp[i*elementLen : (i+1)*elementLen])
+		if err != nil {
+			return fmt.Errorf("ot: base sender transfer %d: %w", i, err)
+		}
+		ba := new(big.Int).Exp(bigB, a, gr.p)
+		k0 := keyFromElement(uint64(i), ba)
+		k1 := keyFromElement(uint64(i), new(big.Int).Mod(new(big.Int).Mul(ba, invAa), gr.p))
+		e0 := xorMsg(pairs[i][0], Message(k0))
+		e1 := xorMsg(pairs[i][1], Message(k1))
+		out = append(out, e0[:]...)
+		out = append(out, e1[:]...)
+	}
+	if err := conn.SendMsg(out); err != nil {
+		return fmt.Errorf("ot: base sender shipping ciphertexts: %w", err)
+	}
+	return nil
+}
+
+// BaseReceive runs the receiver side of BaseSend, returning the chosen
+// message of each pair.
+func BaseReceive(conn wire.Conn, rnd io.Reader, choices []bool) ([]Message, error) {
+	gr := modpGroup
+	aMsg, err := conn.RecvMsg()
+	if err != nil {
+		return nil, fmt.Errorf("ot: base receiver reading A: %w", err)
+	}
+	bigA, err := unmarshalElement(aMsg)
+	if err != nil {
+		return nil, err
+	}
+
+	bs := make([]*big.Int, len(choices))
+	resp := make([]byte, 0, elementLen*len(choices))
+	for i, c := range choices {
+		b, err := gr.randExponent(rnd)
+		if err != nil {
+			return nil, err
+		}
+		bs[i] = b
+		bigB := new(big.Int).Exp(gr.g, b, gr.p)
+		if c {
+			bigB.Mod(bigB.Mul(bigB, bigA), gr.p)
+		}
+		resp = append(resp, marshalElement(bigB)...)
+	}
+	if err := conn.SendMsg(resp); err != nil {
+		return nil, fmt.Errorf("ot: base receiver answering B batch: %w", err)
+	}
+
+	cts, err := conn.RecvMsg()
+	if err != nil {
+		return nil, fmt.Errorf("ot: base receiver reading ciphertexts: %w", err)
+	}
+	if len(cts) != 32*len(choices) {
+		return nil, fmt.Errorf("ot: base receiver got %d ciphertext bytes, want %d", len(cts), 32*len(choices))
+	}
+	out := make([]Message, len(choices))
+	for i, c := range choices {
+		k := keyFromElement(uint64(i), new(big.Int).Exp(bigA, bs[i], gr.p))
+		var e Message
+		off := i * 32
+		if c {
+			off += 16
+		}
+		copy(e[:], cts[off:off+16])
+		out[i] = xorMsg(e, Message(k))
+	}
+	return out, nil
+}

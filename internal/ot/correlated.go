@@ -1,0 +1,136 @@
+package ot
+
+import (
+	"fmt"
+
+	"maxelerator/internal/label"
+)
+
+// Correlated OT (C-OT). Under free-XOR garbling every evaluator-input
+// label pair is correlated as X¹ = X⁰ ⊕ Δ, so the sender need not pick
+// both messages freely: the IKNP row already gives the receiver
+// H(t_j) = H(q_j ⊕ r_j·s), and the sender can *define*
+//
+//	X⁰_j = H(q_j)           (fresh pseudorandom FALSE label)
+//	X¹_j = X⁰_j ⊕ Δ
+//
+// and transmit a single correction ciphertext
+//
+//	u_j = H(q_j ⊕ s) ⊕ X⁰_j ⊕ Δ
+//
+// from which the receiver recovers X⁰_j directly (r_j = 0) or as
+// u_j ⊕ H(t_j) (r_j = 1) — exactly X^{r_j}_j either way. One
+// ciphertext per transfer instead of two, and the garbler gets its
+// FALSE labels chosen by the OT, which it then uses as the input-wire
+// labels of the round (Asharov–Lindell–Schneider–Zohner style).
+
+// SendCorrelatedLabels runs the sender side of a correlated batch: it
+// returns the FALSE label of each transfer, whose TRUE counterpart is
+// implicitly X⁰ ⊕ delta.
+func (es *ExtensionSender) SendCorrelatedLabels(n int, delta label.Delta) ([]label.Label, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	m := n
+	mBytes := (m + 7) / 8
+
+	u, err := es.conn.RecvMsg()
+	if err != nil {
+		return nil, fmt.Errorf("ot: correlated sender reading u matrix: %w", err)
+	}
+	if len(u) != Kappa*mBytes {
+		return nil, fmt.Errorf("ot: correlated sender got %d u bytes, want %d", len(u), Kappa*mBytes)
+	}
+	q := make([][]byte, Kappa)
+	for i := 0; i < Kappa; i++ {
+		col := nextPad(es.columns[i], mBytes)
+		if es.s[i] {
+			ui := u[i*mBytes : (i+1)*mBytes]
+			for k := range col {
+				col[k] ^= ui[k]
+			}
+		}
+		q[i] = col
+	}
+
+	out := make([]label.Label, m)
+	cts := make([]byte, 0, 16*m)
+	d := Message(delta.Label())
+	for j := 0; j < m; j++ {
+		var row Message
+		for i := 0; i < Kappa; i++ {
+			if q[i][j/8]>>(uint(j)%8)&1 == 1 {
+				row[i/8] |= 1 << (uint(i) % 8)
+			}
+		}
+		idx := es.index + uint64(j)
+		x0 := rowHash(idx, row)
+		corr := xorMsg(xorMsg(rowHash(idx, xorMsg(row, es.sPacked)), x0), d)
+		out[j] = label.Label(x0)
+		cts = append(cts, corr[:]...)
+	}
+	es.index += uint64(m)
+	if err := es.conn.SendMsg(cts); err != nil {
+		return nil, fmt.Errorf("ot: correlated sender shipping corrections: %w", err)
+	}
+	return out, nil
+}
+
+// ReceiveCorrelatedLabels runs the receiver side: it returns the
+// active label X^{choice} of each transfer.
+func (er *ExtensionReceiver) ReceiveCorrelatedLabels(choices []bool) ([]label.Label, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, nil
+	}
+	mBytes := (m + 7) / 8
+
+	r := make([]byte, mBytes)
+	for j, c := range choices {
+		if c {
+			r[j/8] |= 1 << (uint(j) % 8)
+		}
+	}
+	t := make([][]byte, Kappa)
+	u := make([]byte, 0, Kappa*mBytes)
+	for i := 0; i < Kappa; i++ {
+		t[i] = nextPad(er.col0[i], mBytes)
+		pad1 := nextPad(er.col1[i], mBytes)
+		ui := make([]byte, mBytes)
+		for k := range ui {
+			ui[k] = t[i][k] ^ pad1[k] ^ r[k]
+		}
+		u = append(u, ui...)
+	}
+	if err := er.conn.SendMsg(u); err != nil {
+		return nil, fmt.Errorf("ot: correlated receiver sending u matrix: %w", err)
+	}
+
+	cts, err := er.conn.RecvMsg()
+	if err != nil {
+		return nil, fmt.Errorf("ot: correlated receiver reading corrections: %w", err)
+	}
+	if len(cts) != 16*m {
+		return nil, fmt.Errorf("ot: correlated receiver got %d correction bytes, want %d", len(cts), 16*m)
+	}
+	out := make([]label.Label, m)
+	for j := 0; j < m; j++ {
+		var row Message
+		for i := 0; i < Kappa; i++ {
+			if t[i][j/8]>>(uint(j)%8)&1 == 1 {
+				row[i/8] |= 1 << (uint(i) % 8)
+			}
+		}
+		idx := er.index + uint64(j)
+		h := rowHash(idx, row)
+		if choices[j] {
+			var corr Message
+			copy(corr[:], cts[16*j:16*j+16])
+			out[j] = label.Label(xorMsg(h, corr))
+		} else {
+			out[j] = label.Label(h)
+		}
+	}
+	er.index += uint64(m)
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package ot
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"maxelerator/internal/wire"
+)
+
+// Kappa is the computational security parameter: the number of base
+// OTs and the column count of the IKNP extension matrix.
+const Kappa = 128
+
+// prgStream builds the column PRG: AES-128 in counter mode keyed by a
+// 16-byte base-OT seed. Both parties expand the same seed to the same
+// pad stream, consuming equal amounts per batch.
+func prgStream(seed Message) (cipher.Stream, error) {
+	blk, err := aes.NewCipher(seed[:])
+	if err != nil {
+		return nil, fmt.Errorf("ot: building PRG: %w", err)
+	}
+	var iv [aes.BlockSize]byte
+	return cipher.NewCTR(blk, iv[:]), nil
+}
+
+func nextPad(s cipher.Stream, n int) []byte {
+	buf := make([]byte, n)
+	s.XORKeyStream(buf, buf)
+	return buf
+}
+
+// rowHash is the IKNP row-breaking hash H(j, q) truncated to one
+// message. The index j is global across batches so pads never repeat.
+func rowHash(index uint64, row Message) Message {
+	h := sha256.New()
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], index)
+	h.Write(idx[:])
+	h.Write(row[:])
+	var out Message
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ExtensionSender is the message-pair holder (in GC terms: the
+// garbler) of an IKNP session. After the one-time base phase it can
+// send any number of batches with symmetric crypto only.
+type ExtensionSender struct {
+	conn    wire.Conn
+	s       [Kappa]bool
+	sPacked Message
+	columns [Kappa]cipher.Stream
+	index   uint64
+}
+
+// NewExtensionSender runs the base phase: the extension sender acts as
+// base-OT *receiver* with κ random choice bits, obtaining one PRG seed
+// per column.
+func NewExtensionSender(conn wire.Conn, rnd io.Reader) (*ExtensionSender, error) {
+	es := &ExtensionSender{conn: conn}
+	var sByte Message
+	if _, err := io.ReadFull(rnd, sByte[:]); err != nil {
+		return nil, fmt.Errorf("ot: drawing extension secret: %w", err)
+	}
+	es.sPacked = sByte
+	choices := make([]bool, Kappa)
+	for i := range choices {
+		choices[i] = sByte[i/8]>>(uint(i)%8)&1 == 1
+		es.s[i] = choices[i]
+	}
+	seeds, err := BaseReceive(conn, rnd, choices)
+	if err != nil {
+		return nil, fmt.Errorf("ot: extension base phase (sender): %w", err)
+	}
+	for i, seed := range seeds {
+		st, err := prgStream(seed)
+		if err != nil {
+			return nil, err
+		}
+		es.columns[i] = st
+	}
+	return es, nil
+}
+
+// Send transfers one batch of message pairs; the connected receiver
+// must call Receive with the same batch size.
+func (es *ExtensionSender) Send(pairs [][2]Message) error {
+	m := len(pairs)
+	if m == 0 {
+		return nil
+	}
+	mBytes := (m + 7) / 8
+
+	u, err := es.conn.RecvMsg()
+	if err != nil {
+		return fmt.Errorf("ot: extension sender reading u matrix: %w", err)
+	}
+	if len(u) != Kappa*mBytes {
+		return fmt.Errorf("ot: extension sender got %d u bytes, want %d", len(u), Kappa*mBytes)
+	}
+
+	// q_i = PRG(k_i^{s_i}) ⊕ s_i·u_i, so row j is t_j ⊕ r_j·s.
+	q := make([][]byte, Kappa)
+	for i := 0; i < Kappa; i++ {
+		col := nextPad(es.columns[i], mBytes)
+		if es.s[i] {
+			ui := u[i*mBytes : (i+1)*mBytes]
+			for k := range col {
+				col[k] ^= ui[k]
+			}
+		}
+		q[i] = col
+	}
+
+	out := make([]byte, 0, 32*m)
+	for j := 0; j < m; j++ {
+		var row Message
+		for i := 0; i < Kappa; i++ {
+			if q[i][j/8]>>(uint(j)%8)&1 == 1 {
+				row[i/8] |= 1 << (uint(i) % 8)
+			}
+		}
+		idx := es.index + uint64(j)
+		y0 := xorMsg(pairs[j][0], rowHash(idx, row))
+		y1 := xorMsg(pairs[j][1], rowHash(idx, xorMsg(row, es.sPacked)))
+		out = append(out, y0[:]...)
+		out = append(out, y1[:]...)
+	}
+	es.index += uint64(m)
+	if err := es.conn.SendMsg(out); err != nil {
+		return fmt.Errorf("ot: extension sender shipping ciphertexts: %w", err)
+	}
+	return nil
+}
+
+// ExtensionReceiver is the choice-bit holder (the GC evaluator) of an
+// IKNP session.
+type ExtensionReceiver struct {
+	conn  wire.Conn
+	col0  [Kappa]cipher.Stream
+	col1  [Kappa]cipher.Stream
+	index uint64
+	rnd   io.Reader
+}
+
+// NewExtensionReceiver runs the base phase: the extension receiver
+// acts as base-OT *sender* with κ random seed pairs.
+func NewExtensionReceiver(conn wire.Conn, rnd io.Reader) (*ExtensionReceiver, error) {
+	er := &ExtensionReceiver{conn: conn, rnd: rnd}
+	seedPairs := make([][2]Message, Kappa)
+	for i := range seedPairs {
+		if _, err := io.ReadFull(rnd, seedPairs[i][0][:]); err != nil {
+			return nil, fmt.Errorf("ot: drawing seed: %w", err)
+		}
+		if _, err := io.ReadFull(rnd, seedPairs[i][1][:]); err != nil {
+			return nil, fmt.Errorf("ot: drawing seed: %w", err)
+		}
+	}
+	if err := BaseSend(conn, rnd, seedPairs); err != nil {
+		return nil, fmt.Errorf("ot: extension base phase (receiver): %w", err)
+	}
+	for i := range seedPairs {
+		s0, err := prgStream(seedPairs[i][0])
+		if err != nil {
+			return nil, err
+		}
+		s1, err := prgStream(seedPairs[i][1])
+		if err != nil {
+			return nil, err
+		}
+		er.col0[i] = s0
+		er.col1[i] = s1
+	}
+	return er, nil
+}
+
+// Receive obtains the chosen message of each pair in one batch.
+func (er *ExtensionReceiver) Receive(choices []bool) ([]Message, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, nil
+	}
+	mBytes := (m + 7) / 8
+
+	r := make([]byte, mBytes)
+	for j, c := range choices {
+		if c {
+			r[j/8] |= 1 << (uint(j) % 8)
+		}
+	}
+
+	t := make([][]byte, Kappa)
+	u := make([]byte, 0, Kappa*mBytes)
+	for i := 0; i < Kappa; i++ {
+		t[i] = nextPad(er.col0[i], mBytes)
+		pad1 := nextPad(er.col1[i], mBytes)
+		ui := make([]byte, mBytes)
+		for k := range ui {
+			ui[k] = t[i][k] ^ pad1[k] ^ r[k]
+		}
+		u = append(u, ui...)
+	}
+	if err := er.conn.SendMsg(u); err != nil {
+		return nil, fmt.Errorf("ot: extension receiver sending u matrix: %w", err)
+	}
+
+	cts, err := er.conn.RecvMsg()
+	if err != nil {
+		return nil, fmt.Errorf("ot: extension receiver reading ciphertexts: %w", err)
+	}
+	if len(cts) != 32*m {
+		return nil, fmt.Errorf("ot: extension receiver got %d ciphertext bytes, want %d", len(cts), 32*m)
+	}
+
+	out := make([]Message, m)
+	for j := 0; j < m; j++ {
+		var row Message
+		for i := 0; i < Kappa; i++ {
+			if t[i][j/8]>>(uint(j)%8)&1 == 1 {
+				row[i/8] |= 1 << (uint(i) % 8)
+			}
+		}
+		idx := er.index + uint64(j)
+		var e Message
+		off := 32 * j
+		if choices[j] {
+			off += 16
+		}
+		copy(e[:], cts[off:off+16])
+		out[j] = xorMsg(e, rowHash(idx, row))
+	}
+	er.index += uint64(m)
+	return out, nil
+}

@@ -1,0 +1,96 @@
+// Package ot implements the oblivious-transfer stack of the protocol:
+// a Diffie–Hellman base OT in the style of Chou–Orlandi's "simplest OT"
+// over the RFC 3526 2048-bit MODP group, and the IKNP OT extension
+// (Ishai–Kilian–Nissim–Petrank, CRYPTO 2003 — reference [24] of the
+// paper) that stretches κ = 128 base transfers into arbitrarily many
+// label transfers using only symmetric cryptography.
+//
+// The security model is honest-but-curious, matching the paper (§3).
+package ot
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// modp2048Hex is the 2048-bit MODP group prime of RFC 3526 §3. It is a
+// safe prime p = 2q + 1 with generator 2 of the order-q quadratic
+// residue subgroup.
+const modp2048Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+	"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+	"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+	"670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
+	"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9" +
+	"DE2BCBF6955817183995497CEA956AE515D2261898FA0510" +
+	"15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+
+// group holds the shared group parameters.
+type group struct {
+	p, q, g *big.Int
+}
+
+var modpGroup = func() *group {
+	p, ok := new(big.Int).SetString(modp2048Hex, 16)
+	if !ok {
+		panic("ot: bad MODP prime literal")
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	return &group{p: p, q: q, g: big.NewInt(2)}
+}()
+
+// randExponent draws a uniform exponent in [1, q).
+func (gr *group) randExponent(rnd io.Reader) (*big.Int, error) {
+	for {
+		e, err := rand.Int(rnd, gr.q)
+		if err != nil {
+			return nil, fmt.Errorf("ot: drawing exponent: %w", err)
+		}
+		if e.Sign() > 0 {
+			return e, nil
+		}
+	}
+}
+
+// elementLen is the byte length of a serialised group element.
+var elementLen = len(modpGroup.p.Bytes())
+
+// marshalElement serialises a group element left-padded to elementLen.
+func marshalElement(e *big.Int) []byte {
+	out := make([]byte, elementLen)
+	e.FillBytes(out)
+	return out
+}
+
+// unmarshalElement parses and validates a group element: it must lie
+// in (1, p) — rejecting 0, 1 and out-of-range encodings.
+func unmarshalElement(b []byte) (*big.Int, error) {
+	if len(b) != elementLen {
+		return nil, fmt.Errorf("ot: group element of %d bytes, want %d", len(b), elementLen)
+	}
+	e := new(big.Int).SetBytes(b)
+	if e.Cmp(big.NewInt(1)) <= 0 || e.Cmp(modpGroup.p) >= 0 {
+		return nil, fmt.Errorf("ot: group element out of range")
+	}
+	return e, nil
+}
+
+// keyFromElement hashes a group element (with a transfer index for
+// domain separation) to a 16-byte one-time-pad key.
+func keyFromElement(index uint64, e *big.Int) [16]byte {
+	h := sha256.New()
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], index)
+	h.Write(idx[:])
+	h.Write(marshalElement(e))
+	var key [16]byte
+	copy(key[:], h.Sum(nil))
+	return key
+}

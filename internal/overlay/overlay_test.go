@@ -1,0 +1,93 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"maxelerator/internal/paper"
+)
+
+func TestCalibratedWidthsMatchTable2(t *testing.T) {
+	m := NewModel()
+	for _, b := range paper.Widths {
+		c, err := m.CyclesPerMAC(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != paper.Overlay.CyclesPerMAC[b] {
+			t.Fatalf("b=%d: %v cycles, want %v", b, c, paper.Overlay.CyclesPerMAC[b])
+		}
+	}
+}
+
+func TestTimePerMACMatchesTable2(t *testing.T) {
+	m := NewModel()
+	want := map[int]time.Duration{8: 22 * time.Microsecond, 16: 60 * time.Microsecond, 32: 180 * time.Microsecond}
+	for b, w := range want {
+		got, err := m.TimePerMAC(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("b=%d: %v, want %v", b, got, w)
+		}
+	}
+}
+
+func TestThroughputMatchesTable2(t *testing.T) {
+	m := NewModel()
+	for _, b := range paper.Widths {
+		got, err := m.ThroughputMACsPerSec(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := paper.Overlay.ThroughputMACs[b]
+		if got < want*0.98 || got > want*1.02 {
+			t.Fatalf("b=%d: %.4g MAC/s, want ≈%.4g", b, got, want)
+		}
+		pc, err := m.PerCoreMACsPerSec(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPC := paper.Overlay.PerCoreMACs[b]
+		if pc < wantPC*0.97 || pc > wantPC*1.03 {
+			t.Fatalf("b=%d: %.4g MAC/s/core, want ≈%.4g", b, pc, wantPC)
+		}
+	}
+}
+
+func TestUncalibratedWidthsScale(t *testing.T) {
+	m := NewModel()
+	c12, err := m.CyclesPerMAC(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8 := paper.Overlay.CyclesPerMAC[8]
+	c16 := paper.Overlay.CyclesPerMAC[16]
+	if c12 <= c8 || c12 >= c16 {
+		t.Fatalf("b=12 cost %v outside (%v, %v)", c12, c8, c16)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := NewModel()
+	if _, err := m.CyclesPerMAC(1); err == nil {
+		t.Fatal("width 1 accepted")
+	}
+	if _, err := m.TimePerMAC(0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := m.ThroughputMACsPerSec(-8); err == nil {
+		t.Fatal("negative width accepted")
+	}
+	if _, err := m.PerCoreMACsPerSec(-8); err == nil {
+		t.Fatal("negative width accepted")
+	}
+}
+
+func TestOverheadRange(t *testing.T) {
+	lo, hi := LUTOverheadRange()
+	if lo != 40 || hi != 100 {
+		t.Fatalf("overhead range %d–%d, want 40–100", lo, hi)
+	}
+}

@@ -1,0 +1,138 @@
+// Package paper records the published evaluation numbers of the
+// MAXelerator paper (DAC 2018) — Tables 1–3 and the §6 case studies —
+// as the single source of truth for every benchmark and report that
+// prints a paper-vs-measured comparison.
+package paper
+
+import "time"
+
+// Widths are the bit-widths the paper evaluates.
+var Widths = []int{8, 16, 32}
+
+// Table2Row is one framework column-set of Table 2.
+type Table2Row struct {
+	// Framework names the system.
+	Framework string
+	// CyclesPerMAC is the published "Clock Cycle per MAC" per width.
+	CyclesPerMAC map[int]float64
+	// TimePerMAC is the published "Time per MAC".
+	TimePerMAC map[int]time.Duration
+	// ThroughputMACs is the published "Throughput (MAC per sec)".
+	ThroughputMACs map[int]float64
+	// Cores is the published "No of cores".
+	Cores map[int]int
+	// PerCoreMACs is the published "Throughput per core".
+	PerCoreMACs map[int]float64
+}
+
+// TinyGarble is Table 2's software column: TinyGarble [16] on an Intel
+// Xeon E5-2600 @ 2.2 GHz, one core.
+var TinyGarble = Table2Row{
+	Framework:    "TinyGarble [16] on CPU",
+	CyclesPerMAC: map[int]float64{8: 1.44e5, 16: 5.45e5, 32: 2.24e6},
+	TimePerMAC: map[int]time.Duration{
+		8:  time.Duration(42.29 * float64(time.Microsecond)),
+		16: time.Duration(160.35 * float64(time.Microsecond)),
+		32: time.Duration(657.65 * float64(time.Microsecond)),
+	},
+	ThroughputMACs: map[int]float64{8: 2.36e4, 16: 6.24e3, 32: 1.52e3},
+	Cores:          map[int]int{8: 1, 16: 1, 32: 1},
+	PerCoreMACs:    map[int]float64{8: 2.36e4, 16: 6.24e3, 32: 1.52e3},
+}
+
+// Overlay is Table 2's FPGA overlay column: Fang et al. [14],
+// interpolated by the paper's authors from the published 8/32/64-bit
+// results.
+var Overlay = Table2Row{
+	Framework:    "FPGA Overlay Architecture [14]",
+	CyclesPerMAC: map[int]float64{8: 4.40e3, 16: 1.20e4, 32: 3.60e4},
+	TimePerMAC: map[int]time.Duration{
+		8:  22 * time.Microsecond,
+		16: 60 * time.Microsecond,
+		32: 180 * time.Microsecond,
+	},
+	ThroughputMACs: map[int]float64{8: 4.55e4, 16: 1.67e4, 32: 5.56e3},
+	Cores:          map[int]int{8: 43, 16: 43, 32: 43},
+	PerCoreMACs:    map[int]float64{8: 1.06e3, 16: 3.88e2, 32: 1.29e2},
+}
+
+// MAXelerator is Table 2's accelerator column.
+var MAXelerator = Table2Row{
+	Framework:    "MAXelerator on FPGA",
+	CyclesPerMAC: map[int]float64{8: 24, 16: 48, 32: 96},
+	TimePerMAC: map[int]time.Duration{
+		8:  120 * time.Nanosecond,
+		16: 240 * time.Nanosecond,
+		32: 480 * time.Nanosecond,
+	},
+	ThroughputMACs: map[int]float64{8: 8.33e6, 16: 4.17e6, 32: 2.08e6},
+	Cores:          map[int]int{8: 8, 16: 14, 32: 24},
+	PerCoreMACs:    map[int]float64{8: 1.04e6, 16: 2.98e5, 32: 8.68e4},
+}
+
+// SpeedupPerCoreVsTinyGarble is Table 2's bottom row against the
+// software framework: 44×, 48×, 57×.
+var SpeedupPerCoreVsTinyGarble = map[int]float64{8: 44, 16: 48, 32: 57}
+
+// SpeedupPerCoreVsOverlay is Table 2's bottom row against the overlay:
+// 985×, 768×, 672×.
+var SpeedupPerCoreVsOverlay = map[int]float64{8: 985, 16: 768, 32: 672}
+
+// Table1 is the published resource usage of one MAC unit.
+var Table1 = map[int]struct{ LUT, LUTRAM, FF float64 }{
+	8:  {2.95e4, 1.28e2, 2.44e4},
+	16: {5.91e4, 3.84e2, 4.88e4},
+	32: {1.11e5, 6.40e2, 8.40e4},
+}
+
+// RidgeDataset is one row of Table 3.
+type RidgeDataset struct {
+	// Name is the UCI dataset name.
+	Name string
+	// N is the sample count, D the feature count.
+	N, D int
+	// BaselineSeconds is the Nikolaenko et al. [7] runtime.
+	BaselineSeconds float64
+	// OursSeconds is the paper's accelerated runtime.
+	OursSeconds float64
+	// Improvement is the published speedup factor.
+	Improvement float64
+}
+
+// Table3 is the ridge-regression case study (Table 3).
+var Table3 = []RidgeDataset{
+	{Name: "communities11.IV", N: 2215, D: 20, BaselineSeconds: 314, OursSeconds: 7.8, Improvement: 39.8},
+	{Name: "automobile.I", N: 205, D: 14, BaselineSeconds: 100, OursSeconds: 3.5, Improvement: 28.4},
+	{Name: "forestFires", N: 517, D: 12, BaselineSeconds: 46, OursSeconds: 1.8, Improvement: 24.5},
+	{Name: "winequality-red", N: 1599, D: 11, BaselineSeconds: 39, OursSeconds: 1.7, Improvement: 22.6},
+	{Name: "autompg", N: 398, D: 9, BaselineSeconds: 21, OursSeconds: 1.1, Improvement: 18.7},
+	{Name: "concreteStrength", N: 1030, D: 8, BaselineSeconds: 17, OursSeconds: 1.0, Improvement: 16.8},
+}
+
+// Recommendation is the §6 matrix-factorisation case study.
+var Recommendation = struct {
+	// BaselineHoursPerIter is Nikolaenko et al. [6] on MovieLens.
+	BaselineHoursPerIter float64
+	// AcceleratedHoursPerIter is the paper's accelerated result.
+	AcceleratedHoursPerIter float64
+	// GradientShare is the fraction of runtime spent in the
+	// MAC-dominated gradient computation ("more than 2/3").
+	GradientShare float64
+}{BaselineHoursPerIter: 2.9, AcceleratedHoursPerIter: 1.0, GradientShare: 2.0 / 3.0}
+
+// Portfolio is the §6 portfolio-analysis case study: 252 rounds of
+// w·cov·wᵀ for a size-2 portfolio.
+var Portfolio = struct {
+	// Rounds is the number of risk-to-return evaluations.
+	Rounds int
+	// Size is the portfolio dimension.
+	Size int
+	// TinyGarbleSeconds is the paper's estimate on TinyGarble.
+	TinyGarbleSeconds float64
+	// MAXeleratorSeconds is the paper's accelerated estimate.
+	MAXeleratorSeconds float64
+}{Rounds: 252, Size: 2, TinyGarbleSeconds: 1.33, MAXeleratorSeconds: 15.23e-3}
+
+// CaseStudyCores is the §6 configuration: "a 32 bit fixed point
+// system with 24 cores" — one b=32 MAC unit.
+var CaseStudyCores = 24

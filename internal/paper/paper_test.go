@@ -1,0 +1,125 @@
+package paper
+
+import (
+	"math"
+	"testing"
+)
+
+// The recorded tables must be internally consistent — these tests pin
+// the transcription of the paper against arithmetic identities the
+// paper's own numbers satisfy.
+
+func TestWidthsCovered(t *testing.T) {
+	for _, row := range []Table2Row{TinyGarble, Overlay, MAXelerator} {
+		for _, b := range Widths {
+			if _, ok := row.CyclesPerMAC[b]; !ok {
+				t.Fatalf("%s missing cycles at b=%d", row.Framework, b)
+			}
+			if _, ok := row.TimePerMAC[b]; !ok {
+				t.Fatalf("%s missing time at b=%d", row.Framework, b)
+			}
+			if _, ok := row.ThroughputMACs[b]; !ok {
+				t.Fatalf("%s missing throughput at b=%d", row.Framework, b)
+			}
+			if row.Cores[b] <= 0 {
+				t.Fatalf("%s missing cores at b=%d", row.Framework, b)
+			}
+		}
+	}
+}
+
+func TestThroughputIsInverseOfTime(t *testing.T) {
+	for _, row := range []Table2Row{TinyGarble, Overlay, MAXelerator} {
+		for _, b := range Widths {
+			want := 1 / row.TimePerMAC[b].Seconds()
+			got := row.ThroughputMACs[b]
+			if math.Abs(got-want)/want > 0.01 {
+				t.Fatalf("%s b=%d: throughput %.4g vs 1/time %.4g", row.Framework, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPerCoreIsThroughputOverCores(t *testing.T) {
+	for _, row := range []Table2Row{TinyGarble, Overlay, MAXelerator} {
+		for _, b := range Widths {
+			want := row.ThroughputMACs[b] / float64(row.Cores[b])
+			got := row.PerCoreMACs[b]
+			if math.Abs(got-want)/want > 0.02 {
+				t.Fatalf("%s b=%d: per-core %.4g vs derived %.4g", row.Framework, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMAXeleratorCyclesAt200MHz(t *testing.T) {
+	// time = cycles / 200 MHz for the FPGA rows.
+	for _, row := range []Table2Row{Overlay, MAXelerator} {
+		for _, b := range Widths {
+			want := row.CyclesPerMAC[b] / 200e6
+			got := row.TimePerMAC[b].Seconds()
+			if math.Abs(got-want)/want > 0.01 {
+				t.Fatalf("%s b=%d: time %.4g s vs cycles/200MHz %.4g s", row.Framework, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSpeedupRowsMatchRatios(t *testing.T) {
+	for _, b := range Widths {
+		ratio := MAXelerator.PerCoreMACs[b] / TinyGarble.PerCoreMACs[b]
+		if math.Abs(ratio-SpeedupPerCoreVsTinyGarble[b])/SpeedupPerCoreVsTinyGarble[b] > 0.02 {
+			t.Fatalf("b=%d: TinyGarble speedup row %.1f vs derived %.1f", b, SpeedupPerCoreVsTinyGarble[b], ratio)
+		}
+		ratio = MAXelerator.PerCoreMACs[b] / Overlay.PerCoreMACs[b]
+		if math.Abs(ratio-SpeedupPerCoreVsOverlay[b])/SpeedupPerCoreVsOverlay[b] > 0.03 {
+			t.Fatalf("b=%d: overlay speedup row %.1f vs derived %.1f", b, SpeedupPerCoreVsOverlay[b], ratio)
+		}
+	}
+}
+
+func TestTable1MonotoneInWidth(t *testing.T) {
+	prev := struct{ LUT, LUTRAM, FF float64 }{}
+	for _, b := range Widths {
+		row := Table1[b]
+		if row.LUT <= prev.LUT || row.LUTRAM <= prev.LUTRAM || row.FF <= prev.FF {
+			t.Fatalf("Table 1 not monotone at b=%d", b)
+		}
+		prev = row
+	}
+}
+
+func TestTable3ImprovementsConsistent(t *testing.T) {
+	for _, ds := range Table3 {
+		// The printed "Time (s) (Ours)" column is rounded to one
+		// decimal, so the ratio check needs slack (forestFires:
+		// 46/1.8 = 25.6 vs the printed 24.5×).
+		derived := ds.BaselineSeconds / ds.OursSeconds
+		if math.Abs(derived-ds.Improvement)/ds.Improvement > 0.08 {
+			t.Fatalf("%s: improvement %.1f vs baseline/ours %.1f", ds.Name, ds.Improvement, derived)
+		}
+		if ds.N <= 0 || ds.D <= 0 {
+			t.Fatalf("%s: missing shape", ds.Name)
+		}
+	}
+}
+
+func TestTable3SortedByImprovement(t *testing.T) {
+	for i := 1; i < len(Table3); i++ {
+		if Table3[i].Improvement > Table3[i-1].Improvement {
+			t.Fatal("Table 3 rows not in the paper's descending order")
+		}
+	}
+}
+
+func TestCaseStudyConstants(t *testing.T) {
+	if Recommendation.BaselineHoursPerIter != 2.9 || Recommendation.AcceleratedHoursPerIter != 1.0 {
+		t.Fatal("recommendation constants wrong")
+	}
+	if Portfolio.Rounds != 252 || Portfolio.Size != 2 {
+		t.Fatal("portfolio workload wrong")
+	}
+	if CaseStudyCores != 24 {
+		t.Fatal("case study core count wrong")
+	}
+}

@@ -1,0 +1,448 @@
+// Package protocol runs the paper's system configuration (Fig. 1, §3)
+// between two real endpoints: the cloud server — host CPU plus
+// MAXelerator, acting as the garbler — and the client, acting as the
+// evaluator. The accelerator simulator produces the garbled tables and
+// input labels; the host streams them to the client over a wire.Conn
+// (in-memory pipe or TCP); the client obtains its input labels through
+// IKNP oblivious transfer and evaluates round by round, exactly the
+// sequential-GC flow that lets memory-constrained clients hold only
+// one round of labels at a time.
+//
+// The threat model is honest-but-curious, matching the paper.
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/gc"
+	"maxelerator/internal/label"
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/ot"
+	"maxelerator/internal/seqgc"
+	"maxelerator/internal/wire"
+)
+
+// hello is the handshake the server opens every session with: the
+// client needs the netlist parameters to rebuild the MAC circuit and
+// the shape of the computation.
+type hello struct {
+	// Width, AccWidth and Signed mirror the accelerator configuration.
+	Width, AccWidth int
+	Signed          bool
+	// Scheme names the AND-garbling scheme.
+	Scheme string
+	// Rows and Cols describe the server matrix: Rows dot products of
+	// length Cols. A plain dot product has Rows == 1.
+	Rows, Cols int
+	// BatchedOT selects the §3 tradeoff: true transfers the labels of
+	// every round in one OT-extension batch ("send all the inputs at
+	// once through OT extension"), false runs OT round by round so a
+	// memory-constrained evaluator stores only one round of labels.
+	BatchedOT bool
+	// CorrelatedOT halves the label-transfer traffic by letting the OT
+	// choose the FALSE labels (free-XOR pairs differ by Δ, so one
+	// correction ciphertext per wire suffices).
+	CorrelatedOT bool
+}
+
+// result is the client's final report back to the server (the paper's
+// output-sharing step: "Alice and Bob share their output maps to
+// learn the output z").
+type result struct {
+	Values []int64
+}
+
+func sendGob(conn wire.Conn, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("protocol: encoding %T: %w", v, err)
+	}
+	return conn.SendMsg(buf.Bytes())
+}
+
+func recvGob(conn wire.Conn, v any) error {
+	msg, err := conn.RecvMsg()
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(msg)).Decode(v); err != nil {
+		return fmt.Errorf("protocol: decoding %T: %w", v, err)
+	}
+	return nil
+}
+
+// sendMaterial ships garbled material in the explicit binary wire
+// format of gc.MarshalMaterial (language-agnostic, unlike gob).
+func sendMaterial(conn wire.Conn, m *gc.Material) error {
+	enc, err := gc.MarshalMaterial(m)
+	if err != nil {
+		return err
+	}
+	return conn.SendMsg(enc)
+}
+
+func recvMaterial(conn wire.Conn) (*gc.Material, error) {
+	msg, err := conn.RecvMsg()
+	if err != nil {
+		return nil, err
+	}
+	return gc.UnmarshalMaterial(msg)
+}
+
+func schemeByName(name string) (gc.Scheme, error) {
+	switch name {
+	case "half-gates":
+		return gc.HalfGates{}, nil
+	case "grr3":
+		return gc.GRR3{}, nil
+	case "four-row":
+		return gc.FourRow{}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown garbling scheme %q", name)
+	}
+}
+
+// Server is the garbler endpoint: it owns the accelerator
+// configuration and the model data. Serve methods may be called from
+// concurrent goroutines — each session instantiates its own simulator
+// with a fresh free-XOR offset, as the paper requires ("new labels are
+// required for every garbling operation to ensure security").
+type Server struct {
+	cfg maxsim.Config
+}
+
+// NewServer builds a server around an accelerator configuration.
+func NewServer(cfg maxsim.Config) (*Server, error) {
+	// Validate eagerly so misconfiguration surfaces at startup, not on
+	// the first client.
+	if _, err := maxsim.New(cfg); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Stats of the last served computation.
+type Stats = maxsim.Stats
+
+// Options refine a served session.
+type Options struct {
+	// BatchedOT transfers every round's labels in one OT-extension
+	// batch instead of one batch per round. Fewer round trips, but the
+	// client must hold all labels at once (§3).
+	BatchedOT bool
+	// CorrelatedOT uses correlated OT for the label transfers: one
+	// ciphertext per input wire instead of two. Mutually exclusive
+	// with BatchedOT in this implementation.
+	CorrelatedOT bool
+}
+
+// ServeDotProduct runs one dot-product session over conn with the
+// server-held vector x. It returns the client-reported result and the
+// accelerator statistics.
+func (s *Server) ServeDotProduct(conn wire.Conn, x []int64) (int64, Stats, error) {
+	out, st, err := s.serve(conn, [][]int64{x}, Options{})
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return out[0], st, nil
+}
+
+// ServeMatVec runs a matrix-vector session: each row of A is one
+// sequential MAC chain over the client's vector.
+func (s *Server) ServeMatVec(conn wire.Conn, A [][]int64) ([]int64, Stats, error) {
+	return s.serve(conn, A, Options{})
+}
+
+// ServeMatVecOpts is ServeMatVec with explicit options.
+func (s *Server) ServeMatVecOpts(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stats, error) {
+	return s.serve(conn, A, opts)
+}
+
+func (s *Server) serve(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stats, error) {
+	sim, err := maxsim.New(s.cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if len(A) == 0 || len(A[0]) == 0 {
+		return nil, Stats{}, fmt.Errorf("protocol: empty server matrix")
+	}
+	cols := len(A[0])
+	for i, row := range A {
+		if len(row) != cols {
+			return nil, Stats{}, fmt.Errorf("protocol: row %d has %d columns, want %d", i, len(row), cols)
+		}
+	}
+	if opts.BatchedOT && opts.CorrelatedOT {
+		return nil, Stats{}, fmt.Errorf("protocol: batched and correlated OT are mutually exclusive")
+	}
+	cfg := sim.Config()
+	h := hello{
+		Width: cfg.Width, AccWidth: cfg.AccWidth, Signed: cfg.Signed,
+		Scheme: cfg.Params.Scheme.Name(),
+		Rows:   len(A), Cols: cols,
+		BatchedOT:    opts.BatchedOT,
+		CorrelatedOT: opts.CorrelatedOT,
+	}
+	if err := sendGob(conn, h); err != nil {
+		return nil, Stats{}, err
+	}
+
+	// OT session setup: the garbler is the extension sender.
+	sender, err := ot.NewExtensionSender(conn, cfg.Rand)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if opts.CorrelatedOT {
+		return s.serveCorrelated(conn, sim, A, sender)
+	}
+
+	var agg Stats
+	var allPairs []label.Pair // batched mode: every round's pairs, in order
+	runs := make([]*maxsim.DotProductRun, 0, len(A))
+	for _, row := range A {
+		run, err := sim.GarbleDotProduct(row)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		runs = append(runs, run)
+		agg.MACs += run.Stats.MACs
+		agg.Cycles += run.Stats.Cycles
+		agg.Stages += run.Stats.Stages
+		agg.TablesGarbled += run.Stats.TablesGarbled
+		agg.TablesScheduled += run.Stats.TablesScheduled
+		agg.TableBytes += run.Stats.TableBytes
+		agg.IdleSlots += run.Stats.IdleSlots
+		agg.RNGBitsDrawn += run.Stats.RNGBitsDrawn
+		agg.ModeledTime += run.Stats.ModeledTime
+		agg.PCIeTime += run.Stats.PCIeTime
+		if opts.BatchedOT {
+			for _, gb := range run.Rounds {
+				allPairs = append(allPairs, gb.EvalPairs...)
+			}
+			continue
+		}
+		for _, gb := range run.Rounds {
+			if err := sendMaterial(conn, &gb.Material); err != nil {
+				return nil, Stats{}, err
+			}
+			if err := ot.SendLabels(sender, gb.EvalPairs); err != nil {
+				return nil, Stats{}, err
+			}
+		}
+	}
+	if opts.BatchedOT {
+		if err := ot.SendLabels(sender, allPairs); err != nil {
+			return nil, Stats{}, err
+		}
+		for _, run := range runs {
+			for _, gb := range run.Rounds {
+				if err := sendMaterial(conn, &gb.Material); err != nil {
+					return nil, Stats{}, err
+				}
+			}
+		}
+	}
+
+	var res result
+	if err := recvGob(conn, &res); err != nil {
+		return nil, Stats{}, fmt.Errorf("protocol: reading client result: %w", err)
+	}
+	if len(res.Values) != len(A) {
+		return nil, Stats{}, fmt.Errorf("protocol: client reported %d values, want %d", len(res.Values), len(A))
+	}
+	return res.Values, agg, nil
+}
+
+// serveCorrelated is the correlated-OT session flow: each round, the
+// OT fixes the evaluator-input FALSE labels first, then the round is
+// garbled around them and the material streamed. A dedicated
+// sequential-GC session (fresh Δ) drives the garbling so the OT
+// corrections and the circuit share one offset.
+func (s *Server) serveCorrelated(conn wire.Conn, sim *maxsim.Simulator, A [][]int64, sender *ot.ExtensionSender) ([]int64, Stats, error) {
+	cfg := sim.Config()
+	gs, err := seqgc.NewGarblerSession(cfg.Params, cfg.Rand, sim.Circuit())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var agg Stats
+	for _, row := range A {
+		gs.Reset()
+		for _, xi := range row {
+			if err := checkRange(xi, cfg.Width, cfg.Signed); err != nil {
+				return nil, Stats{}, fmt.Errorf("protocol: %w", err)
+			}
+			labels, err := sender.SendCorrelatedLabels(cfg.Width, gs.Delta())
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			gb, err := gs.NextRoundWithEvalLabels(circuit.Int64ToBits(xi, cfg.Width), labels)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			if err := sendMaterial(conn, &gb.Material); err != nil {
+				return nil, Stats{}, err
+			}
+			agg.MACs++
+			agg.TablesGarbled += uint64(len(gb.Material.Tables))
+			agg.TableBytes += uint64(gb.Material.CiphertextBytes())
+		}
+	}
+	// Timing follows the same schedule model as the plain path.
+	mm, err := sim.MatMulStats(len(A), len(A[0]), 1)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	agg.Cycles = mm.Cycles
+	agg.Stages = mm.Stages
+	agg.TablesScheduled = mm.TablesScheduled
+	agg.IdleSlots = mm.IdleSlots
+	agg.CoreUtilization = mm.CoreUtilization
+	agg.ModeledTime = mm.ModeledTime
+	agg.PCIeTime = cfg.PCIe.TransferTime(int(agg.TableBytes))
+
+	var res result
+	if err := recvGob(conn, &res); err != nil {
+		return nil, Stats{}, fmt.Errorf("protocol: reading client result: %w", err)
+	}
+	if len(res.Values) != len(A) {
+		return nil, Stats{}, fmt.Errorf("protocol: client reported %d values, want %d", len(res.Values), len(A))
+	}
+	return res.Values, agg, nil
+}
+
+// Client is the evaluator endpoint.
+type Client struct {
+	// Rand supplies OT randomness; nil means crypto/rand via the
+	// underlying layers' defaults is NOT applied here, so it must be
+	// set by NewClient.
+	rnd randReader
+}
+
+type randReader interface{ Read([]byte) (int, error) }
+
+// NewClient builds a client drawing OT randomness from rnd (pass
+// crypto/rand.Reader in production).
+func NewClient(rnd randReader) (*Client, error) {
+	if rnd == nil {
+		return nil, fmt.Errorf("protocol: nil random source")
+	}
+	return &Client{rnd: rnd}, nil
+}
+
+// Run executes the evaluator side with the client vector y and returns
+// the decoded outputs (one per server matrix row).
+func (c *Client) Run(conn wire.Conn, y []int64) ([]int64, error) {
+	var h hello
+	if err := recvGob(conn, &h); err != nil {
+		return nil, fmt.Errorf("protocol: reading handshake: %w", err)
+	}
+	if h.Cols != len(y) {
+		return nil, fmt.Errorf("protocol: server expects a %d-element vector, client holds %d", h.Cols, len(y))
+	}
+	scheme, err := schemeByName(h.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	params := gc.DefaultParams()
+	params.Scheme = scheme
+	ckt, err := circuit.MAC(circuit.MACConfig{Width: h.Width, AccWidth: h.AccWidth, Signed: h.Signed})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: rebuilding MAC netlist: %w", err)
+	}
+
+	receiver, err := ot.NewExtensionReceiver(conn, c.rnd)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-encode the choice bits per round.
+	bitsPerRound := make([][]bool, len(y))
+	for i, v := range y {
+		if err := checkRange(v, h.Width, h.Signed); err != nil {
+			return nil, fmt.Errorf("protocol: element %d: %w", i, err)
+		}
+		bitsPerRound[i] = circuit.Int64ToBits(v, h.Width)
+	}
+
+	// Batched mode: obtain every round's labels in one OT batch before
+	// any material arrives — faster, but the client holds
+	// Rows·Cols·Width labels at once (§3's memory tradeoff).
+	var batched []label.Label
+	if h.BatchedOT {
+		choices := make([]bool, 0, h.Rows*h.Cols*h.Width)
+		for row := 0; row < h.Rows; row++ {
+			for round := 0; round < h.Cols; round++ {
+				choices = append(choices, bitsPerRound[round]...)
+			}
+		}
+		batched, err = ot.ReceiveLabels(receiver, choices)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: batched OT: %w", err)
+		}
+	}
+
+	outs := make([]int64, h.Rows)
+	for row := 0; row < h.Rows; row++ {
+		var stateAct []label.Label
+		var last *gc.EvalResult
+		for round := 0; round < h.Cols; round++ {
+			var active []label.Label
+			if h.CorrelatedOT {
+				// Correlated mode fixes the labels before the round is
+				// garbled, so the OT precedes the material.
+				active, err = receiver.ReceiveCorrelatedLabels(bitsPerRound[round])
+				if err != nil {
+					return nil, fmt.Errorf("protocol: row %d round %d correlated OT: %w", row, round, err)
+				}
+			}
+			m, err := recvMaterial(conn)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: row %d round %d material: %w", row, round, err)
+			}
+			switch {
+			case h.CorrelatedOT:
+				// labels already in hand
+			case h.BatchedOT:
+				off := (row*h.Cols + round) * h.Width
+				active = batched[off : off+h.Width]
+			default:
+				active, err = ot.ReceiveLabels(receiver, bitsPerRound[round])
+				if err != nil {
+					return nil, fmt.Errorf("protocol: row %d round %d OT: %w", row, round, err)
+				}
+			}
+			res, err := gc.Evaluate(params, ckt, m, active, stateAct)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: row %d round %d evaluate: %w", row, round, err)
+			}
+			stateAct = res.StateActive
+			last = res
+		}
+		if h.Signed {
+			outs[row] = circuit.BitsToInt64(last.Outputs)
+		} else {
+			outs[row] = int64(circuit.BitsToUint64(last.Outputs))
+		}
+	}
+	if err := sendGob(conn, result{Values: outs}); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+func checkRange(v int64, width int, signed bool) error {
+	if signed {
+		lo, hi := -(int64(1) << (width - 1)), int64(1)<<(width-1)-1
+		if v < lo || v > hi {
+			return fmt.Errorf("value %d outside signed %d-bit range", v, width)
+		}
+		return nil
+	}
+	if v < 0 || v >= int64(1)<<width {
+		return fmt.Errorf("value %d outside unsigned %d-bit range", v, width)
+	}
+	return nil
+}

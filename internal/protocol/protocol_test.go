@@ -1,0 +1,537 @@
+package protocol
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/wire"
+)
+
+// runSession wires a server and client over an in-memory pipe.
+func runSession(t *testing.T, cfg maxsim.Config, A [][]int64, y []int64) (serverOut []int64, clientOut []int64, st Stats) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serverOut, st, srvErr = srv.ServeMatVec(a, A)
+	}()
+	clientOut, err = cli.Run(b, y)
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serverOut, clientOut, st
+}
+
+func TestDotProductOverPipe(t *testing.T) {
+	cfg := maxsim.Config{Width: 8, AccWidth: 24, Signed: true}
+	x := []int64{3, -5, 7, 11}
+	y := []int64{2, 4, -6, 8}
+	want := int64(3*2 - 5*4 - 7*6 + 11*8)
+	serverOut, clientOut, st := runSession(t, cfg, [][]int64{x}, y)
+	if clientOut[0] != want {
+		t.Fatalf("client result = %d, want %d", clientOut[0], want)
+	}
+	if serverOut[0] != want {
+		t.Fatalf("server-learned result = %d, want %d", serverOut[0], want)
+	}
+	if st.MACs != 4 || st.TableBytes == 0 {
+		t.Fatalf("server stats incomplete: %+v", st)
+	}
+}
+
+func TestMatVecOverPipe(t *testing.T) {
+	cfg := maxsim.Config{Width: 8, AccWidth: 24, Signed: true}
+	A := [][]int64{{1, 2}, {-3, 4}, {5, -6}}
+	y := []int64{7, -9}
+	_, clientOut, _ := runSession(t, cfg, A, y)
+	want := []int64{7 - 18, -21 - 36, 35 + 54}
+	for i := range want {
+		if clientOut[i] != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, clientOut[i], want[i])
+		}
+	}
+}
+
+func TestUnsignedSession(t *testing.T) {
+	cfg := maxsim.Config{Width: 8, AccWidth: 20}
+	_, clientOut, _ := runSession(t, cfg, [][]int64{{200, 100}}, []int64{250, 3})
+	if clientOut[0] != 200*250+100*3 {
+		t.Fatalf("unsigned result = %d", clientOut[0])
+	}
+}
+
+func TestRandomisedSessionsAgainstPlaintext(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(42))
+	cfg := maxsim.Config{Width: 8, AccWidth: 32, Signed: true}
+	for trial := 0; trial < 3; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(5)
+		A := make([][]int64, n)
+		want := make([]int64, n)
+		y := make([]int64, m)
+		for j := range y {
+			y[j] = int64(rng.Intn(256) - 128)
+		}
+		for i := range A {
+			A[i] = make([]int64, m)
+			for j := range A[i] {
+				A[i][j] = int64(rng.Intn(256) - 128)
+				want[i] += A[i][j] * y[j]
+			}
+		}
+		_, clientOut, _ := runSession(t, cfg, A, y)
+		for i := range want {
+			if clientOut[i] != want[i] {
+				t.Fatalf("trial %d row %d = %d, want %d", trial, i, clientOut[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSessionOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cfg := maxsim.Config{Width: 8, AccWidth: 24, Signed: true}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []int64{12, -34}
+	y := []int64{-5, 6}
+	want := int64(12*-5 + -34*6)
+
+	var wg sync.WaitGroup
+	var srvOut int64
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := ln.Accept()
+		if err != nil {
+			srvErr = err
+			return
+		}
+		conn := wire.NewStreamConn(c)
+		defer conn.Close()
+		srvOut, _, srvErr = srv.ServeDotProduct(conn, x)
+	}()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := wire.NewStreamConn(nc)
+	defer conn.Close()
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Run(conn, y)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	if got[0] != want || srvOut != want {
+		t.Fatalf("TCP session: client %d server %d, want %d", got[0], srvOut, want)
+	}
+}
+
+func TestVectorLengthMismatchRejected(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.ServeDotProduct(a, []int64{1, 2, 3})
+	}()
+	if _, err := cli.Run(b, []int64{1}); err == nil {
+		t.Fatal("length mismatch accepted by client")
+	}
+	a.Close() // unblock server
+	wg.Wait()
+}
+
+func TestClientRejectsOutOfRangeInput(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.ServeDotProduct(a, []int64{1})
+	}()
+	if _, err := cli.Run(b, []int64{500}); err == nil {
+		t.Fatal("out-of-range client value accepted")
+	}
+	a.Close()
+	wg.Wait()
+}
+
+func TestServerValidation(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := wire.Pipe()
+	defer a.Close()
+	if _, _, err := srv.ServeMatVec(a, nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, _, err := srv.ServeMatVec(a, [][]int64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(nil); err == nil {
+		t.Fatal("nil randomness accepted")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range []string{"half-gates", "grr3", "four-row"} {
+		s, err := schemeByName(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("schemeByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := schemeByName("enigma"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestBatchedOTSession(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := [][]int64{{1, -2, 3}, {4, 5, -6}}
+	y := []int64{7, 8, 9}
+	want := []int64{7 - 16 + 27, 28 + 40 - 54}
+
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	var srvOut []int64
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srvOut, _, srvErr = srv.ServeMatVecOpts(a, A, Options{BatchedOT: true})
+	}()
+	got, err := cli.Run(b, y)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	for i := range want {
+		if got[i] != want[i] || srvOut[i] != want[i] {
+			t.Fatalf("row %d: client %d server %d, want %d", i, got[i], srvOut[i], want[i])
+		}
+	}
+}
+
+func TestBatchedOTUsesFewerMessages(t *testing.T) {
+	// The §3 tradeoff: batching collapses the per-round OT exchanges
+	// into one, at the cost of client label memory.
+	run := func(batched bool) int64 {
+		srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := NewClient(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := wire.Pipe()
+		defer a.Close()
+		defer b.Close()
+		cb := wire.NewCounting(b)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.ServeMatVecOpts(a, [][]int64{{1, 2, 3, 4, 5, 6}}, Options{BatchedOT: batched})
+		}()
+		if _, err := cli.Run(cb, []int64{1, 1, 1, 1, 1, 1}); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		_, _, sentMsgs, recvMsgs := cb.Totals()
+		return sentMsgs + recvMsgs
+	}
+	perRound := run(false)
+	batched := run(true)
+	if batched >= perRound {
+		t.Fatalf("batched OT used %d messages, per-round %d", batched, perRound)
+	}
+}
+
+func TestCorrelatedOTSession(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := [][]int64{{2, -3, 4}, {-5, 6, 7}}
+	y := []int64{10, 11, -12}
+	want := []int64{20 - 33 - 48, -50 + 66 - 84}
+
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	var srvOut []int64
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srvOut, _, srvErr = srv.ServeMatVecOpts(a, A, Options{CorrelatedOT: true})
+	}()
+	got, err := cli.Run(b, y)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	for i := range want {
+		if got[i] != want[i] || srvOut[i] != want[i] {
+			t.Fatalf("row %d: client %d server %d, want %d", i, got[i], srvOut[i], want[i])
+		}
+	}
+}
+
+func TestCorrelatedOTHalvesLabelTraffic(t *testing.T) {
+	// One correction ciphertext per wire instead of two OT ciphertexts.
+	run := func(opts Options) int64 {
+		srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := NewClient(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := wire.Pipe()
+		defer a.Close()
+		defer b.Close()
+		ca := wire.NewCounting(a)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.ServeMatVecOpts(ca, [][]int64{{1, 2, 3, 4, 5, 6, 7, 8}}, opts)
+		}()
+		if _, err := cli.Run(b, []int64{1, 1, 1, 1, 1, 1, 1, 1}); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		sent, _, _, _ := ca.Totals()
+		return sent
+	}
+	plain := run(Options{})
+	correlated := run(Options{CorrelatedOT: true})
+	if correlated >= plain {
+		t.Fatalf("correlated OT sent %d bytes, plain %d", correlated, plain)
+	}
+}
+
+func TestMutuallyExclusiveOTModes(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := wire.Pipe()
+	defer a.Close()
+	if _, _, err := srv.ServeMatVecOpts(a, [][]int64{{1}}, Options{BatchedOT: true, CorrelatedOT: true}); err == nil {
+		t.Fatal("conflicting OT modes accepted")
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	// The cloud server of Fig. 1 serves multiple clients at once; each
+	// session garbles under its own fresh labels and must not interfere
+	// with the others.
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*2)
+	for s := 0; s < sessions; s++ {
+		x := []int64{int64(s + 1), int64(2 * (s + 1))}
+		y := []int64{3, -4}
+		want := x[0]*3 + x[1]*-4
+		ca, cb := wire.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			defer ca.Close()
+			if _, _, err := srv.ServeDotProduct(ca, x); err != nil {
+				errs <- err
+			}
+		}()
+		go func(want int64) {
+			defer wg.Done()
+			defer cb.Close()
+			cli, err := NewClient(rand.Reader)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := cli.Run(cb, y)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got[0] != want {
+				errs <- fmt.Errorf("session result %d, want %d", got[0], want)
+			}
+		}(want)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialModeSession(t *testing.T) {
+	for _, signed := range []bool{false, true} {
+		srv, err := NewServer(maxsim.Config{Width: 8, Signed: signed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := NewClient(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var x, y []int64
+		var want int64
+		if signed {
+			x, y = []int64{-13, 7}, []int64{11, -5}
+			want = -13*11 + 7*-5
+		} else {
+			x, y = []int64{13, 7}, []int64{11, 5}
+			want = 13*11 + 7*5
+		}
+		a, b := wire.Pipe()
+		var wg sync.WaitGroup
+		var srvOut int64
+		var srvErr error
+		var st Stats
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srvOut, st, srvErr = srv.ServeDotProductSerial(a, x)
+		}()
+		got, err := cli.RunSerial(b, y)
+		wg.Wait()
+		a.Close()
+		b.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srvErr != nil {
+			t.Fatal(srvErr)
+		}
+		if got != want || srvOut != want {
+			t.Fatalf("signed=%v: client %d server %d, want %d", signed, got, srvOut, want)
+		}
+		// Stage accounting: (2b+2) stages per MAC.
+		if st.Stages != uint64(len(x))*18 {
+			t.Fatalf("signed=%v: %d stages", signed, st.Stages)
+		}
+	}
+}
+
+func TestSerialModeValidationErrors(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if _, _, err := srv.ServeDotProductSerial(a, nil); err == nil {
+		t.Fatal("empty vector accepted")
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.ServeDotProductSerial(a, []int64{1, 2})
+	}()
+	if _, err := cli.RunSerial(b, []int64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	a.Close()
+	wg.Wait()
+}

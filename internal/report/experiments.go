@@ -1,0 +1,314 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"maxelerator/internal/casestudy"
+	"maxelerator/internal/fpga"
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/overlay"
+	"maxelerator/internal/paper"
+	"maxelerator/internal/sched"
+	"maxelerator/internal/tinygarble"
+)
+
+// Table1 regenerates the resource-usage table: the model (calibrated
+// to the paper) next to the published values, plus the linearity
+// check.
+func Table1() (*Table, error) {
+	t := NewTable("Table 1: Resource usage of one MAC unit",
+		"bit-width", "LUT (model)", "LUT (paper)", "LUTRAM (model)", "LUTRAM (paper)", "FF (model)", "FF (paper)")
+	for _, b := range paper.Widths {
+		r, err := fpga.MACUnitResources(b)
+		if err != nil {
+			return nil, err
+		}
+		p := paper.Table1[b]
+		t.AddRow(fmt.Sprint(b),
+			Sci(float64(r.LUT)), Sci(p.LUT),
+			Sci(float64(r.LUTRAM)), Sci(p.LUTRAM),
+			Sci(float64(r.FlipFlop)), Sci(p.FF))
+	}
+	return t, nil
+}
+
+// SoftwareMeasurement is one live TinyGarble-style measurement on the
+// benchmarking host.
+type SoftwareMeasurement struct {
+	// Width is the operand bit-width.
+	Width int
+	// TimePerMAC is the measured per-MAC garbling latency.
+	TimePerMAC time.Duration
+}
+
+// MeasureSoftware garbles `rounds` MACs per width with the software
+// framework and returns per-width measurements.
+func MeasureSoftware(rounds int) ([]SoftwareMeasurement, error) {
+	out := make([]SoftwareMeasurement, 0, len(paper.Widths))
+	for _, b := range paper.Widths {
+		f, err := tinygarble.New(b)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.GarbleMACRounds(rounds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SoftwareMeasurement{Width: b, TimePerMAC: st.TimePerMAC()})
+	}
+	return out, nil
+}
+
+// Table2 regenerates the throughput comparison. When measured is
+// non-nil, a "this host" software row is added next to the paper's
+// reference rows.
+func Table2(measured []SoftwareMeasurement) (*Table, error) {
+	t := NewTable("Table 2: Throughput comparison with state-of-the-art GC frameworks",
+		"framework", "bit-width", "cycles/MAC", "time/MAC", "MAC/s", "cores", "MAC/s/core", "MAXelerator per-core ×")
+
+	ov := overlay.NewModel()
+	addPaperRow := func(row paper.Table2Row, speedup map[int]float64) {
+		for _, b := range paper.Widths {
+			ratio := "-"
+			if speedup != nil {
+				ratio = Ratio(speedup[b])
+			}
+			t.AddRow(row.Framework, fmt.Sprint(b),
+				Sci(row.CyclesPerMAC[b]), Dur(row.TimePerMAC[b]),
+				Sci(row.ThroughputMACs[b]), fmt.Sprint(row.Cores[b]),
+				Sci(row.PerCoreMACs[b]), ratio)
+		}
+	}
+	addPaperRow(paper.TinyGarble, paper.SpeedupPerCoreVsTinyGarble)
+
+	if measured != nil {
+		for _, m := range measured {
+			sim, err := maxsim.New(maxsim.Config{Width: m.Width})
+			if err != nil {
+				return nil, err
+			}
+			perCore := 0.0
+			if m.TimePerMAC > 0 {
+				perCore = 1 / m.TimePerMAC.Seconds()
+			}
+			ratio := sim.ThroughputPerCoreMACsPerSec() / perCore
+			t.AddRow("software (this host, Go)", fmt.Sprint(m.Width),
+				"-", Dur(m.TimePerMAC), Sci(perCore), "1", Sci(perCore), Ratio(ratio))
+		}
+	}
+
+	addPaperRow(paper.Overlay, paper.SpeedupPerCoreVsOverlay)
+	for _, b := range paper.Widths {
+		c, err := ov.CyclesPerMAC(b)
+		if err != nil {
+			return nil, err
+		}
+		tp, err := ov.ThroughputMACsPerSec(b)
+		if err != nil {
+			return nil, err
+		}
+		pc, err := ov.PerCoreMACsPerSec(b)
+		if err != nil {
+			return nil, err
+		}
+		td, err := ov.TimePerMAC(b)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("overlay model (ours)", fmt.Sprint(b),
+			Sci(c), Dur(td), Sci(tp), fmt.Sprint(overlay.Cores), Sci(pc), "-")
+	}
+
+	addPaperRow(paper.MAXelerator, nil)
+	for _, b := range paper.Widths {
+		sim, err := maxsim.New(maxsim.Config{Width: b})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("MAXelerator sim (ours)", fmt.Sprint(b),
+			fmt.Sprint(sim.Schedule().CyclesPerMAC()), Dur(sim.TimePerMAC()),
+			Sci(sim.ThroughputMACsPerSec()), fmt.Sprint(sim.Schedule().NumCores()),
+			Sci(sim.ThroughputPerCoreMACsPerSec()), "-")
+	}
+	return t, nil
+}
+
+// Table3 regenerates the ridge-regression study.
+func Table3() (*Table, error) {
+	rows, err := casestudy.Ridge(casestudy.PaperSpeedup32().Factor())
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Table 3: Ridge regression runtime improvement",
+		"dataset", "n", "d", "baseline [7] (s)", "ours model (s)", "ours paper (s)", "impr. model", "impr. paper")
+	for _, r := range rows {
+		t.AddRow(r.Dataset.Name, fmt.Sprint(r.Dataset.N), fmt.Sprint(r.Dataset.D),
+			fmt.Sprintf("%.0f", r.Dataset.BaselineSeconds),
+			fmt.Sprintf("%.1f", r.ModeledSeconds),
+			fmt.Sprintf("%.1f", r.Dataset.OursSeconds),
+			Ratio(r.ModeledImprovement), Ratio(r.Dataset.Improvement))
+	}
+	return t, nil
+}
+
+// CaseRecommendation renders the §6 recommendation study.
+func CaseRecommendation() (*Table, error) {
+	res, err := casestudy.Recommendation(casestudy.PaperSpeedup32().Factor())
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Case study: recommendation system (matrix factorisation, MovieLens)",
+		"metric", "value")
+	t.AddRow("baseline per iteration [6]", Dur(res.BaselinePerIter))
+	t.AddRow("gradient (MAC) share", fmt.Sprintf("%.0f%%", 100*res.GradientShare))
+	t.AddRow("per-MAC speedup", Ratio(res.MACSpeedup))
+	t.AddRow("accelerated per iteration (model)", Dur(res.AcceleratedPerIter))
+	t.AddRow("accelerated per iteration (paper)", Dur(res.PaperAcceleratedPerIter))
+	t.AddRow("improvement", fmt.Sprintf("%.0f%%", res.ImprovementPct))
+	return t, nil
+}
+
+// CasePortfolio renders the §6 portfolio study.
+func CasePortfolio() (*Table, error) {
+	m, err := casestudy.Portfolio(casestudy.PaperSpeedup32())
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Case study: portfolio risk analysis (w·cov·wᵀ, 252 rounds, size 2)",
+		"metric", "value")
+	t.AddRow("MACs per round", fmt.Sprint(m.MACsPerRound))
+	t.AddRow("TinyGarble total (model)", Dur(m.SoftwareTime))
+	t.AddRow("TinyGarble total (paper)", Dur(m.PaperSoftware))
+	t.AddRow("MAXelerator total (model)", Dur(m.AcceleratedTime))
+	t.AddRow("MAXelerator total (paper)", Dur(m.PaperAccelerated))
+	t.AddRow("modelled speedup", Ratio(m.SoftwareTime.Seconds()/m.AcceleratedTime.Seconds()))
+	return t, nil
+}
+
+// Fig2 renders the tree-multiplication dataflow for bit-width b.
+func Fig2(b int) (string, error) {
+	s, err := sched.Build(b)
+	if err != nil {
+		return "", err
+	}
+	return s.RenderTree(), nil
+}
+
+// Fig3 renders the MUX_ADD/TREE stage grid for bit-width b.
+func Fig3(b int) (string, error) {
+	s, err := sched.Build(b)
+	if err != nil {
+		return "", err
+	}
+	return s.RenderStageGrid(), nil
+}
+
+// PerformanceSweep renders the §4.3 formulas over a width sweep.
+func PerformanceSweep(widths []int) (*Table, error) {
+	t := NewTable("§4.3 performance analysis sweep",
+		"bit-width", "GC cores", "idle slots/stage", "cycles/MAC", "latency (cycles)", "tables/MAC", "MAC/s (200MHz)", "MAC/s/core")
+	for _, b := range widths {
+		s, err := sched.Build(b)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := maxsim.New(maxsim.Config{Width: b})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(b), fmt.Sprint(s.NumCores()), fmt.Sprint(s.IdleSlotsPerStage()),
+			fmt.Sprint(s.CyclesPerMAC()), fmt.Sprint(s.LatencyCycles()), fmt.Sprint(s.TablesPerMAC()),
+			Sci(sim.ThroughputMACsPerSec()), Sci(sim.ThroughputPerCoreMACsPerSec()))
+	}
+	return t, nil
+}
+
+// All renders every table and figure, optionally with live software
+// measurements, as one report.
+func All(measured []SoftwareMeasurement) (string, error) {
+	var sb strings.Builder
+	t1, err := Table1()
+	if err != nil {
+		return "", err
+	}
+	t2, err := Table2(measured)
+	if err != nil {
+		return "", err
+	}
+	t3, err := Table3()
+	if err != nil {
+		return "", err
+	}
+	rec, err := CaseRecommendation()
+	if err != nil {
+		return "", err
+	}
+	pf, err := CasePortfolio()
+	if err != nil {
+		return "", err
+	}
+	f2, err := Fig2(8)
+	if err != nil {
+		return "", err
+	}
+	f3, err := Fig3(8)
+	if err != nil {
+		return "", err
+	}
+	sweep, err := PerformanceSweep([]int{4, 8, 16, 32, 64})
+	if err != nil {
+		return "", err
+	}
+	t3ops, err := Table3Ops()
+	if err != nil {
+		return "", err
+	}
+	tl, err := Timeline(8, 4, 44)
+	if err != nil {
+		return "", err
+	}
+	for _, s := range []string{t1.String(), t2.String(), t3.String(), t3ops.String(), rec.String(), pf.String(), f2, f3, tl, sweep.String()} {
+		sb.WriteString(s)
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// Table3Ops renders the gate-count-derived ridge model next to the
+// published Table 3 improvements — a derivation that never reads the
+// published factors.
+func Table3Ops() (*Table, error) {
+	dims := make([]int, 0, len(paper.Table3))
+	for _, ds := range paper.Table3 {
+		dims = append(dims, ds.D)
+	}
+	rows, err := casestudy.RidgeOpsSweep(dims, casestudy.PaperSpeedup32())
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Table 3 (ops model): ridge pipeline priced from gate counts",
+		"d", "MACs", "divs", "sqrts", "MAC share", "software", "accelerated", "improvement", "paper impr.")
+	for i, r := range rows {
+		t.AddRow(fmt.Sprint(r.D),
+			fmt.Sprint(r.MACs), fmt.Sprint(r.Divs), fmt.Sprint(r.Sqrts),
+			fmt.Sprintf("%.3f", r.MACShare),
+			Dur(r.SoftwareTime), Dur(r.AcceleratedTime),
+			Ratio(r.Improvement), Ratio(paper.Table3[i].Improvement))
+	}
+	return t, nil
+}
+
+// Timeline renders the pipeline fill/steady/drain picture for n MACs.
+func Timeline(b, n, maxStages int) (string, error) {
+	s, err := sched.Build(b)
+	if err != nil {
+		return "", err
+	}
+	tl, err := s.BuildTimeline(n)
+	if err != nil {
+		return "", err
+	}
+	return tl.Render(maxStages), nil
+}

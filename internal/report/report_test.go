@@ -1,0 +1,205 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "a", "long-header", "c")
+	tb.AddRow("1", "2")
+	tb.AddRow("xxx", "y", "z")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "long-header") {
+		t.Fatalf("render missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Sci(23600) != "2.36E+04" {
+		t.Fatalf("Sci = %q", Sci(23600))
+	}
+	if Dur(120*time.Nanosecond) != "120ns" {
+		t.Fatalf("Dur ns = %q", Dur(120*time.Nanosecond))
+	}
+	if Dur(42*time.Microsecond+290*time.Nanosecond) != "42.29µs" {
+		t.Fatalf("Dur µs = %q", Dur(42290*time.Nanosecond))
+	}
+	if Dur(15230*time.Microsecond) != "15.23ms" {
+		t.Fatalf("Dur ms = %q", Dur(15230*time.Microsecond))
+	}
+	if Dur(2900*time.Millisecond) != "2.90s" {
+		t.Fatalf("Dur s = %q", Dur(2900*time.Millisecond))
+	}
+	if Dur(time.Duration(2.9*float64(time.Hour))) != "2.90h" {
+		t.Fatalf("Dur h = %q", Dur(time.Duration(2.9*float64(time.Hour))))
+	}
+	if Ratio(56.96) != "57.0×" {
+		t.Fatalf("Ratio = %q", Ratio(56.96))
+	}
+}
+
+func TestTable1Contents(t *testing.T) {
+	tb, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"2.95E+04", "1.11E+05", "6.40E+02", "8.40E+04"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Contents(t *testing.T) {
+	tb, err := Table2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"TinyGarble", "Overlay", "MAXelerator", "57.0×", "985.0×", "120ns", "8.33E+06"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2WithMeasurement(t *testing.T) {
+	m := []SoftwareMeasurement{{Width: 8, TimePerMAC: 50 * time.Microsecond}}
+	tb, err := Table2(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "this host") {
+		t.Fatal("measured row missing")
+	}
+}
+
+func TestMeasureSoftwareRuns(t *testing.T) {
+	ms, err := MeasureSoftware(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("%d measurements", len(ms))
+	}
+	for _, m := range ms {
+		if m.TimePerMAC <= 0 {
+			t.Fatalf("width %d: no time measured", m.Width)
+		}
+	}
+}
+
+func TestTable3Contents(t *testing.T) {
+	tb, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"communities11.IV", "winequality-red", "39.8×", "16.8×"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCaseStudyTables(t *testing.T) {
+	rec, err := CaseRecommendation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.String(), "2.90h") {
+		t.Fatalf("recommendation table:\n%s", rec)
+	}
+	pf, err := CasePortfolio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pf.String(), "15.23ms") {
+		t.Fatalf("portfolio table:\n%s", pf)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	f2, err := Fig2(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2, "Fig. 2") {
+		t.Fatal("Fig2 rendering wrong")
+	}
+	f3, err := Fig3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f3, "MUX_ADD") {
+		t.Fatal("Fig3 rendering wrong")
+	}
+	if _, err := Fig2(3); err == nil {
+		t.Fatal("bad width accepted")
+	}
+	if _, err := Fig3(3); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestPerformanceSweep(t *testing.T) {
+	tb, err := PerformanceSweep([]int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "24") || !strings.Contains(out, "48") {
+		t.Fatalf("sweep missing cycle counts:\n%s", out)
+	}
+	if _, err := PerformanceSweep([]int{5}); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestAllReport(t *testing.T) {
+	out, err := All(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "recommendation", "portfolio", "Fig. 2", "MUX_ADD", "§4.3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("full report missing %q", want)
+		}
+	}
+}
+
+func TestTable3Ops(t *testing.T) {
+	tb, err := Table3Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"MAC share", "20", "8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ops table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineReport(t *testing.T) {
+	out, err := Timeline(8, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MUX_ADD") {
+		t.Fatalf("timeline missing region rows:\n%s", out)
+	}
+	if _, err := Timeline(7, 4, 30); err == nil {
+		t.Fatal("bad width accepted")
+	}
+	if _, err := Timeline(8, 0, 30); err == nil {
+		t.Fatal("zero MACs accepted")
+	}
+}

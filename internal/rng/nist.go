@@ -1,0 +1,300 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the statistical battery the paper uses to
+// validate the RNG ("The entropy of the implemented RNG ... is
+// thoroughly evaluated by NIST battery of randomness tests", §5.2).
+// The tests follow NIST SP 800-22: each computes a p-value and passes
+// when p ≥ Alpha.
+
+// Alpha is the NIST SP 800-22 significance level.
+const Alpha = 0.01
+
+// TestResult is the outcome of one statistical test.
+type TestResult struct {
+	// Name identifies the test.
+	Name string
+	// PValue is the test p-value; the stream passes when ≥ Alpha.
+	PValue float64
+	// Pass reports PValue ≥ Alpha.
+	Pass bool
+	// Detail carries the raw statistic for reports.
+	Detail string
+}
+
+func result(name string, p float64, detail string) TestResult {
+	return TestResult{Name: name, PValue: p, Pass: p >= Alpha, Detail: detail}
+}
+
+// igamq computes the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a), used to turn chi-square statistics into
+// p-values. Series expansion for x < a+1, continued fraction
+// otherwise (Numerical Recipes gammp/gammq).
+func igamq(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// P(a,x) by series, Q = 1 - P.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return 1 - sum*math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Q(a,x) by modified Lentz continued fraction.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Monobit is the SP 800-22 frequency test: the proportion of ones
+// must be consistent with 1/2.
+func Monobit(bits []bool) TestResult {
+	n := len(bits)
+	s := 0
+	for _, b := range bits {
+		if b {
+			s++
+		} else {
+			s--
+		}
+	}
+	sObs := math.Abs(float64(s)) / math.Sqrt(float64(n))
+	p := math.Erfc(sObs / math.Sqrt2)
+	return result("monobit", p, fmt.Sprintf("S=%d n=%d", s, n))
+}
+
+// BlockFrequency is the SP 800-22 frequency-within-a-block test.
+func BlockFrequency(bits []bool, blockLen int) TestResult {
+	n := len(bits)
+	nBlocks := n / blockLen
+	if nBlocks == 0 {
+		return result("block-frequency", math.NaN(), "stream shorter than one block")
+	}
+	chi2 := 0.0
+	for i := 0; i < nBlocks; i++ {
+		ones := 0
+		for j := 0; j < blockLen; j++ {
+			if bits[i*blockLen+j] {
+				ones++
+			}
+		}
+		pi := float64(ones) / float64(blockLen)
+		chi2 += (pi - 0.5) * (pi - 0.5)
+	}
+	chi2 *= 4 * float64(blockLen)
+	p := igamq(float64(nBlocks)/2, chi2/2)
+	return result("block-frequency", p, fmt.Sprintf("chi2=%.3f blocks=%d", chi2, nBlocks))
+}
+
+// Runs is the SP 800-22 runs test: the number of maximal runs of
+// identical bits must match expectation.
+func Runs(bits []bool) TestResult {
+	n := len(bits)
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	pi := float64(ones) / float64(n)
+	// Pre-test: monobit must be plausible, otherwise the runs test is
+	// undefined by SP 800-22.
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		return result("runs", 0, fmt.Sprintf("pre-test failed: pi=%.4f", pi))
+	}
+	v := 1
+	for i := 1; i < n; i++ {
+		if bits[i] != bits[i-1] {
+			v++
+		}
+	}
+	num := math.Abs(float64(v) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	p := math.Erfc(num / den)
+	return result("runs", p, fmt.Sprintf("V=%d pi=%.4f", v, pi))
+}
+
+// LongestRunOfOnes is the SP 800-22 longest-run test for 128-bit
+// blocks (M=128, N=49 categories per the standard's table).
+func LongestRunOfOnes(bits []bool) TestResult {
+	const blockLen = 128
+	nBlocks := len(bits) / blockLen
+	if nBlocks < 49 {
+		return result("longest-run", math.NaN(), fmt.Sprintf("need %d bits, have %d", 49*blockLen, len(bits)))
+	}
+	// Categories for M=128: longest run ≤4, 5, 6, 7, 8, ≥9.
+	probs := []float64{0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124}
+	counts := make([]int, 6)
+	for i := 0; i < nBlocks; i++ {
+		longest, run := 0, 0
+		for j := 0; j < blockLen; j++ {
+			if bits[i*blockLen+j] {
+				run++
+				if run > longest {
+					longest = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		switch {
+		case longest <= 4:
+			counts[0]++
+		case longest >= 9:
+			counts[5]++
+		default:
+			counts[longest-4]++
+		}
+	}
+	chi2 := 0.0
+	for i, p := range probs {
+		exp := float64(nBlocks) * p
+		d := float64(counts[i]) - exp
+		chi2 += d * d / exp
+	}
+	p := igamq(5.0/2, chi2/2)
+	return result("longest-run", p, fmt.Sprintf("chi2=%.3f blocks=%d", chi2, nBlocks))
+}
+
+// Poker is the FIPS 140-2 poker test with 4-bit cells: the 16 nibble
+// values must be uniformly distributed.
+func Poker(bits []bool) TestResult {
+	m := 4
+	k := len(bits) / m
+	if k == 0 {
+		return result("poker", math.NaN(), "stream too short")
+	}
+	counts := make([]int, 1<<m)
+	for i := 0; i < k; i++ {
+		v := 0
+		for j := 0; j < m; j++ {
+			if bits[i*m+j] {
+				v |= 1 << uint(j)
+			}
+		}
+		counts[v]++
+	}
+	x := 0.0
+	for _, c := range counts {
+		x += float64(c) * float64(c)
+	}
+	chi2 := float64(int(1)<<m)/float64(k)*x - float64(k)
+	p := igamq(float64(int(1)<<m-1)/2, chi2/2)
+	return result("poker", p, fmt.Sprintf("chi2=%.3f cells=%d", chi2, k))
+}
+
+// Autocorrelation tests independence between bits d positions apart.
+func Autocorrelation(bits []bool, d int) TestResult {
+	n := len(bits) - d
+	if n <= 0 {
+		return result("autocorrelation", math.NaN(), "stream shorter than lag")
+	}
+	a := 0
+	for i := 0; i < n; i++ {
+		if bits[i] != bits[i+d] {
+			a++
+		}
+	}
+	z := 2 * (float64(a) - float64(n)/2) / math.Sqrt(float64(n))
+	p := math.Erfc(math.Abs(z) / math.Sqrt2)
+	return result(fmt.Sprintf("autocorrelation(d=%d)", d), p, fmt.Sprintf("A=%d n=%d", a, n))
+}
+
+// CumulativeSums is the SP 800-22 cusum test (forward mode).
+func CumulativeSums(bits []bool) TestResult {
+	n := len(bits)
+	s, z := 0, 0
+	for _, b := range bits {
+		if b {
+			s++
+		} else {
+			s--
+		}
+		if abs := s; abs < 0 {
+			if -abs > z {
+				z = -abs
+			}
+		} else if abs > z {
+			z = abs
+		}
+	}
+	if z == 0 {
+		return result("cusum", 0, "degenerate all-balanced stream")
+	}
+	fn := float64(n)
+	fz := float64(z)
+	phi := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	sum1 := 0.0
+	for k := (-n/z + 1) / 4; k <= (n/z-1)/4; k++ {
+		sum1 += phi(float64(4*k+1)*fz/math.Sqrt(fn)) - phi(float64(4*k-1)*fz/math.Sqrt(fn))
+	}
+	sum2 := 0.0
+	for k := (-n/z - 3) / 4; k <= (n/z-1)/4; k++ {
+		sum2 += phi(float64(4*k+3)*fz/math.Sqrt(fn)) - phi(float64(4*k+1)*fz/math.Sqrt(fn))
+	}
+	p := 1 - sum1 + sum2
+	return result("cusum", p, fmt.Sprintf("z=%d n=%d", z, n))
+}
+
+// Battery runs the full test battery over the stream and returns all
+// results.
+func Battery(bits []bool) []TestResult {
+	return []TestResult{
+		Monobit(bits),
+		BlockFrequency(bits, 128),
+		Runs(bits),
+		LongestRunOfOnes(bits),
+		Poker(bits),
+		Autocorrelation(bits, 1),
+		Autocorrelation(bits, 8),
+		CumulativeSums(bits),
+	}
+}
+
+// BatteryPasses reports whether every test in the battery passed.
+func BatteryPasses(bits []bool) bool {
+	for _, r := range Battery(bits) {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+// Package rng simulates the on-chip entropy source of MAXelerator's
+// label generator (§5.2): the ring-oscillator-based random number
+// generator of Wold and Tan, where one RNG samples and XORs the
+// outputs of 16 three-inverter ring oscillators, and validates the
+// resulting bit stream with a NIST-style battery of statistical tests.
+//
+// The simulation models each ring oscillator as a free-running square
+// wave whose period accumulates Gaussian jitter — the physical
+// phenomenon the hardware harvests. Sampling flip-flops latch each
+// oscillator at the system clock and the sampled bits are XOR-ed into
+// the output bit, mirroring the Wold–Tan enhancement of placing a DFF
+// per oscillator before the XOR tree.
+//
+// The package is a hardware model for the simulator and the
+// benchmarks; protocol-critical randomness elsewhere in the repository
+// comes from crypto/rand.
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultOscillators is the paper's oscillator count per RNG.
+const DefaultOscillators = 16
+
+// DefaultInverters is the ring length used in the paper (3 inverters).
+const DefaultInverters = 3
+
+// ringOscillator models one free-running ring with phase jitter.
+type ringOscillator struct {
+	// periodSamples is the nominal oscillation period measured in
+	// system-clock samples (< 1: the ring runs faster than the clock).
+	periodSamples float64
+	// jitterSigma is the standard deviation of the per-sample phase
+	// noise, in periods.
+	jitterSigma float64
+	// phase is the current phase in periods, ∈ [0, ∞).
+	phase float64
+}
+
+// sample advances the oscillator by one system clock and latches its
+// output level.
+func (ro *ringOscillator) sample(noise *rand.Rand) bool {
+	ro.phase += 1/ro.periodSamples + noise.NormFloat64()*ro.jitterSigma
+	_, frac := math.Modf(ro.phase)
+	return frac >= 0.5
+}
+
+// Config parameterises a simulated RO RNG.
+type Config struct {
+	// Oscillators is the number of rings XOR-ed together (default 16).
+	Oscillators int
+	// JitterSigma is the per-sample phase noise in periods
+	// (default 0.05, a deliberately conservative accumulation rate).
+	JitterSigma float64
+	// Seed seeds the jitter process; a fixed seed gives a reproducible
+	// stream for tests.
+	Seed int64
+}
+
+// RORNG is a simulated Wold–Tan ring-oscillator RNG producing one bit
+// per system clock. It implements io.Reader over the packed bits.
+type RORNG struct {
+	rings []ringOscillator
+	noise *rand.Rand
+	// SamplesTaken counts system clocks consumed, for the energy
+	// accounting of §5.2 (the FSM gates RNGs off when idle).
+	SamplesTaken uint64
+}
+
+// New builds a simulated RNG array.
+func New(cfg Config) (*RORNG, error) {
+	if cfg.Oscillators == 0 {
+		cfg.Oscillators = DefaultOscillators
+	}
+	if cfg.Oscillators < 1 {
+		return nil, fmt.Errorf("rng: oscillator count %d must be positive", cfg.Oscillators)
+	}
+	if cfg.JitterSigma == 0 {
+		cfg.JitterSigma = 0.05
+	}
+	if cfg.JitterSigma < 0 {
+		return nil, fmt.Errorf("rng: negative jitter %v", cfg.JitterSigma)
+	}
+	noise := rand.New(rand.NewSource(cfg.Seed))
+	r := &RORNG{noise: noise}
+	for i := 0; i < cfg.Oscillators; i++ {
+		// Incommensurate nominal periods spread across [0.31, 0.47)
+		// clock samples — 3-inverter rings oscillate a few times per
+		// 200 MHz system clock. Process variation is modelled by a
+		// per-ring perturbation.
+		period := 0.31 + 0.16*float64(i)/float64(cfg.Oscillators)
+		period *= 1 + 0.02*noise.NormFloat64()
+		r.rings = append(r.rings, ringOscillator{
+			periodSamples: period,
+			jitterSigma:   cfg.JitterSigma,
+			phase:         noise.Float64(),
+		})
+	}
+	return r, nil
+}
+
+// MustNew builds a simulated RNG and panics on bad configuration.
+func MustNew(cfg Config) *RORNG {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Bit produces the next output bit: the XOR of all sampled rings.
+func (r *RORNG) Bit() bool {
+	r.SamplesTaken++
+	out := false
+	for i := range r.rings {
+		if r.rings[i].sample(r.noise) {
+			out = !out
+		}
+	}
+	return out
+}
+
+// Bits fills dst with n fresh bits.
+func (r *RORNG) Bits(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Bit()
+	}
+	return out
+}
+
+// Read implements io.Reader, packing 8 bits per byte LSB-first.
+func (r *RORNG) Read(p []byte) (int, error) {
+	for i := range p {
+		var b byte
+		for j := 0; j < 8; j++ {
+			if r.Bit() {
+				b |= 1 << uint(j)
+			}
+		}
+		p[i] = b
+	}
+	return len(p), nil
+}

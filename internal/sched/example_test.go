@@ -1,0 +1,20 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"maxelerator/internal/sched"
+)
+
+// The §4.3 performance formulas for the paper's three bit-widths.
+func ExampleSchedule() {
+	for _, b := range []int{8, 16, 32} {
+		s := sched.MustBuild(b)
+		fmt.Printf("b=%d: %d cores, %d idle slots, %d cycles/MAC, latency %d stages\n",
+			b, s.NumCores(), s.IdleSlotsPerStage(), s.CyclesPerMAC(), s.LatencyStages())
+	}
+	// Output:
+	// b=8: 8 cores, 0 idle slots, 24 cycles/MAC, latency 13 stages
+	// b=16: 14 cores, 2 idle slots, 48 cycles/MAC, latency 22 stages
+	// b=32: 24 cores, 0 idle slots, 96 cycles/MAC, latency 39 stages
+}

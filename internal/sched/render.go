@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderStageGrid renders the steady-state stage as a core × cycle
+// table — the textual counterpart of Fig. 3's core grid.
+func (s *Schedule) RenderStageGrid() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "MAXelerator MAC unit schedule, b=%d: %d cores (%d MUX_ADD + %d TREE), %d tables/stage, %d idle slots\n",
+		s.Width, s.NumCores(), s.SegmentCores(MuxAdd), s.SegmentCores(Tree), s.TablesPerStage(), s.IdleSlotsPerStage())
+	fmt.Fprintf(&sb, "%-6s %-8s %-26s %-26s %-26s\n", "core", "segment", "cycle 0", "cycle 1", "cycle 2")
+	for _, c := range s.Cores {
+		fmt.Fprintf(&sb, "%-6d %-8s %-26s %-26s %-26s\n",
+			c.ID, c.Segment, c.Slots[0].Detail, c.Slots[1].Detail, c.Slots[2].Detail)
+	}
+	return sb.String()
+}
+
+// RenderTree renders the Fig. 2 dataflow: the per-core partial-product
+// streams and the delay-aligned tree combining them.
+func (s *Schedule) RenderTree() string {
+	var sb strings.Builder
+	b := s.Width
+	fmt.Fprintf(&sb, "Tree-based multiplication dataflow, b=%d (Fig. 2)\n", b)
+	fmt.Fprintf(&sb, "x constant, a streamed one bit per stage (LSB first)\n\n")
+	for m := 0; m < b/2; m++ {
+		fmt.Fprintf(&sb, "core %-2d: s%-2d = (x[%d] + 2·x[%d])·a   (serial, weight 4^%d → delay %d stages)\n",
+			m, m, 2*m, 2*m+1, m, 2*m)
+	}
+	sb.WriteString("\ntree levels:\n")
+	level := 0
+	streams := make([]string, b/2)
+	for m := range streams {
+		streams[m] = fmt.Sprintf("s%d", m)
+	}
+	for len(streams) > 1 {
+		var next []string
+		var row []string
+		for i := 0; i+1 < len(streams); i += 2 {
+			sum := fmt.Sprintf("(%s+%s)", streams[i], streams[i+1])
+			row = append(row, sum)
+			next = append(next, sum)
+		}
+		if len(streams)%2 == 1 {
+			next = append(next, streams[len(streams)-1])
+		}
+		fmt.Fprintf(&sb, "  level %d: %s\n", level, strings.Join(row, "  "))
+		streams = next
+		level++
+	}
+	fmt.Fprintf(&sb, "\nproduct  → sign conditioning (mux/2's-complement pairs) → accumulator\n")
+	fmt.Fprintf(&sb, "latency %d stages (%d cycles), throughput 1 MAC / %d stages (%d cycles)\n",
+		s.LatencyStages(), s.LatencyCycles(), s.StagesPerMAC(), s.CyclesPerMAC())
+	return sb.String()
+}
+
+// OpCounts tallies slot kinds over one steady-state stage.
+func (s *Schedule) OpCounts() map[OpKind]int {
+	counts := make(map[OpKind]int)
+	for _, c := range s.Cores {
+		for _, sl := range c.Slots {
+			counts[sl.Kind]++
+		}
+	}
+	return counts
+}

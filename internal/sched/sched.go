@@ -1,0 +1,266 @@
+// Package sched builds the FSM garbling schedule of the MAXelerator
+// MAC unit (§4 of the paper): the static assignment of garbling
+// operations to (stage, core, cycle) slots that replaces the run-time
+// netlist of conventional GC frameworks.
+//
+// Architecture recap. The MAC of bit-width b is computed bit-serially:
+// the model word x is held in the cores while the client word a
+// streams in one bit per stage, where one *stage* is three clock
+// cycles (one garbled table per core per cycle).
+//
+//   - Segment 1 (MUX_ADD, Fig. 3): b/2 cores. Core m holds x[2m] and
+//     x[2m+1]; per stage it garbles two partial-product ANDs
+//     (x[2m]∧a[n] and x[2m+1]∧a[n−1]) and one serial-adder AND (plus
+//     four free XORs), emitting one bit of the running sum
+//     s_m = (x[2m] + 2·x[2m+1])·a.
+//   - Segment 2 (TREE, Fig. 2): ⌈(b/2+8)/3⌉ cores. Per stage it
+//     garbles the b/2−1 serial tree-adder ANDs that combine the s_m
+//     streams (shift-by-2m realised as delay registers), eight
+//     multiplexer/2's-complement ANDs for signed-input support (§4.3:
+//     a serial conditional negation costs one negator AND and one mux
+//     AND per stage, and two such pairs sit at the multiplier input
+//     and two at its output), and one accumulator AND.
+//
+// Performance model (§4.3, verified by this package's tests):
+//
+//	cores(b)   = b/2 + ⌈(b/2+8)/3⌉      (idle slots per stage ≤ 2)
+//	latency    = b + log₂(b) + 2 stages
+//	throughput = 1 MAC per b stages = 1 MAC per 3b clock cycles
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CyclesPerStage is the paper's stage size: three clock cycles, one
+// garbled table per core per cycle.
+const CyclesPerStage = 3
+
+// OpKind classifies the garbling operation in one schedule slot.
+type OpKind uint8
+
+// Schedule slot operations. Every non-idle slot garbles exactly one
+// AND table; the free XOR gates ride along with their slot.
+const (
+	// Idle marks a slot with no table to garble.
+	Idle OpKind = iota
+	// PartialProduct is a multiplier partial-product AND x[j]∧a[n].
+	PartialProduct
+	// SerialAdd is the AND of a segment-1 serial adder cell.
+	SerialAdd
+	// TreeAdd is the AND of a segment-2 tree-adder cell.
+	TreeAdd
+	// SignMux is a multiplexer AND of a signed-support mux/2's-
+	// complement pair.
+	SignMux
+	// SignNeg is the serial 2's-complement negator AND of a pair.
+	SignNeg
+	// Accumulate is the accumulator serial-adder AND.
+	Accumulate
+)
+
+// String renders the op mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case Idle:
+		return "IDLE"
+	case PartialProduct:
+		return "PP_AND"
+	case SerialAdd:
+		return "SER_ADD"
+	case TreeAdd:
+		return "TREE_ADD"
+	case SignMux:
+		return "SIGN_MUX"
+	case SignNeg:
+		return "SIGN_NEG"
+	case Accumulate:
+		return "ACCUM"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Segment identifies which pipeline segment a core belongs to.
+type Segment uint8
+
+// Pipeline segments.
+const (
+	// MuxAdd is segment 1 of Fig. 2/3.
+	MuxAdd Segment = iota
+	// Tree is segment 2 of Fig. 2.
+	Tree
+)
+
+// String renders the segment name.
+func (s Segment) String() string {
+	if s == MuxAdd {
+		return "MUX_ADD"
+	}
+	return "TREE"
+}
+
+// Slot is one (core, cycle) cell of the steady-state stage grid.
+type Slot struct {
+	// Kind is the operation garbled in this slot.
+	Kind OpKind
+	// Detail describes the operands, e.g. "x[3]∧a[n-1]".
+	Detail string
+}
+
+// Core is one GC core with its three slots per stage.
+type Core struct {
+	// ID is the core index (the "core id m" fed to each core, §4.1).
+	ID int
+	// Segment is the pipeline segment the core serves.
+	Segment Segment
+	// Slots are the three per-stage cycle slots.
+	Slots [CyclesPerStage]Slot
+}
+
+// Schedule is the steady-state FSM schedule of one MAC unit.
+type Schedule struct {
+	// Width is the operand bit-width b.
+	Width int
+	// Cores is the full core grid, segment 1 first.
+	Cores []Core
+}
+
+// Build compiles the schedule for bit-width b. The paper's
+// architecture requires b even (cores pair the bits of x) and ≥ 4,
+// a power of two for the balanced adder tree.
+func Build(b int) (*Schedule, error) {
+	if b < 4 || b%2 != 0 {
+		return nil, fmt.Errorf("sched: bit-width %d must be an even integer ≥ 4", b)
+	}
+	if b&(b-1) != 0 {
+		return nil, fmt.Errorf("sched: bit-width %d must be a power of two for the balanced tree", b)
+	}
+	s := &Schedule{Width: b}
+
+	// Segment 1: b/2 MUX_ADD cores, fully occupied (Fig. 3).
+	for m := 0; m < b/2; m++ {
+		s.Cores = append(s.Cores, Core{
+			ID:      m,
+			Segment: MuxAdd,
+			Slots: [CyclesPerStage]Slot{
+				{Kind: PartialProduct, Detail: fmt.Sprintf("x[%d]∧a[n]", 2*m)},
+				{Kind: PartialProduct, Detail: fmt.Sprintf("x[%d]∧a[n-1]", 2*m+1)},
+				{Kind: SerialAdd, Detail: fmt.Sprintf("s%d += pp (1 AND + 4 XOR)", m)},
+			},
+		})
+	}
+
+	// Segment 2: the per-stage op list — tree adders, signed support,
+	// accumulator — packed three per core.
+	var ops []Slot
+	for t := 0; t < b/2-1; t++ {
+		ops = append(ops, Slot{Kind: TreeAdd, Detail: fmt.Sprintf("tree adder %d", t)})
+	}
+	for p := 0; p < 4; p++ {
+		where := "in"
+		if p >= 2 {
+			where = "out"
+		}
+		ops = append(ops,
+			Slot{Kind: SignMux, Detail: fmt.Sprintf("sign mux pair %d (%s)", p, where)},
+			Slot{Kind: SignNeg, Detail: fmt.Sprintf("sign negate pair %d (%s)", p, where)},
+		)
+	}
+	ops = append(ops, Slot{Kind: Accumulate, Detail: "acc += product"})
+
+	seg2Cores := (len(ops) + CyclesPerStage - 1) / CyclesPerStage
+	for c := 0; c < seg2Cores; c++ {
+		core := Core{ID: b/2 + c, Segment: Tree}
+		for k := 0; k < CyclesPerStage; k++ {
+			idx := c*CyclesPerStage + k
+			if idx < len(ops) {
+				core.Slots[k] = ops[idx]
+			} else {
+				core.Slots[k] = Slot{Kind: Idle, Detail: "idle"}
+			}
+		}
+		s.Cores = append(s.Cores, core)
+	}
+	return s, nil
+}
+
+// MustBuild compiles the schedule and panics on configuration error.
+func MustBuild(b int) *Schedule {
+	s, err := Build(b)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumCores returns the total GC core count — the paper's
+// b/2 + ⌈(b/2+8)/3⌉.
+func (s *Schedule) NumCores() int { return len(s.Cores) }
+
+// SegmentCores returns the core count of one segment.
+func (s *Schedule) SegmentCores(seg Segment) int {
+	n := 0
+	for _, c := range s.Cores {
+		if c.Segment == seg {
+			n++
+		}
+	}
+	return n
+}
+
+// IdleSlotsPerStage counts idle (core, cycle) slots in the
+// steady-state stage; the paper guarantees at most 2.
+func (s *Schedule) IdleSlotsPerStage() int {
+	n := 0
+	for _, c := range s.Cores {
+		for _, sl := range c.Slots {
+			if sl.Kind == Idle {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TablesPerStage counts garbled tables produced per stage.
+func (s *Schedule) TablesPerStage() int {
+	return s.NumCores()*CyclesPerStage - s.IdleSlotsPerStage()
+}
+
+// TablesPerMAC counts garbled tables per complete MAC: the steady
+// state runs for b stages per MAC.
+func (s *Schedule) TablesPerMAC() int { return s.TablesPerStage() * s.Width }
+
+// StagesPerMAC is the pipelined throughput period: one MAC completes
+// every b stages.
+func (s *Schedule) StagesPerMAC() int { return s.Width }
+
+// CyclesPerMAC is the pipelined throughput period in clock cycles —
+// Table 2's "Clock Cycle per MAC" row (24/48/96 for b = 8/16/32).
+func (s *Schedule) CyclesPerMAC() int { return CyclesPerStage * s.Width }
+
+// LatencyStages is the fill latency of the pipeline for one MAC:
+// b + log₂(b) + 2 stages (§4.3).
+func (s *Schedule) LatencyStages() int {
+	return s.Width + bits.Len(uint(s.Width)-1) + 2
+}
+
+// LatencyCycles is LatencyStages in clock cycles.
+func (s *Schedule) LatencyCycles() int { return CyclesPerStage * s.LatencyStages() }
+
+// TotalCycles returns the clock cycles to garble n sequential MACs on
+// one MAC unit, including pipeline fill: latency for the first result
+// plus b stages for each additional one.
+func (s *Schedule) TotalCycles(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64(s.LatencyCycles()) + uint64(n-1)*uint64(s.CyclesPerMAC())
+}
+
+// WorstCaseRNGBitsPerCycle is the label generator's §5.2 worst case:
+// k·(b/2) fresh random bits per clock cycle (one fresh label per
+// segment-1 core when a new x word loads).
+func (s *Schedule) WorstCaseRNGBitsPerCycle(k int) int { return k * s.Width / 2 }

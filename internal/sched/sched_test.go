@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoreCountMatchesPaperFormula(t *testing.T) {
+	// §4.3: cores = b/2 + ⌈(b/2+8)/3⌉; Table 2 row "No of cores":
+	// 8, 14, 24 for b = 8, 16, 32.
+	want := map[int]int{8: 8, 16: 14, 32: 24}
+	for b, cores := range want {
+		s := MustBuild(b)
+		if got := s.NumCores(); got != cores {
+			t.Fatalf("b=%d: %d cores, want %d", b, got, cores)
+		}
+		formula := b/2 + (b/2+8+2)/3
+		if got := s.NumCores(); got != formula {
+			t.Fatalf("b=%d: %d cores, formula gives %d", b, got, formula)
+		}
+	}
+}
+
+func TestSegmentSplit(t *testing.T) {
+	for _, b := range []int{4, 8, 16, 32, 64} {
+		s := MustBuild(b)
+		if got := s.SegmentCores(MuxAdd); got != b/2 {
+			t.Fatalf("b=%d: %d MUX_ADD cores, want %d", b, got, b/2)
+		}
+		wantTree := (b/2 + 8 + 2) / 3
+		if got := s.SegmentCores(Tree); got != wantTree {
+			t.Fatalf("b=%d: %d TREE cores, want %d", b, got, wantTree)
+		}
+	}
+}
+
+func TestIdleSlotsAtMostTwo(t *testing.T) {
+	// The paper's headline scheduling claim: "ensuring minimal
+	// (highest 2) idle cycles".
+	for b := 4; b <= 128; b *= 2 {
+		s := MustBuild(b)
+		if idle := s.IdleSlotsPerStage(); idle > 2 {
+			t.Fatalf("b=%d: %d idle slots per stage", b, idle)
+		}
+	}
+}
+
+func TestIdleSlotsExactValues(t *testing.T) {
+	// ops₂ = b/2+8; slots₂ = 3·⌈(b/2+8)/3⌉; idle = slots₂ − ops₂.
+	want := map[int]int{8: 0, 16: 2, 32: 0, 64: 2}
+	for b, idle := range want {
+		s := MustBuild(b)
+		if got := s.IdleSlotsPerStage(); got != idle {
+			t.Fatalf("b=%d: %d idle slots, want %d", b, got, idle)
+		}
+	}
+}
+
+func TestSegment1CoresFullyOccupied(t *testing.T) {
+	s := MustBuild(16)
+	for _, c := range s.Cores {
+		if c.Segment != MuxAdd {
+			continue
+		}
+		for cy, sl := range c.Slots {
+			if sl.Kind == Idle {
+				t.Fatalf("MUX_ADD core %d idle at cycle %d", c.ID, cy)
+			}
+		}
+		if c.Slots[0].Kind != PartialProduct || c.Slots[1].Kind != PartialProduct || c.Slots[2].Kind != SerialAdd {
+			t.Fatalf("MUX_ADD core %d has wrong op pattern: %v %v %v",
+				c.ID, c.Slots[0].Kind, c.Slots[1].Kind, c.Slots[2].Kind)
+		}
+	}
+}
+
+func TestOpCountsPerStage(t *testing.T) {
+	for _, b := range []int{8, 16, 32} {
+		s := MustBuild(b)
+		counts := s.OpCounts()
+		if counts[PartialProduct] != b {
+			t.Fatalf("b=%d: %d partial products, want %d", b, counts[PartialProduct], b)
+		}
+		if counts[SerialAdd] != b/2 {
+			t.Fatalf("b=%d: %d serial adds, want %d", b, counts[SerialAdd], b/2)
+		}
+		if counts[TreeAdd] != b/2-1 {
+			t.Fatalf("b=%d: %d tree adds, want %d", b, counts[TreeAdd], b/2-1)
+		}
+		if counts[SignMux]+counts[SignNeg] != 8 {
+			t.Fatalf("b=%d: %d sign ops, want 8", b, counts[SignMux]+counts[SignNeg])
+		}
+		if counts[Accumulate] != 1 {
+			t.Fatalf("b=%d: %d accumulator ops, want 1", b, counts[Accumulate])
+		}
+	}
+}
+
+func TestCyclesPerMACMatchesTable2(t *testing.T) {
+	// Table 2 "Clock Cycle per MAC": 24, 48, 96 for b = 8, 16, 32.
+	want := map[int]int{8: 24, 16: 48, 32: 96}
+	for b, cycles := range want {
+		s := MustBuild(b)
+		if got := s.CyclesPerMAC(); got != cycles {
+			t.Fatalf("b=%d: %d cycles/MAC, want %d", b, got, cycles)
+		}
+	}
+}
+
+func TestLatencyFormula(t *testing.T) {
+	// §4.3: complete operation takes b + log(b) + 2 stages.
+	want := map[int]int{8: 13, 16: 22, 32: 39, 64: 72}
+	for b, stages := range want {
+		s := MustBuild(b)
+		if got := s.LatencyStages(); got != stages {
+			t.Fatalf("b=%d: latency %d stages, want %d", b, got, stages)
+		}
+		if got := s.LatencyCycles(); got != 3*stages {
+			t.Fatalf("b=%d: latency %d cycles, want %d", b, got, 3*stages)
+		}
+	}
+}
+
+func TestTotalCyclesPipelined(t *testing.T) {
+	s := MustBuild(8)
+	if got := s.TotalCycles(0); got != 0 {
+		t.Fatalf("0 MACs = %d cycles", got)
+	}
+	if got := s.TotalCycles(1); got != uint64(s.LatencyCycles()) {
+		t.Fatalf("1 MAC = %d cycles, want latency %d", got, s.LatencyCycles())
+	}
+	// Steady state: each extra MAC costs exactly 3b cycles.
+	d := s.TotalCycles(101) - s.TotalCycles(100)
+	if d != uint64(s.CyclesPerMAC()) {
+		t.Fatalf("marginal MAC = %d cycles, want %d", d, s.CyclesPerMAC())
+	}
+}
+
+func TestTablesPerStage(t *testing.T) {
+	// tables/stage = 3·(b/2) + b/2 + 8 = 2b + 8.
+	for _, b := range []int{8, 16, 32} {
+		s := MustBuild(b)
+		if got := s.TablesPerStage(); got != 2*b+8 {
+			t.Fatalf("b=%d: %d tables/stage, want %d", b, got, 2*b+8)
+		}
+		if got := s.TablesPerMAC(); got != (2*b+8)*b {
+			t.Fatalf("b=%d: %d tables/MAC, want %d", b, got, (2*b+8)*b)
+		}
+	}
+}
+
+func TestWorstCaseRNGDemand(t *testing.T) {
+	// §5.2: worst case k·(b/2) random bits per cycle.
+	s := MustBuild(32)
+	if got := s.WorstCaseRNGBitsPerCycle(128); got != 128*16 {
+		t.Fatalf("RNG worst case = %d bits/cycle", got)
+	}
+}
+
+func TestEverySlotAssignedExactlyOnce(t *testing.T) {
+	// Structural invariant: the steady-state grid covers every
+	// (core, cycle) pair exactly once and slot details are filled.
+	s := MustBuild(16)
+	seen := 0
+	for _, c := range s.Cores {
+		for _, sl := range c.Slots {
+			seen++
+			if sl.Detail == "" {
+				t.Fatalf("core %d has slot without detail", c.ID)
+			}
+		}
+	}
+	if seen != s.NumCores()*CyclesPerStage {
+		t.Fatalf("grid has %d slots, want %d", seen, s.NumCores()*CyclesPerStage)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	for _, b := range []int{0, -4, 2, 3, 6, 10, 12, 20} {
+		if _, err := Build(b); err == nil {
+			t.Fatalf("width %d accepted", b)
+		}
+	}
+	if _, err := Build(4); err != nil {
+		t.Fatalf("width 4 rejected: %v", err)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild(3) did not panic")
+		}
+	}()
+	MustBuild(3)
+}
+
+func TestRenderStageGrid(t *testing.T) {
+	s := MustBuild(8)
+	out := s.RenderStageGrid()
+	for _, want := range []string{"MUX_ADD", "TREE", "x[0]∧a[n]", "acc += product", "8 cores"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stage grid missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	s := MustBuild(8)
+	out := s.RenderTree()
+	for _, want := range []string{"Fig. 2", "s0", "(s0+s1)", "level 1", "accumulator", "1 MAC / 8 stages"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpStringAndSegmentString(t *testing.T) {
+	if Idle.String() != "IDLE" || PartialProduct.String() != "PP_AND" || Accumulate.String() != "ACCUM" {
+		t.Fatal("op mnemonics wrong")
+	}
+	if MuxAdd.String() != "MUX_ADD" || Tree.String() != "TREE" {
+		t.Fatal("segment names wrong")
+	}
+	if OpKind(99).String() != "OpKind(99)" {
+		t.Fatal("unknown op formatting wrong")
+	}
+}

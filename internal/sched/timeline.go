@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pipeline timeline: the stage-by-stage life of MACs flowing through
+// one unit. The steady-state grid (Fig. 3) says what every core does
+// within a stage; the timeline says which MAC each piece of work
+// belongs to across stages — the fill/steady/drain picture behind the
+// §4.3 latency and throughput formulas.
+
+// Phase classifies what a pipeline region is doing in one stage.
+type Phase uint8
+
+// Pipeline phases.
+const (
+	// PhaseIdle: no MAC occupies the region.
+	PhaseIdle Phase = iota
+	// PhaseMultiply: segment 1 streams partial products.
+	PhaseMultiply
+	// PhaseTree: segment 2 combines partial-product streams.
+	PhaseTree
+	// PhaseSign: signed-support conditioning.
+	PhaseSign
+	// PhaseAccumulate: the accumulator absorbs the product stream.
+	PhaseAccumulate
+)
+
+// String renders the phase mnemonic.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseMultiply:
+		return "multiply"
+	case PhaseTree:
+		return "tree"
+	case PhaseSign:
+		return "sign"
+	case PhaseAccumulate:
+		return "accumulate"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// TimelineEntry describes one pipeline region during one stage.
+type TimelineEntry struct {
+	// Stage is the global stage index.
+	Stage int
+	// MAC is the index of the MAC occupying the region (-1 when idle).
+	MAC int
+	// Phase is what the region is doing for that MAC.
+	Phase Phase
+}
+
+// Timeline is the per-stage occupancy of the pipeline regions for a
+// run of several MACs.
+type Timeline struct {
+	// Width is the MAC bit-width.
+	Width int
+	// MACs is the number of MACs streamed.
+	MACs int
+	// Stages is the total stage count: latency + (MACs−1)·b.
+	Stages int
+	// Seg1, Seg2, Acc hold one entry per stage for the three pipeline
+	// regions (segment 1, segment 2 tree+sign, accumulator).
+	Seg1, Seg2, Acc []TimelineEntry
+}
+
+// BuildTimeline expands the schedule into the region timeline for n
+// pipelined MACs: MAC k enters segment 1 at stage k·b, reaches the
+// tree log₂(b) stages later and the accumulator after 2 more (§4.3:
+// latency = b + log₂(b) + 2 stages).
+func (s *Schedule) BuildTimeline(n int) (*Timeline, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: timeline needs a positive MAC count")
+	}
+	b := s.Width
+	treeDelay := s.LatencyStages() - b - 2 // = log₂(b)
+	total := s.LatencyStages() + (n-1)*b
+	tl := &Timeline{
+		Width: b, MACs: n, Stages: total,
+		Seg1: make([]TimelineEntry, total),
+		Seg2: make([]TimelineEntry, total),
+		Acc:  make([]TimelineEntry, total),
+	}
+	for st := 0; st < total; st++ {
+		tl.Seg1[st] = TimelineEntry{Stage: st, MAC: -1, Phase: PhaseIdle}
+		tl.Seg2[st] = TimelineEntry{Stage: st, MAC: -1, Phase: PhaseIdle}
+		tl.Acc[st] = TimelineEntry{Stage: st, MAC: -1, Phase: PhaseIdle}
+	}
+	for k := 0; k < n; k++ {
+		enter := k * b
+		for st := enter; st < enter+b && st < total; st++ {
+			tl.Seg1[st] = TimelineEntry{Stage: st, MAC: k, Phase: PhaseMultiply}
+		}
+		treeStart := enter + treeDelay
+		for st := treeStart; st < treeStart+b && st < total; st++ {
+			// Tree and sign work share segment 2; the sign ops ride in
+			// the same core group (§4.3 integrates them there).
+			tl.Seg2[st] = TimelineEntry{Stage: st, MAC: k, Phase: PhaseTree}
+		}
+		accStart := enter + treeDelay + 2
+		for st := accStart; st < accStart+b && st < total; st++ {
+			tl.Acc[st] = TimelineEntry{Stage: st, MAC: k, Phase: PhaseAccumulate}
+		}
+	}
+	return tl, nil
+}
+
+// OccupiedFraction reports the busy fraction of one region's entries.
+func occupiedFraction(entries []TimelineEntry) float64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	busy := 0
+	for _, e := range entries {
+		if e.MAC >= 0 {
+			busy++
+		}
+	}
+	return float64(busy) / float64(len(entries))
+}
+
+// SteadyStateOccupancy reports the busy fraction of each region over
+// the whole run; with enough MACs all three approach 1.
+func (t *Timeline) SteadyStateOccupancy() (seg1, seg2, acc float64) {
+	return occupiedFraction(t.Seg1), occupiedFraction(t.Seg2), occupiedFraction(t.Acc)
+}
+
+// CompletionStage returns the stage at which MAC k's accumulator
+// update finishes: k·b + latency − 1.
+func (t *Timeline) CompletionStage(k int) (int, error) {
+	if k < 0 || k >= t.MACs {
+		return 0, fmt.Errorf("sched: MAC %d outside run of %d", k, t.MACs)
+	}
+	latency := t.Stages - (t.MACs-1)*t.Width
+	return k*t.Width + latency - 1, nil
+}
+
+// Render draws the timeline as rows of MAC indices per region, one
+// column per stage (capped for readability).
+func (t *Timeline) Render(maxStages int) string {
+	if maxStages <= 0 || maxStages > t.Stages {
+		maxStages = t.Stages
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pipeline timeline, b=%d, %d MACs (showing %d of %d stages)\n",
+		t.Width, t.MACs, maxStages, t.Stages)
+	row := func(name string, entries []TimelineEntry) {
+		fmt.Fprintf(&sb, "%-8s", name)
+		for i := 0; i < maxStages; i++ {
+			if entries[i].MAC < 0 {
+				sb.WriteString(" .")
+			} else {
+				fmt.Fprintf(&sb, " %d", entries[i].MAC%10)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	row("MUX_ADD", t.Seg1)
+	row("TREE", t.Seg2)
+	row("ACC", t.Acc)
+	return sb.String()
+}

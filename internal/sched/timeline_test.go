@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestBuildTimelineValidation(t *testing.T) {
+	s := MustBuild(8)
+	if _, err := s.BuildTimeline(0); err == nil {
+		t.Fatal("zero MACs accepted")
+	}
+}
+
+func TestTimelineStagesMatchLatencyFormula(t *testing.T) {
+	for _, b := range []int{8, 16, 32} {
+		s := MustBuild(b)
+		tl, err := s.BuildTimeline(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.LatencyStages() + 4*b
+		if tl.Stages != want {
+			t.Fatalf("b=%d: %d stages, want %d", b, tl.Stages, want)
+		}
+	}
+}
+
+func TestTimelineThroughputOneMACPerBStages(t *testing.T) {
+	// Completion stages of consecutive MACs differ by exactly b.
+	s := MustBuild(16)
+	tl, err := s.BuildTimeline(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := tl.CompletionStage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != s.LatencyStages()-1 {
+		t.Fatalf("first completion at stage %d, want %d", prev, s.LatencyStages()-1)
+	}
+	for k := 1; k < 6; k++ {
+		c, err := tl.CompletionStage(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c-prev != 16 {
+			t.Fatalf("MAC %d completed %d stages after MAC %d, want b=16", k, c-prev, k-1)
+		}
+		prev = c
+	}
+	if _, err := tl.CompletionStage(6); err == nil {
+		t.Fatal("out-of-range MAC accepted")
+	}
+}
+
+func TestTimelineRegionsNeverDoubleBooked(t *testing.T) {
+	// With MACs entering every b stages, each region serves exactly
+	// one MAC per stage: consecutive MACs may not overlap in a region.
+	s := MustBuild(8)
+	tl, err := s.BuildTimeline(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region occupancy is encoded one MAC per stage by construction;
+	// verify the intervals we expect: seg1 stage st serves MAC st/b
+	// while st < MACs·b.
+	for st := 0; st < 10*8; st++ {
+		if got := tl.Seg1[st].MAC; got != st/8 {
+			t.Fatalf("seg1 stage %d serves MAC %d, want %d", st, got, st/8)
+		}
+	}
+	// After the last MAC's multiply window, segment 1 drains idle.
+	for st := 10 * 8; st < tl.Stages; st++ {
+		if tl.Seg1[st].MAC != -1 {
+			t.Fatalf("seg1 stage %d not idle during drain", st)
+		}
+	}
+}
+
+func TestTimelineOccupancyApproachesOne(t *testing.T) {
+	s := MustBuild(8)
+	short, err := s.BuildTimeline(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := s.BuildTimeline(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1s, s2s, accS := short.SteadyStateOccupancy()
+	s1l, s2l, accL := long.SteadyStateOccupancy()
+	if s1l <= s1s || s2l <= s2s || accL <= accS {
+		t.Fatalf("occupancy did not grow with run length: %v/%v/%v vs %v/%v/%v",
+			s1s, s2s, accS, s1l, s2l, accL)
+	}
+	if s1l < 0.95 || s2l < 0.95 || accL < 0.95 {
+		t.Fatalf("long-run occupancy below 95%%: %v %v %v", s1l, s2l, accL)
+	}
+}
+
+func TestTimelinePhases(t *testing.T) {
+	s := MustBuild(8)
+	tl, err := s.BuildTimeline(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Seg1[0].Phase != PhaseMultiply {
+		t.Fatalf("stage 0 seg1 phase = %v", tl.Seg1[0].Phase)
+	}
+	treeDelay := s.LatencyStages() - 8 - 2
+	if tl.Seg2[treeDelay].Phase != PhaseTree {
+		t.Fatalf("tree phase missing at stage %d", treeDelay)
+	}
+	if tl.Acc[treeDelay+2].Phase != PhaseAccumulate {
+		t.Fatalf("accumulate phase missing at stage %d", treeDelay+2)
+	}
+	if tl.Seg2[0].Phase != PhaseIdle {
+		t.Fatal("seg2 busy before any product bits exist")
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	s := MustBuild(8)
+	tl, err := s.BuildTimeline(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tl.Render(20)
+	for _, want := range []string{"MUX_ADD", "TREE", "ACC", "pipeline timeline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	full := tl.Render(0)
+	if !strings.Contains(full, "of "+strconv.Itoa(tl.Stages)+" stages") {
+		t.Fatalf("full render header wrong:\n%s", full)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseIdle.String() != "idle" || PhaseMultiply.String() != "multiply" ||
+		PhaseAccumulate.String() != "accumulate" || Phase(42).String() != "Phase(42)" {
+		t.Fatal("phase mnemonics wrong")
+	}
+}

@@ -1,0 +1,119 @@
+// Package seqgc orchestrates sequential garbled circuits in the
+// TinyGarble style the paper builds on (§2.2 reference [16], §3): the
+// same compact netlist is garbled round after round with fresh labels,
+// with D-flip-flop state carried forward as label material on both
+// sides — the garbler keeps the FALSE labels of the state-out wires,
+// the evaluator keeps its active labels, and neither retransmits
+// state.
+//
+// The sessions enforce the bookkeeping that makes multi-round garbling
+// safe: strictly increasing non-overlapping tweak ranges, matching
+// round counters, and state continuity.
+package seqgc
+
+import (
+	"fmt"
+	"io"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/gc"
+	"maxelerator/internal/label"
+)
+
+// GarblerSession drives the garbler side across rounds.
+type GarblerSession struct {
+	params  gc.Params
+	ckt     *circuit.Circuit
+	garbler *gc.Garbler
+	state0  []label.Label
+	tweak   uint64
+	round   int
+}
+
+// NewGarblerSession creates a session for the circuit with a fresh
+// free-XOR offset drawn from rnd.
+func NewGarblerSession(params gc.Params, rnd io.Reader, ckt *circuit.Circuit) (*GarblerSession, error) {
+	if ckt == nil {
+		return nil, fmt.Errorf("seqgc: nil circuit")
+	}
+	g, err := gc.NewGarbler(params, rnd)
+	if err != nil {
+		return nil, err
+	}
+	return &GarblerSession{params: params, ckt: ckt, garbler: g}, nil
+}
+
+// Circuit returns the netlist garbled each round.
+func (s *GarblerSession) Circuit() *circuit.Circuit { return s.ckt }
+
+// Round returns the number of completed rounds.
+func (s *GarblerSession) Round() int { return s.round }
+
+// Delta exposes the session's free-XOR offset for correlated-OT
+// integration; it must never reach the evaluator.
+func (s *GarblerSession) Delta() label.Delta { return s.garbler.Delta() }
+
+// NextRound garbles one round with the given garbler inputs and
+// advances the state and tweak bookkeeping.
+func (s *GarblerSession) NextRound(garblerInputs []bool) (*gc.Garbled, error) {
+	return s.NextRoundWithEvalLabels(garblerInputs, nil)
+}
+
+// NextRoundWithEvalLabels garbles one round using externally chosen
+// FALSE labels for the evaluator input wires (from correlated OT);
+// nil draws fresh labels as usual.
+func (s *GarblerSession) NextRoundWithEvalLabels(garblerInputs []bool, evalWire0 []label.Label) (*gc.Garbled, error) {
+	gb, err := s.garbler.Garble(s.ckt, gc.GarbleOptions{
+		GarblerInputs: garblerInputs,
+		State0:        s.state0,
+		TweakBase:     s.tweak,
+		EvalWire0:     evalWire0,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("seqgc: round %d: %w", s.round, err)
+	}
+	s.state0 = gb.StateOut0
+	s.tweak = gb.NextTweak
+	s.round++
+	return gb, nil
+}
+
+// Reset clears the accumulated state so the next round starts a new
+// sequential computation (e.g. the next output element of a matrix
+// product). Tweaks keep increasing — they must never repeat under one
+// free-XOR offset.
+func (s *GarblerSession) Reset() { s.state0 = nil }
+
+// EvaluatorSession drives the evaluator side across rounds.
+type EvaluatorSession struct {
+	params   gc.Params
+	ckt      *circuit.Circuit
+	stateAct []label.Label
+	round    int
+}
+
+// NewEvaluatorSession creates the evaluator-side session.
+func NewEvaluatorSession(params gc.Params, ckt *circuit.Circuit) (*EvaluatorSession, error) {
+	if ckt == nil {
+		return nil, fmt.Errorf("seqgc: nil circuit")
+	}
+	return &EvaluatorSession{params: params, ckt: ckt}, nil
+}
+
+// Round returns the number of completed rounds.
+func (s *EvaluatorSession) Round() int { return s.round }
+
+// NextRound evaluates one round with the received material and the
+// evaluator's active input labels (from OT).
+func (s *EvaluatorSession) NextRound(m *gc.Material, evalActive []label.Label) (*gc.EvalResult, error) {
+	res, err := gc.Evaluate(s.params, s.ckt, m, evalActive, s.stateAct)
+	if err != nil {
+		return nil, fmt.Errorf("seqgc: round %d: %w", s.round, err)
+	}
+	s.stateAct = res.StateActive
+	s.round++
+	return res, nil
+}
+
+// Reset clears carried state for a new sequential computation.
+func (s *EvaluatorSession) Reset() { s.stateAct = nil }

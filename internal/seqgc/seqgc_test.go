@@ -1,0 +1,153 @@
+package seqgc
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/gc"
+	"maxelerator/internal/label"
+)
+
+func sessions(t *testing.T, ckt *circuit.Circuit) (*GarblerSession, *EvaluatorSession) {
+	t.Helper()
+	p := gc.DefaultParams()
+	gs, err := NewGarblerSession(p, rand.Reader, ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := NewEvaluatorSession(p, ckt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs, es
+}
+
+func pickLabels(gb *gc.Garbled, bits []bool) []label.Label {
+	out := make([]label.Label, len(bits))
+	for i, v := range bits {
+		out[i] = gb.EvalPairs[i].Get(v)
+	}
+	return out
+}
+
+func TestNilCircuitRejected(t *testing.T) {
+	p := gc.DefaultParams()
+	if _, err := NewGarblerSession(p, rand.Reader, nil); err == nil {
+		t.Fatal("nil circuit accepted by garbler session")
+	}
+	if _, err := NewEvaluatorSession(p, nil); err == nil {
+		t.Fatal("nil circuit accepted by evaluator session")
+	}
+}
+
+func TestMultiRoundMACAccumulates(t *testing.T) {
+	ckt := circuit.MustMAC(circuit.MACConfig{Width: 8, AccWidth: 20, Signed: true})
+	gs, es := sessions(t, ckt)
+	rng := mrand.New(mrand.NewSource(1))
+	var want int64
+	for round := 0; round < 8; round++ {
+		x := int64(rng.Intn(256) - 128)
+		a := int64(rng.Intn(256) - 128)
+		want += x * a
+		gb, err := gs.NextRound(circuit.Int64ToBits(x, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := es.NextRound(&gb.Material, pickLabels(gb, circuit.Int64ToBits(a, 8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := circuit.BitsToInt64(res.Outputs); got != want {
+			t.Fatalf("round %d: acc = %d, want %d", round, got, want)
+		}
+	}
+	if gs.Round() != 8 || es.Round() != 8 {
+		t.Fatalf("round counters %d/%d", gs.Round(), es.Round())
+	}
+}
+
+func TestResetStartsNewChain(t *testing.T) {
+	ckt := circuit.MustMAC(circuit.MACConfig{Width: 8, AccWidth: 16})
+	gs, es := sessions(t, ckt)
+
+	runChain := func(xs, as []uint64) uint64 {
+		var got uint64
+		for i := range xs {
+			gb, err := gs.NextRound(circuit.Uint64ToBits(xs[i], 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := es.NextRound(&gb.Material, pickLabels(gb, circuit.Uint64ToBits(as[i], 8)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = circuit.BitsToUint64(res.Outputs)
+		}
+		return got
+	}
+
+	first := runChain([]uint64{3, 5}, []uint64{7, 11})
+	if first != 3*7+5*11 {
+		t.Fatalf("first chain = %d", first)
+	}
+	gs.Reset()
+	es.Reset()
+	second := runChain([]uint64{2}, []uint64{9})
+	if second != 18 {
+		t.Fatalf("second chain after reset = %d, want 18 (state leaked: %d)", second, first)
+	}
+}
+
+func TestTweaksNeverRepeatAcrossReset(t *testing.T) {
+	ckt := circuit.MustMAC(circuit.MACConfig{Width: 4, AccWidth: 8})
+	gs, _ := sessions(t, ckt)
+	gb1, err := gs.NextRound(circuit.Uint64ToBits(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs.Reset()
+	gb2, err := gs.NextRound(circuit.Uint64ToBits(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb2.Material.TweakBase < gb1.NextTweak {
+		t.Fatalf("round 2 tweak base %d overlaps round 1 range ending %d", gb2.Material.TweakBase, gb1.NextTweak)
+	}
+}
+
+func TestGarblerRejectsWrongInputWidth(t *testing.T) {
+	ckt := circuit.MustMAC(circuit.MACConfig{Width: 8, AccWidth: 16})
+	gs, _ := sessions(t, ckt)
+	if _, err := gs.NextRound(make([]bool, 5)); err == nil {
+		t.Fatal("wrong input width accepted")
+	}
+}
+
+func TestCombinationalCircuitsWorkToo(t *testing.T) {
+	// Sessions degrade gracefully to ordinary per-execution garbling
+	// when the circuit has no state.
+	b := circuit.NewBuilder()
+	x := b.GarblerInputs(4)
+	y := b.EvaluatorInputs(4)
+	b.Outputs(b.GEq(x, y))
+	ckt := b.MustBuild()
+	gs, es := sessions(t, ckt)
+	for _, tc := range []struct {
+		x, y uint64
+		want bool
+	}{{5, 3, true}, {3, 5, false}, {7, 7, true}} {
+		gb, err := gs.NextRound(circuit.Uint64ToBits(tc.x, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := es.NextRound(&gb.Material, pickLabels(gb, circuit.Uint64ToBits(tc.y, 4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outputs[0] != tc.want {
+			t.Fatalf("GEq(%d,%d) = %v", tc.x, tc.y, res.Outputs[0])
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package serial
+
+import (
+	"fmt"
+
+	"maxelerator/internal/circuit"
+)
+
+// Signed bit-serial MAC via the Baugh–Wooley transformation.
+//
+// The paper's §4.3 handles signed inputs with multiplexer/2's-
+// complement pairs, but conditional negation of the serially streamed
+// operand is non-causal LSB-first: the sign bit arrives last. The
+// hardware sidesteps this because all of a round's labels are present
+// when the FSM starts; a fixed per-stage netlist cannot. Baugh–Wooley
+// restructures the two's-complement product so every term is causal:
+//
+//	x·a = Σ_{i,j<b-1} x_i a_j 2^{i+j}
+//	    + Σ_{j<b-1} ¬(x_{b-1} a_j) 2^{b-1+j}
+//	    + Σ_{i<b-1} ¬(x_i a_{b-1}) 2^{b-1+i}
+//	    + x_{b-1} a_{b-1} 2^{2b-2}
+//	    + 2^{2b-1} + 2^b                     (mod 2^{2b})
+//
+// The inversions are free XORs gated by garbler-known stage flags, and
+// the correction constant enters the accumulator as one extra serial
+// adder — so signed support costs exactly ONE extra AND table per
+// stage plus one carry-gating AND (2b+2 total), compared with the
+// eight mux/negate slots the paper budgets. The catch: the identity holds modulo 2^{2b}, so the
+// accumulator is exact only in its low 2b bits; the decoder masks
+// accordingly.
+
+// MACSigned compiles the signed bit-serial MAC unit for bit-width b.
+// Per-stage inputs:
+//
+//   - garbler: x (b bits) + four stage flags — isLast (a-index is
+//     b−1), vj (previous a-index valid and not b−1), corr (the
+//     correction-constant stream bit) and notFirst (stage ≠ 0, gating
+//     the accumulator's end-around carry) — all functions of the
+//     public stage counter the FSM holds;
+//   - evaluator: one bit of a.
+//
+// Outputs the accumulator bit updated each stage, as MAC does.
+func MACSigned(b int) (*circuit.Circuit, Layout, error) {
+	if b < 4 || b%2 != 0 || b&(b-1) != 0 {
+		return nil, Layout{}, fmt.Errorf("serial: bit-width %d must be a power of two ≥ 4", b)
+	}
+	L := 2*b + 2
+	bd := circuit.NewBuilder()
+	x := bd.GarblerInputs(b)
+	flags := bd.GarblerInputs(4)
+	isLast, vj, corr, notFirst := flags[0], flags[1], flags[2], flags[3]
+	aBit := bd.EvaluatorInputs(1)[0]
+
+	half := b / 2
+	aPrev := bd.StateInputs(1)[0]
+	seg1Carry := bd.StateInputs(half)
+	delayLen := half * (half - 1)
+	delays := bd.StateInputs(delayLen)
+	treeCarry := bd.StateInputs(half - 1)
+	corrCarry := bd.StateInputs(1)[0]
+	acc := bd.StateInputs(L)
+	accCarry := bd.StateInputs(1)[0]
+
+	serialAdd := func(p, q, c int) (sum, carry int) {
+		pc := bd.XOR(p, c)
+		qc := bd.XOR(q, c)
+		sum = bd.XOR(p, qc)
+		carry = bd.XOR(c, bd.AND(pc, qc))
+		return sum, carry
+	}
+
+	var nextState []int
+	nextState = append(nextState, aBit)
+
+	// Segment 1 with Baugh–Wooley inversion flags. pp1 covers x[2m]
+	// (never the x MSB, 2m ≤ b−2): invert when the streamed a bit is
+	// the MSB. pp2 covers x[2m+1]: for the last core that IS the x
+	// MSB, inverted at every valid non-MSB position of a; for the rest,
+	// inverted when the delayed a bit is the MSB (i.e. one stage after
+	// isLast — which is exactly vj's complement within the valid
+	// window... the garbler supplies wasLast = isLast delayed, derived
+	// here from a one-stage flag register to keep the input port
+	// narrow).
+	wasLast := bd.StateInputs(1)[0]
+
+	streams := make([]int, half)
+	for m := 0; m < half; m++ {
+		pp1 := bd.XOR(bd.AND(x[2*m], aBit), isLast)
+		var pp2 int
+		if m == half-1 {
+			pp2 = bd.XOR(bd.AND(x[2*m+1], aPrev), vj)
+		} else {
+			pp2 = bd.XOR(bd.AND(x[2*m+1], aPrev), wasLast)
+		}
+		sum, carry := serialAdd(pp1, pp2, seg1Carry[m])
+		streams[m] = sum
+		nextState = append(nextState, carry)
+	}
+
+	aligned := make([]int, half)
+	offset := 0
+	for m := 0; m < half; m++ {
+		dl := 2 * m
+		if dl == 0 {
+			aligned[m] = streams[m]
+			continue
+		}
+		regs := delays[offset : offset+dl]
+		offset += dl
+		nextState = append(nextState, streams[m])
+		for i := 1; i < dl; i++ {
+			nextState = append(nextState, regs[i-1])
+		}
+		aligned[m] = regs[dl-1]
+	}
+
+	level := aligned
+	carryIdx := 0
+	for len(level) > 1 {
+		next := make([]int, 0, (len(level)+1)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			sum, carry := serialAdd(level[i], level[i+1], treeCarry[carryIdx])
+			nextState = append(nextState, carry)
+			carryIdx++
+			next = append(next, sum)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	product := level[0]
+
+	// Fold in the Baugh–Wooley correction stream, then accumulate.
+	corrected, nextCorrCarry := serialAdd(product, corr, corrCarry)
+	nextState = append(nextState, nextCorrCarry)
+	// Gate the accumulator carry at the round boundary: without it, a
+	// carry out of the register's top position (where Baugh–Wooley's
+	// mod-2^{2b} garbage accumulates) would wrap end-around into bit 0
+	// of the next round. notFirst = 0 exactly at stage 0.
+	accCarryIn := bd.AND(accCarry, notFirst)
+	newAccBit, newAccCarry := serialAdd(acc[0], corrected, accCarryIn)
+	for i := 1; i < L; i++ {
+		nextState = append(nextState, acc[i])
+	}
+	nextState = append(nextState, newAccBit)
+	nextState = append(nextState, newAccCarry)
+	nextState = append(nextState, isLast) // wasLast' = isLast
+
+	bd.StateOuts(nextState...)
+	bd.Outputs(newAccBit)
+
+	ckt, err := bd.Build()
+	if err != nil {
+		return nil, Layout{}, fmt.Errorf("serial: building signed MAC: %w", err)
+	}
+	layout := Layout{
+		Width:        b,
+		StagesPerMAC: L,
+		ANDsPerStage: ckt.Stats().ANDs,
+		StateBits:    ckt.NState,
+		AccLen:       L,
+	}
+	return ckt, layout, nil
+}
+
+// MustMACSigned compiles the signed datapath and panics on bad width.
+func MustMACSigned(b int) (*circuit.Circuit, Layout) {
+	c, l, err := MACSigned(b)
+	if err != nil {
+		panic(err)
+	}
+	return c, l
+}
+
+// SignedStageInputs returns the garbler flag bits for stage n of a
+// signed round: isLast, vj, the correction-stream bit and the
+// accumulator carry gate notFirst.
+func (l Layout) SignedStageInputs(n int) (isLast, vj, corr, notFirst bool) {
+	isLast = n == l.Width-1
+	vj = n >= 1 && n <= l.Width-1 // previous a-index in [0, b-2]
+	corr = n == l.Width || n == 2*l.Width-1
+	notFirst = n != 0
+	return isLast, vj, corr, notFirst
+}
+
+// RunPlainSigned executes the signed datapath in plaintext for (x, a)
+// MAC rounds and returns the accumulated Σ x·a, exact modulo 2^{2b}
+// (decoded from the low 2b bits as two's complement).
+func RunPlainSigned(ckt *circuit.Circuit, l Layout, xs, as []int64) (int64, error) {
+	if len(xs) != len(as) {
+		return 0, fmt.Errorf("serial: %d x values vs %d a values", len(xs), len(as))
+	}
+	lo, hi := -(int64(1) << (l.Width - 1)), int64(1)<<(l.Width-1)-1
+	var state []bool
+	var lastRound []bool
+	for r := range xs {
+		if xs[r] < lo || xs[r] > hi || as[r] < lo || as[r] > hi {
+			return 0, fmt.Errorf("serial: round %d operands outside signed %d-bit range", r, l.Width)
+		}
+		xBits := circuit.Int64ToBits(xs[r], l.Width)
+		lastRound = lastRound[:0]
+		for n := 0; n < l.StagesPerMAC; n++ {
+			isLast, vj, corr, notFirst := l.SignedStageInputs(n)
+			g := append(append([]bool{}, xBits...), isLast, vj, corr, notFirst)
+			aIn := l.StageInputs(uint64(as[r])&(1<<uint(l.Width)-1), n)
+			out, next, err := ckt.EvalRound(g, aIn, state)
+			if err != nil {
+				return 0, err
+			}
+			state = next
+			lastRound = append(lastRound, out[0])
+		}
+	}
+	// Exact in the low 2b bits only (Baugh–Wooley works mod 2^{2b}).
+	return circuit.BitsToInt64(lastRound[:2*l.Width]), nil
+}

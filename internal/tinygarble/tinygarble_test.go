@@ -1,0 +1,217 @@
+package tinygarble
+
+import (
+	"testing"
+
+	"maxelerator/internal/circuit"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, b := range []int{0, -2, 3, 7} {
+		if _, err := New(b); err == nil {
+			t.Fatalf("width %d accepted", b)
+		}
+	}
+}
+
+func TestGarbleMACRoundsProducesTables(t *testing.T) {
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.GarbleMACRounds(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MACs != 5 {
+		t.Fatalf("MACs = %d", st.MACs)
+	}
+	wantTables := uint64(5 * f.Circuit().Stats().ANDs)
+	if st.Tables != wantTables {
+		t.Fatalf("tables = %d, want %d", st.Tables, wantTables)
+	}
+	if st.TableBytes != wantTables*2*16 {
+		t.Fatalf("table bytes = %d", st.TableBytes)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+	if st.TimePerMAC() <= 0 || st.ThroughputMACsPerSec() <= 0 {
+		t.Fatal("derived metrics not positive")
+	}
+}
+
+func TestGarbleMACRoundsRejectsZero(t *testing.T) {
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.GarbleMACRounds(0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestStatsZeroValues(t *testing.T) {
+	var st Stats
+	if st.TimePerMAC() != 0 || st.ThroughputMACsPerSec() != 0 {
+		t.Fatal("zero stats produced nonzero metrics")
+	}
+}
+
+func TestCostGrowsWithWidth(t *testing.T) {
+	// Table 2's software column: per-MAC cost grows superlinearly in b.
+	var prev uint64
+	for _, b := range []int{8, 16, 32} {
+		f, err := New(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := f.GarbleMACRounds(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Tables <= prev {
+			t.Fatalf("b=%d produced %d tables, not above previous %d", b, st.Tables, prev)
+		}
+		prev = st.Tables
+	}
+}
+
+func TestASAPCyclesIdealWhenSerial(t *testing.T) {
+	// With one unit there can be no stalls: every cycle garbles a gate.
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, stalls, err := ASAPCycles(f.Circuit(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalls != 0 {
+		t.Fatalf("single-unit engine reported %d stalls", stalls)
+	}
+	if cycles != f.Circuit().Stats().ANDs {
+		t.Fatalf("cycles = %d, want AND count %d", cycles, f.Circuit().Stats().ANDs)
+	}
+}
+
+func TestASAPCyclesStallsWithParallelUnits(t *testing.T) {
+	// A netlist-driven engine with parallel units stalls on dependency
+	// chains — the motivation for the FSM schedule. The serial MAC
+	// netlist must exhibit stalls at 8 units.
+	f, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, stalls, err := ASAPCycles(f.Circuit(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalls <= 0 {
+		t.Fatalf("parallel netlist engine reported no stalls (cycles=%d)", cycles)
+	}
+	// Cycles can never beat the dependency depth.
+	if cycles < f.Circuit().Stats().ANDDepth {
+		t.Fatalf("cycles %d below AND depth %d", cycles, f.Circuit().Stats().ANDDepth)
+	}
+}
+
+func TestASAPCyclesParallelismSaturates(t *testing.T) {
+	// Netlist-driven engines hit the dependency wall: beyond a point,
+	// adding encryption units buys nothing because the ripple-carry
+	// chains serialise garbling. This is the quantitative form of the
+	// paper's §3 argument that software parallelisation of GC does not
+	// pay off, unlike the FSM's restructured dataflow.
+	c, err := circuit.MAC(circuit.MACConfig{Width: 16, AccWidth: 32, SerialMultiplier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _, err := ASAPCycles(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, _, err := ASAPCycles(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c64, _, err := ASAPCycles(c, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c1 > c8 && c8 >= c64) {
+		t.Fatalf("cycles not monotone in units: %d, %d, %d", c1, c8, c64)
+	}
+	// 64 units must stay well above the ideal ⌈ANDs/64⌉: the engine is
+	// dependency-bound, not unit-bound.
+	ideal := (c.Stats().ANDs + 63) / 64
+	if c64 < 2*ideal {
+		t.Fatalf("64 units gave %d cycles vs ideal %d — no dependency stalls visible", c64, ideal)
+	}
+	if c64 < c.Stats().ANDDepth {
+		t.Fatalf("cycles %d below AND depth %d", c64, c.Stats().ANDDepth)
+	}
+}
+
+func TestASAPCyclesValidation(t *testing.T) {
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ASAPCycles(f.Circuit(), 0); err == nil {
+		t.Fatal("zero units accepted")
+	}
+}
+
+func BenchmarkSoftwareMAC8(b *testing.B)  { benchMAC(b, 8) }
+func BenchmarkSoftwareMAC16(b *testing.B) { benchMAC(b, 16) }
+func BenchmarkSoftwareMAC32(b *testing.B) { benchMAC(b, 32) }
+
+func benchMAC(b *testing.B, width int) {
+	f, err := New(width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := f.GarbleMACRounds(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestEvaluateMACRounds(t *testing.T) {
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.EvaluateMACRounds(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MACs != 5 || st.Elapsed <= 0 {
+		t.Fatalf("eval stats: %+v", st)
+	}
+	if st.TimePerMAC() <= 0 || st.ThroughputMACsPerSec() <= 0 {
+		t.Fatal("derived metrics not positive")
+	}
+	if _, err := f.EvaluateMACRounds(0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestEvalStatsZeroSafe(t *testing.T) {
+	var st EvalStats
+	if st.TimePerMAC() != 0 || st.ThroughputMACsPerSec() != 0 {
+		t.Fatal("zero eval stats produced nonzero metrics")
+	}
+}
+
+func BenchmarkSoftwareEvaluate8(b *testing.B) {
+	f, err := New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := f.EvaluateMACRounds(b.N); err != nil {
+		b.Fatal(err)
+	}
+}

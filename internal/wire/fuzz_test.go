@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStreamConnRecv feeds arbitrary bytes to the frame reader: it
+// must never panic or over-allocate, only return messages or errors.
+func FuzzStreamConnRecv(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 2, 'h', 'i'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewStreamConn(bytes.NewBuffer(data))
+		for i := 0; i < 4; i++ {
+			msg, err := c.RecvMsg()
+			if err != nil {
+				return
+			}
+			if len(msg) > MaxMessageSize {
+				t.Fatalf("oversized message of %d bytes accepted", len(msg))
+			}
+		}
+	})
+}
+
+// FuzzStreamConnRoundTrip checks that any sequence of messages
+// round-trips exactly through the framing.
+func FuzzStreamConnRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), []byte{}, []byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		var buf bytes.Buffer
+		w := NewStreamConn(&buf)
+		for _, msg := range [][]byte{a, b, c} {
+			if err := w.SendMsg(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := NewStreamConn(&buf)
+		for _, want := range [][]byte{a, b, c} {
+			got, err := r.RecvMsg()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frame %q != %q", got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Package wire provides the message-framing transport shared by the
+// oblivious-transfer and two-party protocol layers: length-prefixed
+// messages over any io.ReadWriter (the TCP path between cloud server
+// and client) and an in-memory pipe (the in-process path used by tests
+// and single-binary examples).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxMessageSize bounds a single framed message (64 MiB). It protects
+// against corrupt or hostile length prefixes.
+const MaxMessageSize = 64 << 20
+
+// Conn is a reliable, ordered message channel between two parties.
+type Conn interface {
+	// SendMsg transmits one message.
+	SendMsg(msg []byte) error
+	// RecvMsg receives the next message.
+	RecvMsg() ([]byte, error)
+	// Close releases the channel. Further operations fail.
+	Close() error
+}
+
+// streamConn frames messages over a byte stream with a 4-byte
+// big-endian length prefix.
+type streamConn struct {
+	rw io.ReadWriter
+	mu sync.Mutex // serialises writers
+}
+
+// NewStreamConn wraps a byte stream (e.g. a *net.TCPConn) as a Conn.
+// Closing the Conn closes the underlying stream when it implements
+// io.Closer.
+func NewStreamConn(rw io.ReadWriter) Conn { return &streamConn{rw: rw} }
+
+func (c *streamConn) SendMsg(msg []byte) error {
+	if len(msg) > MaxMessageSize {
+		return fmt.Errorf("wire: message of %d bytes exceeds limit %d", len(msg), MaxMessageSize)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := c.rw.Write(msg); err != nil {
+		return fmt.Errorf("wire: writing frame body: %w", err)
+	}
+	return nil
+}
+
+func (c *streamConn) RecvMsg() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxMessageSize)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, msg); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return msg, nil
+}
+
+func (c *streamConn) Close() error {
+	if cl, ok := c.rw.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// ErrClosed is returned by pipe operations after Close.
+var ErrClosed = errors.New("wire: connection closed")
+
+// pipeCloser is the close signal shared by both ends of a pipe:
+// closing either end tears down the whole channel.
+type pipeCloser struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func (c *pipeCloser) close() { c.once.Do(func() { close(c.done) }) }
+
+// pipeConn is one end of an in-memory duplex message channel.
+type pipeConn struct {
+	send   chan<- []byte
+	recv   <-chan []byte
+	closer *pipeCloser
+}
+
+// Pipe returns two connected in-memory Conns. Messages sent on one end
+// are received on the other, in order. The buffer depth keeps
+// ping-pong protocols from deadlocking when both parties run in the
+// same goroutine for short exchanges.
+func Pipe() (Conn, Conn) {
+	ab := make(chan []byte, 1024)
+	ba := make(chan []byte, 1024)
+	closer := &pipeCloser{done: make(chan struct{})}
+	a := &pipeConn{send: ab, recv: ba, closer: closer}
+	b := &pipeConn{send: ba, recv: ab, closer: closer}
+	return a, b
+}
+
+func (p *pipeConn) SendMsg(msg []byte) error {
+	cp := append([]byte(nil), msg...)
+	select {
+	case <-p.closer.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case p.send <- cp:
+		return nil
+	case <-p.closer.done:
+		return ErrClosed
+	}
+}
+
+func (p *pipeConn) RecvMsg() ([]byte, error) {
+	select {
+	case msg, ok := <-p.recv:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
+	case <-p.closer.done:
+		// Drain any message that raced with Close.
+		select {
+		case msg, ok := <-p.recv:
+			if ok {
+				return msg, nil
+			}
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (p *pipeConn) Close() error {
+	p.closer.close()
+	return nil
+}
+
+// Counting wraps a Conn and tallies traffic, used by the benchmarks to
+// report protocol communication volume.
+type Counting struct {
+	Conn
+	mu             sync.Mutex
+	sent, received int64
+	sentMsgs       int64
+	recvMsgs       int64
+}
+
+// NewCounting wraps conn with byte and message counters.
+func NewCounting(conn Conn) *Counting { return &Counting{Conn: conn} }
+
+// SendMsg implements Conn.
+func (c *Counting) SendMsg(msg []byte) error {
+	err := c.Conn.SendMsg(msg)
+	if err == nil {
+		c.mu.Lock()
+		c.sent += int64(len(msg))
+		c.sentMsgs++
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// RecvMsg implements Conn.
+func (c *Counting) RecvMsg() ([]byte, error) {
+	msg, err := c.Conn.RecvMsg()
+	if err == nil {
+		c.mu.Lock()
+		c.received += int64(len(msg))
+		c.recvMsgs++
+		c.mu.Unlock()
+	}
+	return msg, err
+}
+
+// Totals returns bytes and messages sent and received so far.
+func (c *Counting) Totals() (sentBytes, recvBytes, sentMsgs, recvMsgs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.received, c.sentMsgs, c.recvMsgs
+}

@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	want := []byte("hello garbler")
+	if err := a.SendMsg(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RecvMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestPipePreservesOrder(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.SendMsg([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		msg, err := b.RecvMsg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg[0] != byte(i) {
+			t.Fatalf("message %d out of order: got %d", i, msg[0])
+		}
+	}
+}
+
+func TestPipeIsolatesBuffers(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	buf := []byte{1, 2, 3}
+	if err := a.SendMsg(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutating the caller's buffer must not affect delivery
+	got, err := b.RecvMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatalf("message aliased sender buffer: got %v", got)
+	}
+}
+
+func TestPipeCloseUnblocks(t *testing.T) {
+	a, b := Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.RecvMsg()
+		errc <- err
+	}()
+	a.Close()
+	if err := <-errc; err != ErrClosed {
+		t.Fatalf("RecvMsg after close: %v, want ErrClosed", err)
+	}
+	if err := a.SendMsg([]byte("x")); err != ErrClosed {
+		t.Fatalf("SendMsg after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := a.SendMsg([]byte{byte(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := a.RecvMsg(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := b.RecvMsg(); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.SendMsg([]byte{byte(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestStreamConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		conn := NewStreamConn(c)
+		msg, err := conn.RecvMsg()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- conn.SendMsg(append(msg, '!'))
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewStreamConn(c)
+	defer conn.Close()
+	if err := conn.SendMsg([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.RecvMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping!" {
+		t.Fatalf("got %q", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamConnEmptyMessage(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewStreamConn(&buf)
+	if err := c.SendMsg(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RecvMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes, want 0", len(got))
+	}
+}
+
+func TestStreamConnRejectsOversizedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB claimed length
+	c := NewStreamConn(&buf)
+	if _, err := c.RecvMsg(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	huge := make([]byte, MaxMessageSize+1)
+	if err := c.SendMsg(huge); err == nil {
+		t.Fatal("oversized send accepted")
+	}
+}
+
+func TestStreamConnTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 'x'}) // claims 10 bytes, has 1
+	c := NewStreamConn(&buf)
+	if _, err := c.RecvMsg(); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestCountingTotals(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca := NewCounting(a)
+	cb := NewCounting(b)
+	if err := ca.SendMsg(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.SendMsg(make([]byte, 28)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.RecvMsg(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.RecvMsg(); err != nil {
+		t.Fatal(err)
+	}
+	sent, _, sentMsgs, _ := ca.Totals()
+	if sent != 128 || sentMsgs != 2 {
+		t.Fatalf("sender totals = %d bytes %d msgs", sent, sentMsgs)
+	}
+	_, recv, _, recvMsgs := cb.Totals()
+	if recv != 128 || recvMsgs != 2 {
+		t.Fatalf("receiver totals = %d bytes %d msgs", recv, recvMsgs)
+	}
+}
