@@ -7,46 +7,87 @@
 //
 //	maxd -listen :7700 -model model.json -b 16 -frac 6
 //	maxd -listen :7700 -demo-rows 4 -demo-cols 8   # random demo model
+//	maxd -listen :7700 -demo-rows 4 -metrics-addr :7701
 //
 // The model file holds a JSON array of rows of floats, e.g.
 // [[1.0, 2.5], [0.25, -1.5]]. Each accepted connection runs one full
 // protocol session (handshake, IKNP OT setup, per-round material
-// streaming) and logs the result and the accelerator statistics.
+// streaming) and emits a structured summary log line.
+//
+// With -metrics-addr the daemon exposes a live observability surface:
+//
+//	GET /metrics         Prometheus text exposition (garbling
+//	                     throughput, stall cycles, per-core counters,
+//	                     OT and session latency histograms, ...)
+//	GET /debug/sessions  recent session phase traces as JSON
+//	GET /healthz         liveness probe
+//
+// On SIGINT/SIGTERM the daemon stops accepting, drains in-flight
+// sessions up to -drain-timeout, and flushes a final metrics snapshot
+// to the log.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"maxelerator/internal/fixed"
 	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
 	"maxelerator/internal/protocol"
 	"maxelerator/internal/report"
 	"maxelerator/internal/wire"
 )
 
+// daemonConfig gathers every knob of one maxd instance.
+type daemonConfig struct {
+	listen       string
+	modelPath    string
+	metricsAddr  string
+	width, frac  int
+	demoRows     int
+	demoCols     int
+	seed         int64
+	once         bool
+	drainTimeout time.Duration
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7700", "TCP listen address")
-	modelPath := flag.String("model", "", "JSON model matrix file (rows of floats)")
-	width := flag.Int("b", 16, "operand bit-width (power of two)")
-	frac := flag.Int("frac", 6, "fixed-point fraction bits")
-	demoRows := flag.Int("demo-rows", 0, "serve a random demo model with this many rows")
-	demoCols := flag.Int("demo-cols", 4, "columns of the random demo model")
-	seed := flag.Int64("seed", 1, "random seed for the demo model")
-	once := flag.Bool("once", false, "serve a single session and exit")
+	var dc daemonConfig
+	flag.StringVar(&dc.listen, "listen", "127.0.0.1:7700", "TCP listen address")
+	flag.StringVar(&dc.modelPath, "model", "", "JSON model matrix file (rows of floats)")
+	flag.StringVar(&dc.metricsAddr, "metrics-addr", "", "HTTP address for /metrics, /debug/sessions and /healthz (empty disables)")
+	flag.IntVar(&dc.width, "b", 16, "operand bit-width (power of two)")
+	flag.IntVar(&dc.frac, "frac", 6, "fixed-point fraction bits")
+	flag.IntVar(&dc.demoRows, "demo-rows", 0, "serve a random demo model with this many rows")
+	flag.IntVar(&dc.demoCols, "demo-cols", 4, "columns of the random demo model")
+	flag.Int64Var(&dc.seed, "seed", 1, "random seed for the demo model")
+	flag.BoolVar(&dc.once, "once", false, "serve a single session and exit")
+	flag.DurationVar(&dc.drainTimeout, "drain-timeout", 10*time.Second, "in-flight session drain deadline on shutdown")
 	flag.Parse()
 
-	if err := run(*listen, *modelPath, *width, *frac, *demoRows, *demoCols, *seed, *once); err != nil {
+	if err := run(dc); err != nil {
 		fmt.Fprintln(os.Stderr, "maxd:", err)
 		os.Exit(1)
 	}
 }
 
+// loadModel reads and validates a model file: the matrix must be
+// non-empty and rectangular, with every row non-empty. Validation
+// happens here, at load time, so a ragged file is rejected with the
+// offending row named instead of failing deep inside a session.
 func loadModel(path string) ([][]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -56,10 +97,28 @@ func loadModel(path string) ([][]float64, error) {
 	if err := json.Unmarshal(data, &rows); err != nil {
 		return nil, fmt.Errorf("parsing model: %w", err)
 	}
+	return rows, validateModel(rows)
+}
+
+// validateModel enforces the rectangular-matrix invariant the protocol
+// relies on (every row is one MAC chain of identical length).
+func validateModel(rows [][]float64) error {
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("model is empty")
+		return fmt.Errorf("model is empty")
 	}
-	return rows, nil
+	cols := len(rows[0])
+	if cols == 0 {
+		return fmt.Errorf("model row 0 is empty")
+	}
+	for i, row := range rows {
+		switch {
+		case len(row) == 0:
+			return fmt.Errorf("model row %d is empty", i)
+		case len(row) != cols:
+			return fmt.Errorf("model row %d has %d columns, want %d (ragged matrix)", i, len(row), cols)
+		}
+	}
+	return nil
 }
 
 func demoModel(rows, cols int, seed int64, f fixed.Format) [][]float64 {
@@ -75,22 +134,28 @@ func demoModel(rows, cols int, seed int64, f fixed.Format) [][]float64 {
 	return out
 }
 
-func run(listen, modelPath string, width, frac, demoRows, demoCols int, seed int64, once bool) error {
-	f := fixed.Format{Width: width, Frac: frac}
+// traceMACLimit caps the per-session memory-system trace: the trace
+// walks every modelled clock cycle, so unboundedly large sessions
+// would stall the daemon. Skipped sessions are logged, not silently
+// dropped.
+const traceMACLimit = 4096
+
+func run(dc daemonConfig) error {
+	f := fixed.Format{Width: dc.width, Frac: dc.frac}
 	if err := f.Validate(); err != nil {
 		return err
 	}
 
 	var model [][]float64
 	switch {
-	case modelPath != "":
-		m, err := loadModel(modelPath)
+	case dc.modelPath != "":
+		m, err := loadModel(dc.modelPath)
 		if err != nil {
 			return err
 		}
 		model = m
-	case demoRows > 0:
-		model = demoModel(demoRows, demoCols, seed, f)
+	case dc.demoRows > 0:
+		model = demoModel(dc.demoRows, dc.demoCols, dc.seed, f)
 	default:
 		return fmt.Errorf("either -model or -demo-rows is required")
 	}
@@ -104,59 +169,150 @@ func run(listen, modelPath string, width, frac, demoRows, demoCols int, seed int
 		raw[i] = r
 	}
 
-	srv, err := protocol.NewServer(maxsim.Config{Width: width, AccWidth: 2 * width, Signed: true})
+	o := obs.New(0)
+	simCfg := maxsim.Config{Width: dc.width, AccWidth: 2 * dc.width, Signed: true}
+	srv, err := protocol.NewServer(simCfg)
+	if err != nil {
+		return err
+	}
+	srv.WithObs(o)
+	// A daemon-owned simulator drives the post-session memory-system
+	// trace (stall cycles, peak occupancy). Its registry is shared with
+	// the protocol sessions; Trace is read-only on the simulator, so
+	// concurrent sessions may model through it safely.
+	simCfg.Metrics = o.Metrics()
+	sim, err := maxsim.New(simCfg)
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", dc.listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	log.Printf("maxd: serving %d×%d model on %s (b=%d, Q%d.%d fixed point)",
-		len(raw), len(raw[0]), ln.Addr(), width, width-frac-1, frac)
+		len(raw), len(raw[0]), ln.Addr(), dc.width, dc.width-dc.frac-1, dc.frac)
+
+	// Register the daemon-level counters before the metrics endpoint
+	// goes live so the very first scrape already lists them (at zero).
+	reg := o.Metrics()
+	bytesIn := reg.Counter("wire_bytes_in_total", "framed bytes received from clients")
+	bytesOut := reg.Counter("wire_bytes_out_total", "framed bytes sent to clients")
+	connsTotal := reg.Counter("connections_total", "TCP connections accepted")
+
+	var httpSrv *http.Server
+	if dc.metricsAddr != "" {
+		mln, err := net.Listen("tcp", dc.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		httpSrv = &http.Server{Handler: o.Handler()}
+		go httpSrv.Serve(mln)
+		defer httpSrv.Close()
+		log.Printf("maxd: observability on http://%s (/metrics /debug/sessions /healthz)", mln.Addr())
+	}
 
 	handle := func(c net.Conn) {
-		conn := wire.NewStreamConn(c)
+		peer := c.RemoteAddr().String()
+		connsTotal.Inc()
+		// Per-connection byte accounting; callbacks run on the session
+		// goroutine only.
+		var connIn, connOut uint64
+		conn := wire.Observed(wire.NewStreamConn(c),
+			func(n int) { bytesOut.Add(uint64(n)); connOut += uint64(n) },
+			func(n int) { bytesIn.Add(uint64(n)); connIn += uint64(n) })
 		defer conn.Close()
-		out, st, err := srv.ServeMatVec(conn, raw)
+
+		tr := o.Traces().StartSession("matvec", peer)
+		out, st, err := srv.ServeMatVecOpts(conn, raw, protocol.Options{Trace: tr})
 		if err != nil {
-			log.Printf("maxd: session from %s failed: %v", c.RemoteAddr(), err)
+			log.Printf("maxd: session=%s peer=%s status=error bytes_in=%d bytes_out=%d err=%q",
+				tr.ID(), peer, connIn, connOut, err)
 			return
 		}
+		tr.SetAttr("bytes_in", fmt.Sprint(connIn))
+		tr.SetAttr("bytes_out", fmt.Sprint(connOut))
+
+		// Model the §5.1 memory system for this session's MAC stream:
+		// how long would the FSM have stalled on the shared output
+		// port, and how full did the core memory blocks get.
+		stall := "skipped"
+		if st.MACs <= traceMACLimit {
+			if tres, terr := sim.Trace(maxsim.TraceConfig{MACs: int(st.MACs)}); terr == nil {
+				stall = fmt.Sprintf("%.3f", tres.StallFraction())
+			}
+		} else {
+			log.Printf("maxd: session=%s trace skipped: %d MACs exceed limit %d", tr.ID(), st.MACs, traceMACLimit)
+		}
+
 		dec := make([]float64, len(out))
 		for i, v := range out {
 			dec[i] = f.DecodeProduct(v)
 		}
-		log.Printf("maxd: session from %s done: result %v", c.RemoteAddr(), dec)
-		log.Printf("maxd: %d MACs, %d modelled cycles (%s on FPGA), %s of garbled tables, PCIe %s",
-			st.MACs, st.Cycles, report.Dur(st.ModeledTime), fmtBytes(st.TableBytes), report.Dur(st.PCIeTime))
+		log.Printf("maxd: session=%s peer=%s status=ok rows=%d macs=%d cycles=%d fpga_time=%s tables=%d table_bytes=%s pcie_time=%s stall_frac=%s bytes_in=%s bytes_out=%s",
+			tr.ID(), peer, len(raw), st.MACs, st.Cycles, report.Dur(st.ModeledTime),
+			st.TablesGarbled, report.Bytes(st.TableBytes), report.Dur(st.PCIeTime),
+			stall, report.Bytes(connIn), report.Bytes(connOut))
+		log.Printf("maxd: session=%s result=%v", tr.ID(), dec)
 	}
 
+	// Graceful shutdown: a signal stops the accept loop; in-flight
+	// sessions get dc.drainTimeout to finish before the daemon exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+
+	var wg sync.WaitGroup
+	var acceptErr error
 	for {
 		c, err := ln.Accept()
 		if err != nil {
-			return err
+			if ctx.Err() != nil {
+				log.Printf("maxd: signal received, draining in-flight sessions (deadline %s)", dc.drainTimeout)
+			} else {
+				acceptErr = err
+			}
+			break
 		}
-		if once {
+		if dc.once {
 			handle(c)
-			return nil
+			break
 		}
 		// Fig. 1: "a cloud server architecture with multiple channels
 		// to communicate with the clients" — one goroutine per client;
 		// every session garbles under its own fresh labels.
-		go handle(c)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			handle(c)
+		}()
 	}
+
+	drained := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(dc.drainTimeout):
+		log.Printf("maxd: drain deadline %s expired with sessions still in flight", dc.drainTimeout)
+	}
+
+	logFinalSnapshot(o)
+	return acceptErr
 }
 
-func fmtBytes(n uint64) string {
-	switch {
-	case n >= 1<<20:
-		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
-	case n >= 1<<10:
-		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
-	default:
-		return fmt.Sprintf("%d B", n)
+// logFinalSnapshot flushes the complete metrics state to the log so a
+// scrape-less deployment still retains the run's totals.
+func logFinalSnapshot(o *obs.Obs) {
+	var sb strings.Builder
+	if err := o.Metrics().WritePrometheus(&sb); err != nil || sb.Len() == 0 {
+		return
 	}
+	log.Printf("maxd: final metrics snapshot:\n%s", sb.String())
 }

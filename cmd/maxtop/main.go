@@ -1,0 +1,299 @@
+// Command maxtop is a live terminal view over a running maxd: it polls
+// the daemon's /metrics endpoint (see maxd -metrics-addr) and renders
+// session, garbling-throughput, memory-system and latency figures,
+// plus a per-core table/idle breakdown of the MAC unit.
+//
+// Usage:
+//
+//	maxtop -addr 127.0.0.1:7701              # refresh every 2s
+//	maxtop -addr 127.0.0.1:7701 -once        # single snapshot
+//	maxtop -addr 127.0.0.1:7701 -interval 1s -count 10
+//
+// Rates (MAC/s, wire bytes/s) are derived from the deltas between two
+// consecutive scrapes, so the first frame of a watch shows totals only.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"maxelerator/internal/report"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7701", "maxd metrics address (host:port)")
+	interval := flag.Duration("interval", 2*time.Second, "poll period")
+	count := flag.Int("count", 0, "number of frames to render (0 = until interrupted)")
+	once := flag.Bool("once", false, "render a single snapshot and exit")
+	flag.Parse()
+
+	n := *count
+	if *once {
+		n = 1
+	}
+	if err := watch(os.Stdout, "http://"+*addr+"/metrics", *interval, n, !*once && n != 1); err != nil {
+		fmt.Fprintln(os.Stderr, "maxtop:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one exposition line: a metric name, its label set and the
+// parsed value.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// label returns a label value or "".
+func (s sample) label(key string) string { return s.labels[key] }
+
+// snapshot is one parsed /metrics scrape.
+type snapshot struct {
+	samples []sample
+	when    time.Time
+}
+
+// get returns the value of the sample matching name and every given
+// key=value pair (pairs are alternating key, value strings).
+func (s *snapshot) get(name string, pairs ...string) (float64, bool) {
+next:
+	for _, sm := range s.samples {
+		if sm.name != name {
+			continue
+		}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			if sm.labels[pairs[i]] != pairs[i+1] {
+				continue next
+			}
+		}
+		return sm.value, true
+	}
+	return 0, false
+}
+
+// val is get with a zero default.
+func (s *snapshot) val(name string, pairs ...string) float64 {
+	v, _ := s.get(name, pairs...)
+	return v
+}
+
+// sumBy sums all samples of a family grouped by one label, returned in
+// label-sorted order (numeric labels sort numerically).
+func (s *snapshot) sumBy(name, key string) []struct {
+	Label string
+	Value float64
+} {
+	acc := map[string]float64{}
+	for _, sm := range s.samples {
+		if sm.name == name {
+			acc[sm.label(key)] += sm.value
+		}
+	}
+	out := make([]struct {
+		Label string
+		Value float64
+	}, 0, len(acc))
+	for l, v := range acc {
+		out = append(out, struct {
+			Label string
+			Value float64
+		}{l, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, aerr := strconv.Atoi(out[i].Label)
+		b, berr := strconv.Atoi(out[j].Label)
+		if aerr == nil && berr == nil {
+			return a < b
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// parseMetrics reads a Prometheus text-format exposition. Unparsable
+// lines are skipped rather than fatal: maxtop must keep rendering even
+// if the daemon grows metrics this binary does not know.
+func parseMetrics(r io.Reader) (*snapshot, error) {
+	snap := &snapshot{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		key := line[:sp]
+		sm := sample{labels: map[string]string{}, value: v}
+		if open := strings.IndexByte(key, '{'); open >= 0 && strings.HasSuffix(key, "}") {
+			sm.name = key[:open]
+			for _, pair := range splitLabels(key[open+1 : len(key)-1]) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					continue
+				}
+				val := pair[eq+1:]
+				val = strings.TrimPrefix(val, `"`)
+				val = strings.TrimSuffix(val, `"`)
+				sm.labels[pair[:eq]] = val
+			}
+		} else {
+			sm.name = key
+		}
+		snap.samples = append(snap.samples, sm)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	var quoted bool
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			quoted = !quoted
+		case ',':
+			if !quoted {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// scrape fetches and parses one /metrics exposition.
+func scrape(url string) (*snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	snap, err := parseMetrics(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	snap.when = time.Now()
+	return snap, nil
+}
+
+// render draws one frame. prev may be nil (first frame: totals only,
+// no rates).
+func render(w io.Writer, url string, prev, cur *snapshot) {
+	fmt.Fprintf(w, "maxtop — %s — %s\n\n", url, cur.when.Format("15:04:05"))
+
+	errs := 0.0
+	sessions := 0.0
+	for _, sm := range cur.samples {
+		switch sm.name {
+		case "sessions_total":
+			sessions += sm.value
+		case "session_errors_total":
+			errs += sm.value
+		}
+	}
+	fmt.Fprintf(w, "sessions    total %.0f   active %.0f   errors %.0f   connections %.0f\n",
+		sessions, cur.val("sessions_active"), errs, cur.val("connections_total"))
+
+	line := fmt.Sprintf("garbling    macs %.0f   tables %.0f   table bytes %s",
+		cur.val("macs_total"), cur.val("tables_garbled_total"),
+		report.Bytes(uint64(cur.val("table_bytes_total"))))
+	if prev != nil {
+		if dt := cur.when.Sub(prev.when).Seconds(); dt > 0 {
+			line += fmt.Sprintf("   rate %.1f MAC/s", (cur.val("macs_total")-prev.val("macs_total"))/dt)
+		}
+	}
+	fmt.Fprintln(w, line)
+
+	traceCycles := cur.val("trace_cycles_total")
+	stallPct := 0.0
+	if traceCycles > 0 {
+		stallPct = 100 * cur.val("stall_cycles_total") / traceCycles
+	}
+	fmt.Fprintf(w, "memory      stall %.1f%%   peak %s   pcie drained %s\n",
+		stallPct,
+		report.Bytes(uint64(cur.val("peak_memory_bytes"))),
+		report.Bytes(uint64(cur.val("pcie_drained_bytes_total"))))
+
+	wireLine := fmt.Sprintf("wire        in %s   out %s",
+		report.Bytes(uint64(cur.val("wire_bytes_in_total"))),
+		report.Bytes(uint64(cur.val("wire_bytes_out_total"))))
+	if prev != nil {
+		if dt := cur.when.Sub(prev.when).Seconds(); dt > 0 {
+			wireLine += fmt.Sprintf("   rate %s/s out",
+				report.Bytes(uint64((cur.val("wire_bytes_out_total")-prev.val("wire_bytes_out_total"))/dt)))
+		}
+	}
+	fmt.Fprintln(w, wireLine)
+
+	lat := func(name string, pairs ...string) string {
+		c := cur.val(name+"_count", pairs...)
+		if c == 0 {
+			return "—"
+		}
+		avg := cur.val(name+"_sum", pairs...) / c
+		return fmt.Sprintf("avg %s (n=%.0f)", report.Dur(time.Duration(avg*float64(time.Second))), c)
+	}
+	fmt.Fprintf(w, "latency     ot_setup %s   session %s\n", lat("ot_setup_seconds"), lat("session_seconds"))
+
+	cores := cur.sumBy("core_tables_total", "core")
+	if len(cores) > 0 {
+		idle := map[string]float64{}
+		for _, e := range cur.sumBy("core_idle_slots_total", "core") {
+			idle[e.Label] = e.Value
+		}
+		t := report.NewTable("\nper-core", "core", "tables", "idle slots")
+		for _, e := range cores {
+			t.AddRow(e.Label, fmt.Sprintf("%.0f", e.Value), fmt.Sprintf("%.0f", idle[e.Label]))
+		}
+		fmt.Fprint(w, t.String())
+	}
+}
+
+// watch polls url every interval and renders n frames (n <= 0 means
+// forever). When clear is set each frame redraws from the top-left
+// like top(1).
+func watch(w io.Writer, url string, interval time.Duration, n int, clear bool) error {
+	var prev *snapshot
+	for i := 0; n <= 0 || i < n; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		cur, err := scrape(url)
+		if err != nil {
+			return err
+		}
+		if clear {
+			fmt.Fprint(w, "\033[2J\033[H")
+		}
+		render(w, url, prev, cur)
+		prev = cur
+	}
+	return nil
+}

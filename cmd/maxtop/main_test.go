@@ -1,0 +1,154 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exposition is a canned maxd /metrics scrape (the shapes maxtop must
+// understand: bare counters, labelled families, histogram series).
+const exposition = `# HELP macs_total MAC rounds garbled
+# TYPE macs_total counter
+macs_total 1200
+# TYPE sessions_total counter
+sessions_total{kind="matvec"} 3
+sessions_total{kind="serial"} 1
+# TYPE session_errors_total counter
+session_errors_total{kind="matvec"} 1
+# TYPE sessions_active gauge
+sessions_active 2
+connections_total 5
+tables_garbled_total 4800
+table_bytes_total 307200
+trace_cycles_total 1000
+stall_cycles_total 250
+peak_memory_bytes 8192
+pcie_drained_bytes_total 307200
+wire_bytes_in_total 2048
+wire_bytes_out_total 1048576
+# TYPE ot_setup_seconds histogram
+ot_setup_seconds_bucket{le="0.01"} 2
+ot_setup_seconds_bucket{le="+Inf"} 4
+ot_setup_seconds_sum 0.02
+ot_setup_seconds_count 4
+session_seconds_sum{kind="matvec"} 1.5
+session_seconds_count{kind="matvec"} 3
+core_tables_total{core="0"} 100
+core_tables_total{core="1"} 90
+core_tables_total{core="10"} 80
+core_idle_slots_total{core="0"} 7
+`
+
+func TestParseMetrics(t *testing.T) {
+	snap, err := parseMetrics(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := snap.val("macs_total"); v != 1200 {
+		t.Fatalf("macs_total = %v", v)
+	}
+	if v := snap.val("sessions_total", "kind", "serial"); v != 1 {
+		t.Fatalf("serial sessions = %v", v)
+	}
+	if v := snap.val("ot_setup_seconds_bucket", "le", "+Inf"); v != 4 {
+		t.Fatalf("+Inf bucket = %v", v)
+	}
+	if _, ok := snap.get("nonexistent"); ok {
+		t.Fatal("phantom sample")
+	}
+	// Numeric core labels sort numerically: 0, 1, 10.
+	cores := snap.sumBy("core_tables_total", "core")
+	if len(cores) != 3 || cores[2].Label != "10" || cores[2].Value != 80 {
+		t.Fatalf("cores = %+v", cores)
+	}
+}
+
+func TestParseMetricsSkipsGarbage(t *testing.T) {
+	snap, err := parseMetrics(strings.NewReader("not a metric\nx{ 1\nok_total 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := snap.val("ok_total"); v != 7 {
+		t.Fatalf("ok_total = %v (garbage lines must not abort the parse)", v)
+	}
+}
+
+func TestSplitLabels(t *testing.T) {
+	got := splitLabels(`a="x,y",b="z"`)
+	if len(got) != 2 || got[0] != `a="x,y"` || got[1] != `b="z"` {
+		t.Fatalf("splitLabels = %q", got)
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	cur, err := parseMetrics(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.when = time.Unix(1000, 0)
+	var sb strings.Builder
+	render(&sb, "http://x/metrics", nil, cur)
+	out := sb.String()
+	for _, want := range []string{
+		"sessions    total 4   active 2   errors 1   connections 5",
+		"macs 1200",
+		"table bytes 300.0 KiB",
+		"stall 25.0%", // 250 / 1000 trace cycles
+		"peak 8.0 KiB",
+		"in 2.0 KiB   out 1.0 MiB",
+		"ot_setup avg 5.00ms (n=4)",
+		"session avg 500.00ms (n=3)",
+		"per-core",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderRates(t *testing.T) {
+	prev, _ := parseMetrics(strings.NewReader("macs_total 1000\nwire_bytes_out_total 0\n"))
+	cur, _ := parseMetrics(strings.NewReader("macs_total 1200\nwire_bytes_out_total 2048\n"))
+	prev.when = time.Unix(1000, 0)
+	cur.when = time.Unix(1002, 0)
+	var sb strings.Builder
+	render(&sb, "u", prev, cur)
+	out := sb.String()
+	if !strings.Contains(out, "rate 100.0 MAC/s") {
+		t.Fatalf("MAC rate missing:\n%s", out)
+	}
+	if !strings.Contains(out, "rate 1.0 KiB/s out") {
+		t.Fatalf("wire rate missing:\n%s", out)
+	}
+}
+
+func TestWatchAgainstFakeDaemon(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(exposition))
+	}))
+	defer srv.Close()
+	var sb strings.Builder
+	if err := watch(&sb, srv.URL, time.Millisecond, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	// Two frames, second with rates (zero delta → 0.0 MAC/s).
+	if got := strings.Count(sb.String(), "maxtop —"); got != 2 {
+		t.Fatalf("%d frames rendered", got)
+	}
+	if !strings.Contains(sb.String(), "rate 0.0 MAC/s") {
+		t.Fatalf("second frame lacks rate:\n%s", sb.String())
+	}
+}
+
+func TestWatchScrapeError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if err := watch(&strings.Builder{}, srv.URL, time.Millisecond, 1, false); err == nil {
+		t.Fatal("unhealthy endpoint accepted")
+	}
+}

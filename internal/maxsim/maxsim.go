@@ -26,12 +26,14 @@ import (
 	"crypto/rand"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"maxelerator/internal/circuit"
 	"maxelerator/internal/fpga"
 	"maxelerator/internal/gc"
 	"maxelerator/internal/label"
+	"maxelerator/internal/obs"
 	"maxelerator/internal/sched"
 )
 
@@ -59,6 +61,11 @@ type Config struct {
 	// hardware's ring-oscillator label generator is modelled separately
 	// by LabelGenerator.
 	Rand io.Reader
+	// Metrics, when non-nil, receives the simulator's hardware-model
+	// accounting (cycles, tables, idle slots, stalls, per-core
+	// counters) as live counters. Nil disables recording with no
+	// overhead on the garbling paths.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +96,53 @@ type Simulator struct {
 	schedule *sched.Schedule
 	macCkt   *circuit.Circuit
 	garbler  *gc.Garbler
+	met      simMetrics
+	// idlePerStage[i] is core i's idle slots in one 3-cycle stage,
+	// read off the FSM slot grid once at construction.
+	idlePerStage []uint64
+}
+
+// simMetrics caches the simulator's registry handles so recording is
+// one atomic add per field, not a map lookup. Every handle is nil (a
+// no-op) when the configuration carries no registry.
+type simMetrics struct {
+	macs            *obs.Counter
+	cycles          *obs.Counter
+	stages          *obs.Counter
+	tablesGarbled   *obs.Counter
+	tablesScheduled *obs.Counter
+	tableBytes      *obs.Counter
+	idleSlots       *obs.Counter
+	rngBits         *obs.Counter
+	traceCycles     *obs.Counter
+	stallCycles     *obs.Counter
+	drainedBytes    *obs.Counter
+	coreIdle        []*obs.Counter
+	coreTables      []*obs.Counter
+	peakMemory      *obs.Gauge
+}
+
+func newSimMetrics(reg *obs.Registry, numCores int) simMetrics {
+	m := simMetrics{
+		macs:            reg.Counter("macs_total", "MAC rounds garbled"),
+		cycles:          reg.Counter("cycles_total", "modelled clock cycles on the critical MAC unit"),
+		stages:          reg.Counter("stages_total", "modelled 3-cycle FSM stages"),
+		tablesGarbled:   reg.Counter("tables_garbled_total", "garbled tables produced by the functional netlist"),
+		tablesScheduled: reg.Counter("tables_scheduled_total", "garbled tables implied by the FSM slot grid"),
+		tableBytes:      reg.Counter("table_bytes_total", "garbled-table bytes produced"),
+		idleSlots:       reg.Counter("idle_slots_total", "idle core-slots over all runs"),
+		rngBits:         reg.Counter("rng_bits_total", "label entropy consumed, in bits"),
+		traceCycles:     reg.Counter("trace_cycles_total", "clock cycles walked by the memory-system trace"),
+		stallCycles:     reg.Counter("stall_cycles_total", "cycles the FSM stalled on full memory blocks"),
+		drainedBytes:    reg.Counter("pcie_drained_bytes_total", "bytes drained through the shared output port"),
+		peakMemory:      reg.Gauge("peak_memory_bytes", "high-water mark of garbled tables resident in core memory blocks"),
+	}
+	for i := 0; i < numCores; i++ {
+		lbl := obs.L("core", strconv.Itoa(i))
+		m.coreIdle = append(m.coreIdle, reg.Counter("core_idle_slots_total", "idle slots per GC core", lbl))
+		m.coreTables = append(m.coreTables, reg.Counter("core_tables_total", "tables garbled per GC core (trace runs)", lbl))
+	}
+	return m
 }
 
 // New builds a simulator. It validates that the configured MAC units
@@ -118,7 +172,17 @@ func New(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg, schedule: s, macCkt: ckt, garbler: g}, nil
+	sim := &Simulator{cfg: cfg, schedule: s, macCkt: ckt, garbler: g}
+	sim.met = newSimMetrics(cfg.Metrics, s.NumCores())
+	sim.idlePerStage = make([]uint64, len(s.Cores))
+	for i, core := range s.Cores {
+		for _, slot := range core.Slots {
+			if slot.Kind == sched.Idle {
+				sim.idlePerStage[i]++
+			}
+		}
+	}
+	return sim, nil
 }
 
 // Schedule exposes the FSM schedule driving the timing model.
@@ -252,6 +316,27 @@ func (s *Simulator) fillStats(st *Stats, macs uint64) {
 	st.RNGBitsDrawn = (inputWires*macs + uint64(s.macCkt.NState)) * label.Bits
 	st.ModeledTime = s.cfg.Device.CyclesToDuration(st.Cycles)
 	st.PCIeTime = s.cfg.PCIe.TransferTime(int(st.TableBytes))
+	s.RecordStats(st)
+	// Per-core idle attribution follows the FSM grid: a core's idle
+	// slots per stage are fixed by its slot pattern.
+	for i, c := range s.met.coreIdle {
+		c.Add(s.idlePerStage[i] * st.Stages)
+	}
+}
+
+// RecordStats adds a run's aggregate accounting to the configured
+// metrics registry (no-op without one). Garbling paths that assemble
+// Stats themselves — the correlated-OT and serial protocol sessions —
+// call this once per session; GarbleDotProduct records automatically.
+func (s *Simulator) RecordStats(st *Stats) {
+	s.met.macs.Add(st.MACs)
+	s.met.cycles.Add(st.Cycles)
+	s.met.stages.Add(st.Stages)
+	s.met.tablesGarbled.Add(st.TablesGarbled)
+	s.met.tablesScheduled.Add(st.TablesScheduled)
+	s.met.tableBytes.Add(st.TableBytes)
+	s.met.idleSlots.Add(st.IdleSlots)
+	s.met.rngBits.Add(st.RNGBitsDrawn)
 }
 
 // MatMulStats models garbling an (n×m)·(m×p) matrix product: n·p

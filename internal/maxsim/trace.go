@@ -165,6 +165,16 @@ func (s *Simulator) Trace(cfg TraceConfig) (TraceResult, error) {
 		drain()
 	}
 	res.BytesProduced = res.TablesProduced * uint64(tableBytes)
+	// Publish the memory-system view: stall cycles and peak occupancy
+	// are what localise the paper's §5.1 "communication capability …
+	// may become the bottleneck" in a live /metrics scrape.
+	s.met.traceCycles.Add(res.Cycles)
+	s.met.stallCycles.Add(res.StallCycles)
+	s.met.drainedBytes.Add(res.BytesDrained)
+	s.met.peakMemory.SetMax(int64(res.PeakOccupancyBytes))
+	for i, c := range s.met.coreTables {
+		c.Add(res.PerCoreTables[i])
+	}
 	return res, nil
 }
 

@@ -138,3 +138,85 @@ func TestTraceFasterDrainNeverSlower(t *testing.T) {
 		t.Fatalf("faster drain took %d cycles vs %d", fast.Cycles, slow.Cycles)
 	}
 }
+
+func TestTraceStallLoopMinimalMemory(t *testing.T) {
+	// Edge of the stall loop: each memory block holds exactly one
+	// half-gates table (2 × 16 B), so after every produce cycle all
+	// eight b=8 cores are full and the FSM must stall until the port
+	// has drained every block.
+	s := sim(t, Config{Width: 8})
+	const tableBytes = 32
+	if _, err := s.Trace(TraceConfig{MACs: 2, DrainBytesPerCycle: tableBytes, MemoryBytesPerCore: tableBytes - 1}); err == nil {
+		t.Fatal("block one byte below a table accepted")
+	}
+	res, err := s.Trace(TraceConfig{MACs: 2, DrainBytesPerCycle: tableBytes, MemoryBytesPerCore: tableBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCycles == 0 {
+		t.Fatal("one-table blocks produced no stalls")
+	}
+	if res.BytesDrained != res.BytesProduced {
+		t.Fatalf("drained %d of %d bytes", res.BytesDrained, res.BytesProduced)
+	}
+	// The port moves exactly one full table per cycle (produce, stall
+	// and tail cycles alike), so total cycles equals tables produced —
+	// any wasted drain cycle would break this equality.
+	if res.Cycles != res.TablesProduced {
+		t.Fatalf("cycles %d != tables %d: drain cycles wasted", res.Cycles, res.TablesProduced)
+	}
+	// Peak occupancy is one table in every producing block, measured
+	// right after a produce cycle.
+	if want := s.Schedule().NumCores() * tableBytes; res.PeakOccupancyBytes != want {
+		t.Fatalf("peak occupancy %d, want %d", res.PeakOccupancyBytes, want)
+	}
+}
+
+func TestTraceMidBlockSaturationResume(t *testing.T) {
+	// Edge of drainFrom: a port narrower than one table saturates
+	// mid-block every cycle, and the drain must resume that same block
+	// next cycle instead of re-scanning from zero. If any budget were
+	// wasted the run could not finish in exactly BytesProduced/drain
+	// cycles.
+	s := sim(t, Config{Width: 8})
+	const drain = 8 // a quarter table per cycle
+	res, err := s.Trace(TraceConfig{MACs: 3, DrainBytesPerCycle: drain, MemoryBytesPerCore: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesDrained != res.BytesProduced {
+		t.Fatalf("drained %d of %d bytes", res.BytesDrained, res.BytesProduced)
+	}
+	if want := res.BytesProduced / drain; res.Cycles != want {
+		t.Fatalf("cycles %d, want exactly %d (full port utilization)", res.Cycles, want)
+	}
+	if res.StallCycles != 0 {
+		t.Fatalf("ample memory still stalled %d cycles", res.StallCycles)
+	}
+}
+
+func TestTraceDrainRoundRobinFairness(t *testing.T) {
+	// Edge of the round-robin pointer under a starved port: the b=8
+	// grid is symmetric (every core garbles every cycle), so a fair
+	// drain keeps the run port-bound with one table leaving per cycle
+	// and identical per-core production.
+	s := sim(t, Config{Width: 8})
+	res, err := s.Trace(TraceConfig{MACs: 6, DrainBytesPerCycle: 32, MemoryBytesPerCore: 2 * 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.PerCoreTables {
+		if n != res.PerCoreTables[0] {
+			t.Fatalf("core %d produced %d tables, core 0 produced %d", i, n, res.PerCoreTables[0])
+		}
+	}
+	if res.Cycles != res.TablesProduced {
+		t.Fatalf("cycles %d != tables %d: unfair drain wasted port cycles", res.Cycles, res.TablesProduced)
+	}
+	if res.StallCycles == 0 {
+		t.Fatal("starved port produced no stalls")
+	}
+	if limit := s.Schedule().NumCores() * 2 * 32; res.PeakOccupancyBytes > limit {
+		t.Fatalf("peak %d exceeds total capacity %d", res.PeakOccupancyBytes, limit)
+	}
+}

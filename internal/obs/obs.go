@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Obs bundles the metrics registry and the session tracer: the one
+// handle instrumented packages and the daemon share. A nil *Obs is a
+// universal no-op, so observability stays strictly opt-in.
+type Obs struct {
+	reg    *Registry
+	tracer *Tracer
+}
+
+// New creates a registry plus a tracer retaining traceCapacity recent
+// sessions (DefaultTraceCapacity if <= 0).
+func New(traceCapacity int) *Obs {
+	return &Obs{reg: NewRegistry(), tracer: NewTracer(traceCapacity)}
+}
+
+// Metrics returns the registry (nil on a nil Obs).
+func (o *Obs) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Traces returns the tracer (nil on a nil Obs).
+func (o *Obs) Traces() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Handler returns the daemon's debug surface:
+//
+//	GET /metrics         Prometheus text exposition of every metric
+//	GET /debug/sessions  recent session traces as JSON (?n=K limits)
+//	GET /healthz         liveness probe, "ok"
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/sessions", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		sessions := o.Traces().Recent(n)
+		if sessions == nil {
+			sessions = []SessionSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"sessions": sessions})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

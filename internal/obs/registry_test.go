@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tables_total", "tables")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Same name+labels returns the same instance.
+	if r.Counter("tables_total", "tables") != c {
+		t.Fatal("counter not deduplicated")
+	}
+	g := r.Gauge("active", "active")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	g.SetMax(2)
+	if g.Value() != 4 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+}
+
+func TestLabelledCountersAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	c0 := r.Counter("core_idle_slots_total", "idle", L("core", "0"))
+	c1 := r.Counter("core_idle_slots_total", "idle", L("core", "1"))
+	if c0 == c1 {
+		t.Fatal("different labels share an instance")
+	}
+	c0.Add(5)
+	c1.Add(7)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`core_idle_slots_total{core="0"} 5`,
+		`core_idle_slots_total{core="1"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	// Binary-exact samples so the sum assertion is not at the mercy of
+	// float rounding.
+	h := r.Histogram("session_seconds", "session latency", []float64{0.25, 1, 8})
+	for _, v := range []float64{0.125, 0.25, 0.5, 4, 64} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 68.875 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Cumulative le buckets: 0.125 and 0.25 fall in le=0.25; 0.5 adds
+	// to le=1; 4 adds to le=8; 64 only reaches +Inf.
+	for _, want := range []string{
+		"# TYPE session_seconds histogram",
+		`session_seconds_bucket{le="0.25"} 2`,
+		`session_seconds_bucket{le="1"} 3`,
+		`session_seconds_bucket{le="8"} 4`,
+		`session_seconds_bucket{le="+Inf"} 5`,
+		"session_seconds_sum 68.875",
+		"session_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionSortedWithHelpAndType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last")
+	r.Counter("aa_total", "first").Add(3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# HELP aa_total first") ||
+		!strings.Contains(out, "# TYPE aa_total counter") {
+		t.Fatalf("missing HELP/TYPE:\n%s", out)
+	}
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a", "")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 0 {
+		t.Fatal("nil counter held a value")
+	}
+	g := r.Gauge("b", "")
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge held a value")
+	}
+	h := r.Histogram("c", "", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram held samples")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var o *Obs
+	if o.Metrics() != nil || o.Traces() != nil {
+		t.Fatal("nil Obs returned non-nil components")
+	}
+}
+
+// TestConcurrentIncrements is the ISSUE's required concurrent race
+// test: hammer one counter, one gauge and one histogram from many
+// goroutines (run under -race) and check the totals are exact.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Exercise create-or-get concurrently too.
+			c := r.Counter("hits_total", "hits")
+			g := r.Gauge("depth", "depth")
+			h := r.Histogram("lat_seconds", "lat", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(int64(i))
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "hits").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat_seconds", "lat", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat_seconds", "lat", nil).Sum(); got != 0.25*workers*perWorker {
+		t.Fatalf("histogram sum = %v", got)
+	}
+}

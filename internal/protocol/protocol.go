@@ -15,11 +15,13 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"maxelerator/internal/circuit"
 	"maxelerator/internal/gc"
 	"maxelerator/internal/label"
 	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
 	"maxelerator/internal/ot"
 	"maxelerator/internal/seqgc"
 	"maxelerator/internal/wire"
@@ -112,6 +114,7 @@ func schemeByName(name string) (gc.Scheme, error) {
 // required for every garbling operation to ensure security").
 type Server struct {
 	cfg maxsim.Config
+	obs *obs.Obs
 }
 
 // NewServer builds a server around an accelerator configuration.
@@ -122,6 +125,61 @@ func NewServer(cfg maxsim.Config) (*Server, error) {
 		return nil, err
 	}
 	return &Server{cfg: cfg}, nil
+}
+
+// WithObs attaches an observability hub: every session is counted,
+// phase-traced (handshake → ot_setup → rounds → decode) and timed, and
+// the per-session simulators record their hardware accounting into the
+// hub's registry. Call before serving; returns s for chaining.
+func (s *Server) WithObs(o *obs.Obs) *Server {
+	s.obs = o
+	s.cfg.Metrics = o.Metrics()
+	return s
+}
+
+// maxRowSpans bounds the per-row garbling spans retained in one
+// session trace; larger matrices keep only the aggregate rounds span.
+const maxRowSpans = 64
+
+// session is the per-session observability state shared by the matvec,
+// correlated and serial serving paths. Every field is nil-safe, so the
+// uninstrumented server pays only a few nil checks.
+type session struct {
+	tr     *obs.SessionTrace
+	reg    *obs.Registry
+	active *obs.Gauge
+	start  time.Time
+	kind   string
+}
+
+func (s *Server) beginSession(kind string, conn wire.Conn, tr *obs.SessionTrace) *session {
+	reg := s.obs.Metrics()
+	if tr == nil {
+		tr = s.obs.Traces().StartSession(kind, wire.PeerAddr(conn))
+	}
+	reg.Counter("sessions_total", "protocol sessions accepted", obs.L("kind", kind)).Inc()
+	active := reg.Gauge("sessions_active", "protocol sessions currently in flight")
+	active.Add(1)
+	return &session{tr: tr, reg: reg, active: active, start: time.Now(), kind: kind}
+}
+
+// finish closes the session against the (named-return) error pointer.
+func (ss *session) finish(errp *error) {
+	ss.active.Add(-1)
+	err := *errp
+	ss.tr.Finish(err)
+	ss.reg.Histogram("session_seconds", "end-to-end session duration", nil,
+		obs.L("kind", ss.kind)).Observe(time.Since(ss.start).Seconds())
+	if err != nil {
+		ss.reg.Counter("session_errors_total", "sessions that ended in error",
+			obs.L("kind", ss.kind)).Inc()
+	}
+}
+
+// observeOTSetup times the base-OT + IKNP extension setup.
+func (ss *session) observeOTSetup(d time.Duration) {
+	ss.reg.Histogram("ot_setup_seconds", "base-OT plus IKNP extension setup time", nil).
+		Observe(d.Seconds())
 }
 
 // Stats of the last served computation.
@@ -137,6 +195,11 @@ type Options struct {
 	// ciphertext per input wire instead of two. Mutually exclusive
 	// with BatchedOT in this implementation.
 	CorrelatedOT bool
+	// Trace, when non-nil, is a caller-opened session trace the
+	// protocol annotates with its phase spans instead of opening its
+	// own — this is how the daemon correlates its structured session
+	// logs with /debug/sessions entries.
+	Trace *obs.SessionTrace
 }
 
 // ServeDotProduct runs one dot-product session over conn with the
@@ -161,7 +224,10 @@ func (s *Server) ServeMatVecOpts(conn wire.Conn, A [][]int64, opts Options) ([]i
 	return s.serve(conn, A, opts)
 }
 
-func (s *Server) serve(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stats, error) {
+func (s *Server) serve(conn wire.Conn, A [][]int64, opts Options) (out []int64, st Stats, err error) {
+	ss := s.beginSession("matvec", conn, opts.Trace)
+	defer ss.finish(&err)
+
 	sim, err := maxsim.New(s.cfg)
 	if err != nil {
 		return nil, Stats{}, err
@@ -179,6 +245,9 @@ func (s *Server) serve(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stat
 		return nil, Stats{}, fmt.Errorf("protocol: batched and correlated OT are mutually exclusive")
 	}
 	cfg := sim.Config()
+	ss.tr.SetAttr("rows", fmt.Sprint(len(A)))
+	ss.tr.SetAttr("cols", fmt.Sprint(cols))
+	ss.tr.SetAttr("scheme", cfg.Params.Scheme.Name())
 	h := hello{
 		Width: cfg.Width, AccWidth: cfg.AccWidth, Signed: cfg.Signed,
 		Scheme: cfg.Params.Scheme.Name(),
@@ -186,25 +255,36 @@ func (s *Server) serve(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stat
 		BatchedOT:    opts.BatchedOT,
 		CorrelatedOT: opts.CorrelatedOT,
 	}
-	if err := sendGob(conn, h); err != nil {
+	hs := ss.tr.StartSpan("handshake")
+	err = sendGob(conn, h)
+	hs.End()
+	if err != nil {
 		return nil, Stats{}, err
 	}
 
 	// OT session setup: the garbler is the extension sender.
+	otSpan := ss.tr.StartSpan("ot_setup")
 	sender, err := ot.NewExtensionSender(conn, cfg.Rand)
+	ss.observeOTSetup(otSpan.End())
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	if opts.CorrelatedOT {
-		return s.serveCorrelated(conn, sim, A, sender)
+		return s.serveCorrelated(conn, sim, A, sender, ss)
 	}
 
+	rounds := ss.tr.StartSpan("rounds")
 	var agg Stats
 	var allPairs []label.Pair // batched mode: every round's pairs, in order
 	runs := make([]*maxsim.DotProductRun, 0, len(A))
-	for _, row := range A {
+	for i, row := range A {
+		var rowSpan *obs.Span
+		if i < maxRowSpans {
+			rowSpan = ss.tr.StartSpan(fmt.Sprintf("round_garble[%d]", i))
+		}
 		run, err := sim.GarbleDotProduct(row)
 		if err != nil {
+			rounds.End()
 			return nil, Stats{}, err
 		}
 		runs = append(runs, run)
@@ -222,30 +302,41 @@ func (s *Server) serve(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stat
 			for _, gb := range run.Rounds {
 				allPairs = append(allPairs, gb.EvalPairs...)
 			}
+			rowSpan.End()
 			continue
 		}
 		for _, gb := range run.Rounds {
 			if err := sendMaterial(conn, &gb.Material); err != nil {
+				rounds.End()
 				return nil, Stats{}, err
 			}
 			if err := ot.SendLabels(sender, gb.EvalPairs); err != nil {
+				rounds.End()
 				return nil, Stats{}, err
 			}
 		}
+		rowSpan.End()
 	}
 	if opts.BatchedOT {
 		if err := ot.SendLabels(sender, allPairs); err != nil {
+			rounds.End()
 			return nil, Stats{}, err
 		}
 		for _, run := range runs {
 			for _, gb := range run.Rounds {
 				if err := sendMaterial(conn, &gb.Material); err != nil {
+					rounds.End()
 					return nil, Stats{}, err
 				}
 			}
 		}
 	}
+	rounds.End()
+	ss.tr.SetAttr("macs", fmt.Sprint(agg.MACs))
+	ss.tr.SetAttr("table_bytes", fmt.Sprint(agg.TableBytes))
 
+	decode := ss.tr.StartSpan("decode")
+	defer decode.End()
 	var res result
 	if err := recvGob(conn, &res); err != nil {
 		return nil, Stats{}, fmt.Errorf("protocol: reading client result: %w", err)
@@ -261,14 +352,19 @@ func (s *Server) serve(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stat
 // garbled around them and the material streamed. A dedicated
 // sequential-GC session (fresh Δ) drives the garbling so the OT
 // corrections and the circuit share one offset.
-func (s *Server) serveCorrelated(conn wire.Conn, sim *maxsim.Simulator, A [][]int64, sender *ot.ExtensionSender) ([]int64, Stats, error) {
+func (s *Server) serveCorrelated(conn wire.Conn, sim *maxsim.Simulator, A [][]int64, sender *ot.ExtensionSender, ss *session) ([]int64, Stats, error) {
 	cfg := sim.Config()
 	gs, err := seqgc.NewGarblerSession(cfg.Params, cfg.Rand, sim.Circuit())
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	rounds := ss.tr.StartSpan("rounds")
 	var agg Stats
-	for _, row := range A {
+	for i, row := range A {
+		var rowSpan *obs.Span
+		if i < maxRowSpans {
+			rowSpan = ss.tr.StartSpan(fmt.Sprintf("round_garble[%d]", i))
+		}
 		gs.Reset()
 		for _, xi := range row {
 			if err := checkRange(xi, cfg.Width, cfg.Signed); err != nil {
@@ -289,7 +385,9 @@ func (s *Server) serveCorrelated(conn wire.Conn, sim *maxsim.Simulator, A [][]in
 			agg.TablesGarbled += uint64(len(gb.Material.Tables))
 			agg.TableBytes += uint64(gb.Material.CiphertextBytes())
 		}
+		rowSpan.End()
 	}
+	rounds.End()
 	// Timing follows the same schedule model as the plain path.
 	mm, err := sim.MatMulStats(len(A), len(A[0]), 1)
 	if err != nil {
@@ -302,7 +400,13 @@ func (s *Server) serveCorrelated(conn wire.Conn, sim *maxsim.Simulator, A [][]in
 	agg.CoreUtilization = mm.CoreUtilization
 	agg.ModeledTime = mm.ModeledTime
 	agg.PCIeTime = cfg.PCIe.TransferTime(int(agg.TableBytes))
+	// This path assembles its Stats by hand, so it publishes them to
+	// the registry explicitly (GarbleDotProduct is never called).
+	sim.RecordStats(&agg)
+	ss.tr.SetAttr("macs", fmt.Sprint(agg.MACs))
 
+	decode := ss.tr.StartSpan("decode")
+	defer decode.End()
 	var res result
 	if err := recvGob(conn, &res); err != nil {
 		return nil, Stats{}, fmt.Errorf("protocol: reading client result: %w", err)

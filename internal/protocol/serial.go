@@ -30,7 +30,10 @@ type serialHello struct {
 
 // ServeDotProductSerial runs one serial-mode dot-product session with
 // the server-held vector x.
-func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (int64, Stats, error) {
+func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (out int64, st Stats, err error) {
+	ss := s.beginSession("serial", conn, nil)
+	defer ss.finish(&err)
+
 	sim, err := maxsim.New(s.cfg)
 	if err != nil {
 		return 0, Stats{}, err
@@ -56,10 +59,17 @@ func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (int64, Stats,
 		Scheme: cfg.Params.Scheme.Name(),
 		Cols:   len(x), StagesPerMAC: layout.StagesPerMAC,
 	}
-	if err := sendGob(conn, h); err != nil {
+	ss.tr.SetAttr("cols", fmt.Sprint(len(x)))
+	ss.tr.SetAttr("stages_per_mac", fmt.Sprint(layout.StagesPerMAC))
+	hs := ss.tr.StartSpan("handshake")
+	err = sendGob(conn, h)
+	hs.End()
+	if err != nil {
 		return 0, Stats{}, err
 	}
+	otSpan := ss.tr.StartSpan("ot_setup")
 	sender, err := ot.NewExtensionSender(conn, cfg.Rand)
+	ss.observeOTSetup(otSpan.End())
 	if err != nil {
 		return 0, Stats{}, err
 	}
@@ -68,6 +78,7 @@ func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (int64, Stats,
 		return 0, Stats{}, err
 	}
 
+	rounds := ss.tr.StartSpan("rounds")
 	var agg Stats
 	for round, xi := range x {
 		if err := checkRange(xi, cfg.Width, cfg.Signed); err != nil {
@@ -96,12 +107,18 @@ func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (int64, Stats,
 		}
 		agg.MACs++
 	}
+	rounds.End()
 	agg.TablesScheduled = agg.TablesGarbled
 	agg.Cycles = agg.Stages * 3
 	agg.ModeledTime = cfg.Device.CyclesToDuration(agg.Cycles)
 	agg.PCIeTime = cfg.PCIe.TransferTime(int(agg.TableBytes))
 	agg.CoreUtilization = 1
+	// Hand-assembled Stats: publish them explicitly (no
+	// GarbleDotProduct on this path).
+	sim.RecordStats(&agg)
 
+	decode := ss.tr.StartSpan("decode")
+	defer decode.End()
 	var res result
 	if err := recvGob(conn, &res); err != nil {
 		return 0, Stats{}, fmt.Errorf("protocol: reading client result: %w", err)

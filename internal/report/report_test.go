@@ -203,3 +203,25 @@ func TestTimelineReport(t *testing.T) {
 		t.Fatal("zero MACs accepted")
 	}
 }
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{1023, "1023 B"},
+		{1024, "1.0 KiB"},
+		{1536, "1.5 KiB"},
+		{1 << 20, "1.0 MiB"},
+		{5<<20 + 1<<19, "5.5 MiB"},
+		{1 << 30, "1.0 GiB"},
+		{3 << 30, "3.0 GiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.n); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -94,3 +94,19 @@ func Dur(d time.Duration) string {
 
 // Ratio formats a speedup factor.
 func Ratio(v float64) string { return fmt.Sprintf("%.1f×", v) }
+
+// Bytes formats a byte count in binary units. It is the one
+// byte-formatting helper shared by the daemon, the benchmarks and the
+// report tables.
+func Bytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -10,12 +10,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 )
 
 // MaxMessageSize bounds a single framed message (64 MiB). It protects
 // against corrupt or hostile length prefixes.
 const MaxMessageSize = 64 << 20
+
+// frameHeaderSize is the length prefix each framed message carries.
+const frameHeaderSize = 4
 
 // Conn is a reliable, ordered message channel between two parties.
 type Conn interface {
@@ -193,4 +197,56 @@ func (c *Counting) Totals() (sentBytes, recvBytes, sentMsgs, recvMsgs int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sent, c.received, c.sentMsgs, c.recvMsgs
+}
+
+// observedConn reports per-message wire volume to callbacks. Unlike
+// Counting it charges the 4-byte frame header too, so the totals match
+// what actually crosses the transport.
+type observedConn struct {
+	Conn
+	onSend, onRecv func(bytes int)
+}
+
+// Observed wraps conn so every successful send/receive reports its
+// framed byte count (payload + header) to the given callbacks — the
+// hook the daemon uses to feed per-connection traffic into its metrics
+// registry. Nil callbacks are allowed.
+func Observed(conn Conn, onSend, onRecv func(bytes int)) Conn {
+	return &observedConn{Conn: conn, onSend: onSend, onRecv: onRecv}
+}
+
+func (c *observedConn) SendMsg(msg []byte) error {
+	err := c.Conn.SendMsg(msg)
+	if err == nil && c.onSend != nil {
+		c.onSend(len(msg) + frameHeaderSize)
+	}
+	return err
+}
+
+func (c *observedConn) RecvMsg() ([]byte, error) {
+	msg, err := c.Conn.RecvMsg()
+	if err == nil && c.onRecv != nil {
+		c.onRecv(len(msg) + frameHeaderSize)
+	}
+	return msg, err
+}
+
+// remoteAddrer is satisfied by net.Conn transports.
+type remoteAddrer interface{ RemoteAddr() net.Addr }
+
+// PeerAddr reports the remote address of the transport underlying c,
+// unwrapping counting/observing wrappers. It returns "" for in-memory
+// pipes and other address-less transports.
+func PeerAddr(c Conn) string {
+	switch v := c.(type) {
+	case *streamConn:
+		if ra, ok := v.rw.(remoteAddrer); ok {
+			return ra.RemoteAddr().String()
+		}
+	case *observedConn:
+		return PeerAddr(v.Conn)
+	case *Counting:
+		return PeerAddr(v.Conn)
+	}
+	return ""
 }

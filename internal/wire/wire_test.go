@@ -219,3 +219,67 @@ func TestCountingTotals(t *testing.T) {
 		t.Fatalf("receiver totals = %d bytes %d msgs", recv, recvMsgs)
 	}
 }
+
+func TestObservedCountsFramedBytes(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	var sent, recvd int
+	oa := Observed(a, func(n int) { sent += n }, nil)
+	ob := Observed(b, nil, func(n int) { recvd += n })
+	if err := oa.SendMsg(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ob.RecvMsg(); err != nil {
+		t.Fatal(err)
+	}
+	// Payload plus the 4-byte frame header, both directions.
+	if sent != 104 || recvd != 104 {
+		t.Fatalf("observed sent=%d recvd=%d, want 104/104", sent, recvd)
+	}
+	// Failed operations must not be charged.
+	oa.Close()
+	if err := oa.SendMsg([]byte("x")); err == nil {
+		t.Fatal("send on closed pipe succeeded")
+	}
+	if sent != 104 {
+		t.Fatalf("failed send was charged: %d", sent)
+	}
+}
+
+func TestPeerAddr(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+		close(done)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := NewStreamConn(nc)
+	if got := PeerAddr(c); got != ln.Addr().String() {
+		t.Fatalf("PeerAddr = %q, want %q", got, ln.Addr().String())
+	}
+	// Wrappers unwrap to the transport address.
+	if got := PeerAddr(Observed(NewCounting(c), nil, nil)); got != ln.Addr().String() {
+		t.Fatalf("wrapped PeerAddr = %q", got)
+	}
+	// Address-less transports report "".
+	p, q := Pipe()
+	defer p.Close()
+	defer q.Close()
+	if got := PeerAddr(p); got != "" {
+		t.Fatalf("pipe PeerAddr = %q", got)
+	}
+	<-done
+}
