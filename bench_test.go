@@ -7,6 +7,7 @@ package maxelerator_test
 
 import (
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"maxelerator/internal/gchash"
 	"maxelerator/internal/label"
 	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
 	"maxelerator/internal/overlay"
 	"maxelerator/internal/paper"
 	"maxelerator/internal/protocol"
@@ -604,4 +606,162 @@ func BenchmarkSignedSerialDatapath(b *testing.B) {
 			b.ReportMetric(float64(layout.ANDsPerStage), "tables/stage")
 		})
 	}
+}
+
+// BenchmarkParallelGarbling measures the tentpole win: a 64×64 matvec
+// session over an in-memory pipe with the row-garbling pool at 1
+// (sequential, the pre-v2 behaviour) vs 8 workers. Batched OT keeps
+// the transfer phase off the critical path so the measurement isolates
+// table generation, which is what the pool parallelizes; with
+// GOMAXPROCS >= 8 the 8-worker run garbles rows on all cores and wins
+// by roughly the garbling share of the session (the wire format and
+// the client's round-by-round evaluation are identical in both runs).
+func BenchmarkParallelGarbling(b *testing.B) {
+	const n = 64
+	A := make([][]int64, n)
+	y := make([]int64, n)
+	for i := range A {
+		A[i] = make([]int64, n)
+		y[i] = int64(i%16 - 8)
+		for j := range A[i] {
+			A[i][j] = int64((i*31+j*17)%200 - 100)
+		}
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srv, err := protocol.NewServer(maxsim.Config{Width: 8, AccWidth: 32, Signed: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cli, err := protocol.NewClient(rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := protocol.Request{Matrix: A, OT: protocol.OTBatched, GarbleWorkers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ca, cb := wire.Pipe()
+				var wg sync.WaitGroup
+				var srvErr error
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_, srvErr = srv.Serve(ca, req)
+				}()
+				_, err := cli.Run(cb, y)
+				wg.Wait()
+				if err != nil || srvErr != nil {
+					b.Fatal(err, srvErr)
+				}
+				ca.Close()
+				cb.Close()
+			}
+			b.ReportMetric(float64(n*n)*float64(b.N)/b.Elapsed().Seconds(), "MAC/s-wall")
+		})
+	}
+}
+
+// BenchmarkMultiplexedSession contrasts eight requests over one
+// multiplexed connection (one handshake, one base-OT + IKNP setup)
+// with eight one-shot connections, and asserts the amortization
+// invariant: the mux trace holds exactly one ot_setup span while every
+// request keeps its own rounds and decode spans.
+func BenchmarkMultiplexedSession(b *testing.B) {
+	A := [][]int64{{1, 2, 3, 4}, {-5, 6, -7, 8}}
+	y := []int64{1, -2, 3, -4}
+	const requests = 8
+
+	b.Run("one-shot", func(b *testing.B) {
+		srv, err := protocol.NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cli, err := protocol.NewClient(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < requests; r++ {
+				ca, cb := wire.Pipe()
+				var wg sync.WaitGroup
+				var srvErr error
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_, srvErr = srv.Serve(ca, protocol.Request{Matrix: A})
+				}()
+				if _, err := cli.Run(cb, y); err != nil || srvErr != nil {
+					b.Fatal(err, srvErr)
+				}
+				wg.Wait()
+				ca.Close()
+				cb.Close()
+			}
+		}
+	})
+
+	b.Run("mux", func(b *testing.B) {
+		o := obs.New(4)
+		srv, err := protocol.NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.WithObs(o)
+		cli, err := protocol.NewClient(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ca, cb := wire.Pipe()
+			var wg sync.WaitGroup
+			var srvErr error
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sess, err := srv.NewSession(ca, protocol.SessionConfig{})
+				if err != nil {
+					srvErr = err
+					return
+				}
+				defer sess.Close()
+				for {
+					if _, err := sess.Serve(protocol.Request{Matrix: A}); err != nil {
+						if !errors.Is(err, protocol.ErrSessionEnded) {
+							srvErr = err
+						}
+						return
+					}
+				}
+			}()
+			cs, err := cli.Dial(cb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < requests; r++ {
+				if _, err := cs.Do(y); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := cs.Close(); err != nil {
+				b.Fatal(err)
+			}
+			wg.Wait()
+			if srvErr != nil {
+				b.Fatal(srvErr)
+			}
+			ca.Close()
+			cb.Close()
+		}
+		b.StopTimer()
+		// Amortization invariant, checked on the last connection's trace.
+		s := o.Traces().Recent(1)[0]
+		if got := s.SpanCount("ot_setup"); got != 1 {
+			b.Fatalf("ot_setup spans = %d, want exactly 1 per connection", got)
+		}
+		if s.SpanCount("rounds") != requests || s.SpanCount("decode") != requests {
+			b.Fatalf("per-request spans incomplete: rounds=%d decode=%d", s.SpanCount("rounds"), s.SpanCount("decode"))
+		}
+	})
 }

@@ -8,6 +8,12 @@
 //
 //	maxcli -addr 127.0.0.1:7700 -b 16 -frac 6 -vector "1.5,-2.25,0.5,1"
 //	maxcli -addr 127.0.0.1:7700 -vector-file v.json
+//	maxcli -addr 127.0.0.1:7700 -vector-file batch.json   # [[...],[...]]
+//
+// A vector file may hold one vector ([1, 2.5]) or a batch of vectors
+// ([[1, 2.5], [0.5, -1]]). A batch runs every vector over one
+// multiplexed connection — one handshake and one OT setup amortized
+// across all requests.
 package main
 
 import (
@@ -30,7 +36,7 @@ func main() {
 	width := flag.Int("b", 16, "operand bit-width (must match the server)")
 	frac := flag.Int("frac", 6, "fixed-point fraction bits (must match the server)")
 	vec := flag.String("vector", "", "comma-separated client vector")
-	vecFile := flag.String("vector-file", "", "JSON file with the client vector")
+	vecFile := flag.String("vector-file", "", "JSON file with one client vector or a batch of vectors")
 	flag.Parse()
 
 	if err := run(*addr, *width, *frac, *vec, *vecFile); err != nil {
@@ -40,6 +46,16 @@ func main() {
 }
 
 func parseVector(vec, vecFile string) ([]float64, error) {
+	vs, err := parseVectors(vec, vecFile)
+	if err != nil {
+		return nil, err
+	}
+	return vs[0], nil
+}
+
+// parseVectors reads the request batch: an inline -vector is one
+// request; a -vector-file holds either one vector or an array of them.
+func parseVectors(vec, vecFile string) ([][]float64, error) {
 	switch {
 	case vec != "":
 		parts := strings.Split(vec, ",")
@@ -51,17 +67,24 @@ func parseVector(vec, vecFile string) ([]float64, error) {
 			}
 			out[i] = v
 		}
-		return out, nil
+		return [][]float64{out}, nil
 	case vecFile != "":
 		data, err := os.ReadFile(vecFile)
 		if err != nil {
 			return nil, err
 		}
-		var out []float64
-		if err := json.Unmarshal(data, &out); err != nil {
+		var batch [][]float64
+		if err := json.Unmarshal(data, &batch); err == nil {
+			if len(batch) == 0 {
+				return nil, fmt.Errorf("vector file holds an empty batch")
+			}
+			return batch, nil
+		}
+		var single []float64
+		if err := json.Unmarshal(data, &single); err != nil {
 			return nil, fmt.Errorf("parsing vector file: %w", err)
 		}
-		return out, nil
+		return [][]float64{single}, nil
 	default:
 		return nil, fmt.Errorf("either -vector or -vector-file is required")
 	}
@@ -72,13 +95,17 @@ func run(addr string, width, frac int, vec, vecFile string) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
-	xs, err := parseVector(vec, vecFile)
+	vs, err := parseVectors(vec, vecFile)
 	if err != nil {
 		return err
 	}
-	raw, err := f.EncodeVector(xs)
-	if err != nil {
-		return err
+	raws := make([][]int64, len(vs))
+	for i, xs := range vs {
+		raw, err := f.EncodeVector(xs)
+		if err != nil {
+			return fmt.Errorf("vector %d: %w", i, err)
+		}
+		raws[i] = raw
 	}
 
 	nc, err := net.Dial("tcp", addr)
@@ -92,12 +119,24 @@ func run(addr string, width, frac int, vec, vecFile string) error {
 	if err != nil {
 		return err
 	}
-	out, err := cli.Run(conn, raw)
+	// One session for the whole batch: handshake and OT setup are paid
+	// once, each vector is one multiplexed request with fresh labels.
+	sess, err := cli.Dial(conn)
 	if err != nil {
 		return err
 	}
-	for i, v := range out {
-		fmt.Printf("y[%d] = %v\n", i, f.DecodeProduct(v))
+	for r, raw := range raws {
+		out, err := sess.Do(raw)
+		if err != nil {
+			return fmt.Errorf("request %d: %w", r, err)
+		}
+		for i, v := range out {
+			if len(raws) > 1 {
+				fmt.Printf("y%d[%d] = %v\n", r, i, f.DecodeProduct(v))
+			} else {
+				fmt.Printf("y[%d] = %v\n", i, f.DecodeProduct(v))
+			}
+		}
 	}
-	return nil
+	return sess.Close()
 }

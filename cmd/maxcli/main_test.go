@@ -66,3 +66,23 @@ func TestRunValidatesFormat(t *testing.T) {
 		t.Fatal("overflowing vector accepted")
 	}
 }
+
+func TestParseVectorsBatchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(path, []byte("[[1, 2.5], [-3, 0.5], [0, 4]]"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseVectors("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1][0] != -3 || got[2][1] != 4 {
+		t.Fatalf("batch = %v", got)
+	}
+	if err := os.WriteFile(path, []byte("[]"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseVectors("", path); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

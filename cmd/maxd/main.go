@@ -10,9 +10,13 @@
 //	maxd -listen :7700 -demo-rows 4 -metrics-addr :7701
 //
 // The model file holds a JSON array of rows of floats, e.g.
-// [[1.0, 2.5], [0.25, -1.5]]. Each accepted connection runs one full
-// protocol session (handshake, IKNP OT setup, per-round material
-// streaming) and emits a structured summary log line.
+// [[1.0, 2.5], [0.25, -1.5]]. Each accepted connection runs one
+// multiplexed protocol session (versioned handshake, one IKNP OT
+// setup, then any number of client requests with per-round material
+// streaming) and emits structured per-request and per-session log
+// lines. -garble-workers sizes the parallel row-garbling pool each
+// request garbles under; -max-sessions bounds the sessions in flight,
+// queueing (not dropping) the overflow.
 //
 // With -metrics-addr the daemon exposes a live observability surface:
 //
@@ -30,6 +34,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -53,15 +59,17 @@ import (
 
 // daemonConfig gathers every knob of one maxd instance.
 type daemonConfig struct {
-	listen       string
-	modelPath    string
-	metricsAddr  string
-	width, frac  int
-	demoRows     int
-	demoCols     int
-	seed         int64
-	once         bool
-	drainTimeout time.Duration
+	listen        string
+	modelPath     string
+	metricsAddr   string
+	width, frac   int
+	demoRows      int
+	demoCols      int
+	seed          int64
+	once          bool
+	drainTimeout  time.Duration
+	garbleWorkers int
+	maxSessions   int
 }
 
 func main() {
@@ -76,6 +84,8 @@ func main() {
 	flag.Int64Var(&dc.seed, "seed", 1, "random seed for the demo model")
 	flag.BoolVar(&dc.once, "once", false, "serve a single session and exit")
 	flag.DurationVar(&dc.drainTimeout, "drain-timeout", 10*time.Second, "in-flight session drain deadline on shutdown")
+	flag.IntVar(&dc.garbleWorkers, "garble-workers", runtime.NumCPU(), "row-garbling worker pool size per request (1 = sequential)")
+	flag.IntVar(&dc.maxSessions, "max-sessions", 0, "concurrent session limit; extra connections queue (0 = unlimited)")
 	flag.Parse()
 
 	if err := run(dc); err != nil {
@@ -213,6 +223,48 @@ func run(dc daemonConfig) error {
 		log.Printf("maxd: observability on http://%s (/metrics /debug/sessions /healthz)", mln.Addr())
 	}
 
+	// Graceful shutdown: a signal stops the accept loop; in-flight
+	// sessions get dc.drainTimeout to finish before the daemon exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+
+	// -max-sessions admission control: a counting semaphore bounds the
+	// sessions in flight; connections beyond the limit queue (and are
+	// visible on the sessions_waiting gauge) instead of being dropped,
+	// so overload degrades into latency, not errors.
+	var sem chan struct{}
+	if dc.maxSessions > 0 {
+		sem = make(chan struct{}, dc.maxSessions)
+	}
+	waiting := reg.Gauge("sessions_waiting", "connections queued behind the -max-sessions limit")
+	acquire := func() bool {
+		if sem == nil {
+			return true
+		}
+		select {
+		case sem <- struct{}{}:
+			return true
+		default:
+		}
+		waiting.Add(1)
+		defer waiting.Add(-1)
+		select {
+		case sem <- struct{}{}:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	release := func() {
+		if sem != nil {
+			<-sem
+		}
+	}
+
 	handle := func(c net.Conn) {
 		peer := c.RemoteAddr().String()
 		connsTotal.Inc()
@@ -224,47 +276,65 @@ func run(dc daemonConfig) error {
 			func(n int) { bytesIn.Add(uint64(n)); connIn += uint64(n) })
 		defer conn.Close()
 
-		tr := o.Traces().StartSession("matvec", peer)
-		out, st, err := srv.ServeMatVecOpts(conn, raw, protocol.Options{Trace: tr})
+		if !acquire() {
+			log.Printf("maxd: peer=%s rejected: shutting down", peer)
+			return
+		}
+		defer release()
+
+		tr := o.Traces().StartSession("mux", peer)
+		sess, err := srv.NewSession(conn, protocol.SessionConfig{
+			GarbleWorkers: dc.garbleWorkers, Trace: tr,
+		})
 		if err != nil {
-			log.Printf("maxd: session=%s peer=%s status=error bytes_in=%d bytes_out=%d err=%q",
+			log.Printf("maxd: session=%s peer=%s status=error phase=setup bytes_in=%d bytes_out=%d err=%q",
 				tr.ID(), peer, connIn, connOut, err)
 			return
 		}
+		defer sess.Close()
+
+		// Multiplexed request loop: the client issues any number of
+		// matvec requests over the one OT setup; each garbles under
+		// fresh labels.
+		for {
+			resp, err := sess.Serve(protocol.Request{Matrix: raw})
+			if errors.Is(err, protocol.ErrSessionEnded) {
+				break
+			}
+			if err != nil {
+				log.Printf("maxd: session=%s peer=%s status=error req=%d bytes_in=%d bytes_out=%d err=%q",
+					tr.ID(), peer, sess.Requests(), connIn, connOut, err)
+				return
+			}
+			st := resp.Stats
+
+			// Model the §5.1 memory system for this request's MAC
+			// stream: how long would the FSM have stalled on the shared
+			// output port, and how full did the core memory blocks get.
+			stall := "skipped"
+			if st.MACs <= traceMACLimit {
+				if tres, terr := sim.Trace(maxsim.TraceConfig{MACs: int(st.MACs)}); terr == nil {
+					stall = fmt.Sprintf("%.3f", tres.StallFraction())
+				}
+			} else {
+				log.Printf("maxd: session=%s trace skipped: %d MACs exceed limit %d", tr.ID(), st.MACs, traceMACLimit)
+			}
+
+			dec := make([]float64, len(resp.Values))
+			for i, v := range resp.Values {
+				dec[i] = f.DecodeProduct(v)
+			}
+			log.Printf("maxd: session=%s peer=%s status=ok req=%d rows=%d macs=%d cycles=%d fpga_time=%s tables=%d table_bytes=%s pcie_time=%s stall_frac=%s",
+				tr.ID(), peer, sess.Requests()-1, len(raw), st.MACs, st.Cycles, report.Dur(st.ModeledTime),
+				st.TablesGarbled, report.Bytes(st.TableBytes), report.Dur(st.PCIeTime), stall)
+			log.Printf("maxd: session=%s req=%d result=%v", tr.ID(), sess.Requests()-1, dec)
+		}
+		tr.SetAttr("requests", fmt.Sprint(sess.Requests()))
 		tr.SetAttr("bytes_in", fmt.Sprint(connIn))
 		tr.SetAttr("bytes_out", fmt.Sprint(connOut))
-
-		// Model the §5.1 memory system for this session's MAC stream:
-		// how long would the FSM have stalled on the shared output
-		// port, and how full did the core memory blocks get.
-		stall := "skipped"
-		if st.MACs <= traceMACLimit {
-			if tres, terr := sim.Trace(maxsim.TraceConfig{MACs: int(st.MACs)}); terr == nil {
-				stall = fmt.Sprintf("%.3f", tres.StallFraction())
-			}
-		} else {
-			log.Printf("maxd: session=%s trace skipped: %d MACs exceed limit %d", tr.ID(), st.MACs, traceMACLimit)
-		}
-
-		dec := make([]float64, len(out))
-		for i, v := range out {
-			dec[i] = f.DecodeProduct(v)
-		}
-		log.Printf("maxd: session=%s peer=%s status=ok rows=%d macs=%d cycles=%d fpga_time=%s tables=%d table_bytes=%s pcie_time=%s stall_frac=%s bytes_in=%s bytes_out=%s",
-			tr.ID(), peer, len(raw), st.MACs, st.Cycles, report.Dur(st.ModeledTime),
-			st.TablesGarbled, report.Bytes(st.TableBytes), report.Dur(st.PCIeTime),
-			stall, report.Bytes(connIn), report.Bytes(connOut))
-		log.Printf("maxd: session=%s result=%v", tr.ID(), dec)
+		log.Printf("maxd: session=%s peer=%s status=closed requests=%d bytes_in=%s bytes_out=%s",
+			tr.ID(), peer, sess.Requests(), report.Bytes(connIn), report.Bytes(connOut))
 	}
-
-	// Graceful shutdown: a signal stops the accept loop; in-flight
-	// sessions get dc.drainTimeout to finish before the daemon exits.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		ln.Close()
-	}()
 
 	var wg sync.WaitGroup
 	var acceptErr error

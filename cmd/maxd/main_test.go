@@ -271,13 +271,13 @@ func TestMetricsCountersMoveAndSpansRecorded(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		body = httpGet(t, "http://"+maddr+"/metrics")
-		if strings.Contains(body, `sessions_total{kind="matvec"} 1`) {
+		if strings.Contains(body, `sessions_total{kind="mux"} 1`) {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	for _, want := range []string{
-		`sessions_total{kind="matvec"} 1`,
+		`sessions_total{kind="mux"} 1`,
 		"sessions_active 0",
 		"macs_total 4", // 2 rows × 2 cols
 		"connections_total 1",

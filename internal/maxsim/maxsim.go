@@ -91,6 +91,17 @@ func (c Config) withDefaults() Config {
 }
 
 // Simulator is a configured MAXelerator instance.
+//
+// Concurrent-use contract: a Simulator owns one garbler (one free-XOR
+// offset and label stream), so GarbleDotProduct and Trace must not be
+// called concurrently on the same instance — callers that garble in
+// parallel (the protocol layer's row-garbling worker pool) must build
+// one Simulator per worker, which also gives each worker fresh labels
+// as the paper requires. The read-only accessors (Config, Circuit,
+// Schedule, Resources, throughput queries) and the metrics registry
+// the stats feed into are safe to share; Config.Rand is read by
+// whichever goroutine garbles, so a source shared across simulators
+// must itself be safe for concurrent reads.
 type Simulator struct {
 	cfg      Config
 	schedule *sched.Schedule

@@ -171,6 +171,20 @@ type SessionSnapshot struct {
 	Spans      []SpanSnapshot    `json:"spans"`
 }
 
+// SpanCount returns how many of the snapshot's spans carry name —
+// multiplexed sessions repeat per-request spans (rounds, decode) under
+// one trace, and assertions about amortization ("exactly one ot_setup
+// for eight requests") are counts over span names.
+func (s SessionSnapshot) SpanCount(name string) int {
+	n := 0
+	for _, sp := range s.Spans {
+		if sp.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
 func (s *SessionTrace) snapshot() SessionSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -182,3 +182,22 @@ func TestHandlerSurface(t *testing.T) {
 		t.Fatalf("healthz = %q", body)
 	}
 }
+
+func TestSpanCount(t *testing.T) {
+	tr := NewTracer(2).StartSession("mux", "")
+	for i := 0; i < 3; i++ {
+		tr.StartSpan("rounds").End()
+	}
+	tr.StartSpan("ot_setup").End()
+	tr.Finish(nil)
+	s := tr.snapshot()
+	if got := s.SpanCount("rounds"); got != 3 {
+		t.Fatalf("SpanCount(rounds) = %d", got)
+	}
+	if got := s.SpanCount("ot_setup"); got != 1 {
+		t.Fatalf("SpanCount(ot_setup) = %d", got)
+	}
+	if got := s.SpanCount("decode"); got != 0 {
+		t.Fatalf("SpanCount(decode) = %d", got)
+	}
+}

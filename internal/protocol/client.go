@@ -1,0 +1,315 @@
+package protocol
+
+// The evaluator endpoint. Dial opens a multiplexed session (versioned
+// handshake + one OT setup); Do runs one request; Close ends the
+// request loop. Run and RunSerial are the one-shot conveniences the
+// pre-v2 API exposed, now thin wrappers over a single-request session.
+
+import (
+	"fmt"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/gc"
+	"maxelerator/internal/label"
+	"maxelerator/internal/ot"
+	"maxelerator/internal/seqgc"
+	"maxelerator/internal/serial"
+	"maxelerator/internal/wire"
+)
+
+// Client is the evaluator endpoint.
+type Client struct {
+	// rnd supplies OT randomness; set by NewClient.
+	rnd randReader
+}
+
+type randReader interface{ Read([]byte) (int, error) }
+
+// NewClient builds a client drawing OT randomness from rnd (pass
+// crypto/rand.Reader in production).
+func NewClient(rnd randReader) (*Client, error) {
+	if rnd == nil {
+		return nil, fmt.Errorf("protocol: nil random source")
+	}
+	return &Client{rnd: rnd}, nil
+}
+
+// ClientSession is the evaluator's end of one multiplexed connection.
+// Not safe for concurrent use; requests run strictly one at a time.
+type ClientSession struct {
+	c        *Client
+	conn     wire.Conn
+	h        hello
+	params   gc.Params
+	macCkt   *circuit.Circuit
+	receiver *ot.ExtensionReceiver
+	// Serial-mode circuit and layout, built on first use.
+	serCkt    *circuit.Circuit
+	serLayout serial.Layout
+	seq       int
+	closed    bool
+	broken    error
+}
+
+// Dial opens a session on conn: receive the server hello, negotiate
+// the protocol version, run the one base-OT + IKNP extension setup
+// every subsequent Do amortizes.
+func (c *Client) Dial(conn wire.Conn) (*ClientSession, error) {
+	var h hello
+	if err := recvGob(conn, &h); err != nil {
+		return nil, fmt.Errorf("protocol: reading handshake: %w", err)
+	}
+	if h.ProtoVersion != ProtoVersion {
+		if h.ProtoVersion == 0 {
+			return nil, fmt.Errorf("%w: server speaks an unversioned pre-v%d protocol, client v%d", ErrVersionMismatch, ProtoVersion, ProtoVersion)
+		}
+		return nil, fmt.Errorf("%w: server speaks v%d, client v%d", ErrVersionMismatch, h.ProtoVersion, ProtoVersion)
+	}
+	if err := sendGob(conn, helloAck{ProtoVersion: ProtoVersion}); err != nil {
+		return nil, err
+	}
+	scheme, err := schemeByName(h.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	params := gc.DefaultParams()
+	params.Scheme = scheme
+	ckt, err := circuit.MAC(circuit.MACConfig{Width: h.Width, AccWidth: h.AccWidth, Signed: h.Signed})
+	if err != nil {
+		return nil, fmt.Errorf("protocol: rebuilding MAC netlist: %w", err)
+	}
+	receiver, err := ot.NewExtensionReceiver(conn, c.rnd)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientSession{c: c, conn: conn, h: h, params: params, macCkt: ckt, receiver: receiver}, nil
+}
+
+// Do runs one request with the client vector y and returns the decoded
+// outputs (one per server matrix row). The server decides the request
+// shape — mode, matrix dimensions, OT mode — and announces it in the
+// request header; Do validates that y fits.
+func (cs *ClientSession) Do(y []int64) ([]int64, error) {
+	if cs.broken != nil {
+		return nil, fmt.Errorf("protocol: session unusable after earlier error: %w", cs.broken)
+	}
+	if cs.closed {
+		return nil, ErrSessionEnded
+	}
+	// Validate the vector before opening a request, so a bad input
+	// never costs a wire exchange (or desynchronizes the session).
+	bitsPerRound := make([][]bool, len(y))
+	for i, v := range y {
+		if err := checkRange(v, cs.h.Width, cs.h.Signed); err != nil {
+			return nil, fmt.Errorf("protocol: element %d: %w", i, err)
+		}
+		bitsPerRound[i] = circuit.Int64ToBits(v, cs.h.Width)
+	}
+	if err := sendGob(cs.conn, reqOpen{Op: opRequest}); err != nil {
+		cs.broken = err
+		return nil, err
+	}
+	var hdr reqHeader
+	if err := recvGob(cs.conn, &hdr); err != nil {
+		cs.broken = err
+		return nil, fmt.Errorf("protocol: reading request header: %w", err)
+	}
+	if hdr.Cols != len(y) {
+		cs.broken = fmt.Errorf("protocol: server expects a %d-element vector, client holds %d", hdr.Cols, len(y))
+		return nil, cs.broken
+	}
+	var outs []int64
+	var err error
+	switch hdr.Mode {
+	case wireModeMatVec:
+		outs, err = cs.evalMatVec(hdr, bitsPerRound)
+	case wireModeSerial:
+		outs, err = cs.evalSerial(hdr, y)
+	default:
+		err = fmt.Errorf("protocol: server announced unknown mode %q", hdr.Mode)
+	}
+	if err != nil {
+		cs.broken = err
+		return nil, err
+	}
+	if err := sendGob(cs.conn, result{Values: outs}); err != nil {
+		cs.broken = err
+		return nil, err
+	}
+	cs.seq++
+	return outs, nil
+}
+
+// Close ends the request loop. Safe to call on a broken session (the
+// end marker is suppressed — the stream position is unknown).
+func (cs *ClientSession) Close() error {
+	if cs.closed || cs.broken != nil {
+		cs.closed = true
+		return nil
+	}
+	cs.closed = true
+	return sendGob(cs.conn, reqOpen{Op: opEnd})
+}
+
+// Requests returns how many requests the session has completed.
+func (cs *ClientSession) Requests() int { return cs.seq }
+
+// evalMatVec evaluates a matvec request round by round, obtaining
+// input labels per the server-announced OT mode.
+func (cs *ClientSession) evalMatVec(hdr reqHeader, bitsPerRound [][]bool) ([]int64, error) {
+	if err := hdr.OT.validate(); err != nil {
+		return nil, err
+	}
+
+	// Batched mode: obtain every round's labels in one OT batch before
+	// any material arrives — faster, but the client holds
+	// Rows·Cols·Width labels at once (§3's memory tradeoff).
+	var batched []label.Label
+	if hdr.OT == OTBatched {
+		choices := make([]bool, 0, hdr.Rows*hdr.Cols*cs.h.Width)
+		for row := 0; row < hdr.Rows; row++ {
+			for round := 0; round < hdr.Cols; round++ {
+				choices = append(choices, bitsPerRound[round]...)
+			}
+		}
+		var err error
+		batched, err = ot.ReceiveLabels(cs.receiver, choices)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: batched OT: %w", err)
+		}
+	}
+
+	outs := make([]int64, hdr.Rows)
+	for row := 0; row < hdr.Rows; row++ {
+		var stateAct []label.Label
+		var last *gc.EvalResult
+		for round := 0; round < hdr.Cols; round++ {
+			var active []label.Label
+			var err error
+			if hdr.OT == OTCorrelated {
+				// Correlated mode fixes the labels before the round is
+				// garbled, so the OT precedes the material.
+				active, err = cs.receiver.ReceiveCorrelatedLabels(bitsPerRound[round])
+				if err != nil {
+					return nil, fmt.Errorf("protocol: row %d round %d correlated OT: %w", row, round, err)
+				}
+			}
+			m, err := recvMaterial(cs.conn)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: row %d round %d material: %w", row, round, err)
+			}
+			switch hdr.OT {
+			case OTCorrelated:
+				// labels already in hand
+			case OTBatched:
+				off := (row*hdr.Cols + round) * cs.h.Width
+				active = batched[off : off+cs.h.Width]
+			default:
+				active, err = ot.ReceiveLabels(cs.receiver, bitsPerRound[round])
+				if err != nil {
+					return nil, fmt.Errorf("protocol: row %d round %d OT: %w", row, round, err)
+				}
+			}
+			res, err := gc.Evaluate(cs.params, cs.macCkt, m, active, stateAct)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: row %d round %d evaluate: %w", row, round, err)
+			}
+			stateAct = res.StateActive
+			last = res
+		}
+		if cs.h.Signed {
+			outs[row] = circuit.BitsToInt64(last.Outputs)
+		} else {
+			outs[row] = int64(circuit.BitsToUint64(last.Outputs))
+		}
+	}
+	return outs, nil
+}
+
+// evalSerial evaluates a serial-mode request: one OT'd stage of the
+// bit-serial datapath at a time, a fresh evaluator session per
+// request (matching the garbler's fresh labels).
+func (cs *ClientSession) evalSerial(hdr reqHeader, y []int64) ([]int64, error) {
+	if hdr.Rows != 1 {
+		return nil, fmt.Errorf("protocol: serial request announced %d rows, want 1", hdr.Rows)
+	}
+	if cs.serCkt == nil {
+		var err error
+		if cs.h.Signed {
+			cs.serCkt, cs.serLayout, err = serial.MACSigned(cs.h.Width)
+		} else {
+			cs.serCkt, cs.serLayout, err = serial.MAC(cs.h.Width)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cs.serLayout.StagesPerMAC != hdr.StagesPerMAC {
+		return nil, fmt.Errorf("protocol: stage count mismatch: server %d, local %d", hdr.StagesPerMAC, cs.serLayout.StagesPerMAC)
+	}
+	es, err := seqgc.NewEvaluatorSession(cs.params, cs.serCkt)
+	if err != nil {
+		return nil, err
+	}
+
+	mask := uint64(1)<<uint(cs.h.Width) - 1
+	var accBits []bool
+	for round, yi := range y {
+		accBits = accBits[:0]
+		for stage := 0; stage < cs.serLayout.StagesPerMAC; stage++ {
+			m, err := recvMaterial(cs.conn)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: round %d stage %d material: %w", round, stage, err)
+			}
+			bits := cs.serLayout.StageInputs(uint64(yi)&mask, stage)
+			active, err := ot.ReceiveLabels(cs.receiver, bits)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: round %d stage %d OT: %w", round, stage, err)
+			}
+			res, err := es.NextRound(m, active)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: round %d stage %d evaluate: %w", round, stage, err)
+			}
+			accBits = append(accBits, res.Outputs[0])
+		}
+	}
+	var out int64
+	if cs.h.Signed {
+		out = circuit.BitsToInt64(accBits[:2*cs.h.Width])
+	} else {
+		out = int64(circuit.BitsToUint64(accBits))
+	}
+	return []int64{out}, nil
+}
+
+// Run executes the evaluator side of a single-request session with the
+// client vector y and returns the decoded outputs (one per server
+// matrix row).
+func (c *Client) Run(conn wire.Conn, y []int64) ([]int64, error) {
+	cs, err := c.Dial(conn)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cs.Do(y)
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunSerial executes the evaluator side of a serial-mode
+// single-request session. The server announces the mode, so this is
+// Run specialized to the one-row result.
+func (c *Client) RunSerial(conn wire.Conn, y []int64) (int64, error) {
+	out, err := c.Run(conn, y)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, fmt.Errorf("protocol: serial session returned %d values, want 1", len(out))
+	}
+	return out[0], nil
+}

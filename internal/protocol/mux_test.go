@@ -1,0 +1,638 @@
+package protocol
+
+// Tests for the v2 protocol surface: multiplexed sessions, the
+// parallel row-garbling pool, version negotiation, and the error
+// paths (client disconnect mid-rounds must surface a wrapped wire
+// error, never hang).
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+	"maxelerator/internal/wire"
+)
+
+// recordingConn captures every frame sent through it, so tests can
+// assert wire-level properties (label freshness) without changing the
+// protocol.
+type recordingConn struct {
+	wire.Conn
+	mu   sync.Mutex
+	sent [][]byte
+}
+
+func (r *recordingConn) SendMsg(m []byte) error {
+	cp := append([]byte(nil), m...)
+	r.mu.Lock()
+	r.sent = append(r.sent, cp)
+	r.mu.Unlock()
+	return r.Conn.SendMsg(m)
+}
+
+func (r *recordingConn) frames() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]byte(nil), r.sent...)
+}
+
+func TestMultiplexedSessionAmortizesOTSetup(t *testing.T) {
+	o := obs.New(8)
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithObs(o)
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	rec := &recordingConn{Conn: a}
+
+	A := [][]int64{{1, 2, 3}, {-4, 5, -6}}
+	y := []int64{7, -8, 9}
+	want := []int64{7 - 16 + 27, -28 - 40 - 54}
+	const requests = 8
+
+	var wg sync.WaitGroup
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := srv.NewSession(rec, SessionConfig{})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		defer sess.Close()
+		for {
+			resp, err := sess.Serve(Request{Matrix: A})
+			if errors.Is(err, ErrSessionEnded) {
+				return
+			}
+			if err != nil {
+				srvErr = err
+				return
+			}
+			for i := range want {
+				if resp.Values[i] != want[i] {
+					srvErr = fmt.Errorf("server row %d = %d, want %d", i, resp.Values[i], want[i])
+					return
+				}
+			}
+		}
+	}()
+
+	cs, err := cli.Dial(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < requests; r++ {
+		out, err := cs.Do(y)
+		if err != nil {
+			t.Fatalf("request %d: %v", r, err)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("request %d row %d = %d, want %d", r, i, out[i], want[i])
+			}
+		}
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	if cs.Requests() != requests {
+		t.Fatalf("client served %d requests", cs.Requests())
+	}
+
+	// Amortization: the whole connection paid exactly one OT setup,
+	// while every request got its own rounds and decode phases.
+	snaps := o.Traces().Recent(0)
+	if len(snaps) != 1 {
+		t.Fatalf("%d traces for one connection", len(snaps))
+	}
+	s := snaps[0]
+	if s.Kind != "mux" || !s.Done || s.Err != "" {
+		t.Fatalf("trace %+v", s)
+	}
+	if got := s.SpanCount("ot_setup"); got != 1 {
+		t.Fatalf("ot_setup spans = %d, want exactly 1", got)
+	}
+	if got := s.SpanCount("rounds"); got != requests {
+		t.Fatalf("rounds spans = %d, want %d", got, requests)
+	}
+	if got := s.SpanCount("decode"); got != requests {
+		t.Fatalf("decode spans = %d, want %d", got, requests)
+	}
+	if got := o.Metrics().Histogram("ot_setup_seconds", "", nil).Count(); got != 1 {
+		t.Fatalf("ot_setup_seconds count = %d", got)
+	}
+	if got := o.Metrics().Counter("sessions_total", "", obs.L("kind", "mux")).Value(); got != 1 {
+		t.Fatalf("mux sessions_total = %d", got)
+	}
+	// 8 requests × 6 MACs, all recorded by the per-request simulators.
+	if got := o.Metrics().Counter("macs_total", "").Value(); got != 6*requests {
+		t.Fatalf("macs_total = %d", got)
+	}
+
+	// Fresh labels per request: identical inputs were served eight
+	// times; if any two large server frames (garbled material, OT
+	// ciphertexts) were byte-identical, labels would have been reused.
+	seen := make(map[string]int)
+	for i, f := range rec.frames() {
+		if len(f) < 200 {
+			continue
+		}
+		if j, dup := seen[string(f)]; dup {
+			t.Fatalf("frames %d and %d are byte-identical (%d bytes): labels reused across requests", j, i, len(f))
+		}
+		seen[string(f)] = i
+	}
+}
+
+// TestMultiplexedMixedModes drives every datapath over one connection:
+// the OT sender/receiver stay in lockstep across per-round, batched,
+// correlated and serial requests.
+func TestMultiplexedMixedModes(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	A := [][]int64{{2, -3}, {4, 5}}
+	y := []int64{6, 7}
+	wantMat := []int64{12 - 21, 24 + 35}
+	x := []int64{-13, 7}
+	wantSerial := -13*6 + 7*7
+
+	reqs := []Request{
+		{Matrix: A},
+		{Matrix: A, OT: OTBatched, GarbleWorkers: 2},
+		{Matrix: A, OT: OTCorrelated},
+		{Matrix: [][]int64{x}, Mode: ModeSerial},
+	}
+
+	var wg sync.WaitGroup
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess, err := srv.NewSession(a, SessionConfig{})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		defer sess.Close()
+		for _, req := range reqs {
+			if _, err := sess.Serve(req); err != nil {
+				srvErr = fmt.Errorf("serving %v/%v: %w", req.Mode, req.OT, err)
+				return
+			}
+		}
+		if _, err := sess.Serve(Request{Matrix: A}); !errors.Is(err, ErrSessionEnded) {
+			srvErr = fmt.Errorf("after client close: %v, want ErrSessionEnded", err)
+		}
+	}()
+
+	cs, err := cli.Dial(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		out, err := cs.Do(y)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		for r := range wantMat {
+			if out[r] != wantMat[r] {
+				t.Fatalf("request %d row %d = %d, want %d", i, r, out[r], wantMat[r])
+			}
+		}
+	}
+	out, err := cs.Do(y)
+	if err != nil {
+		t.Fatalf("serial request: %v", err)
+	}
+	if len(out) != 1 || out[0] != int64(wantSerial) {
+		t.Fatalf("serial request = %v, want %d", out, wantSerial)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+}
+
+// TestConcurrentMuxSessions hammers one Server with parallel
+// multiplexed connections (run under -race by the tier-1 recipe), each
+// carrying several requests garbled by a worker pool.
+func TestConcurrentMuxSessions(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 4
+	const requests = 3
+	errs := make(chan error, 2*clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		A := [][]int64{{int64(c + 1), 2}, {3, int64(-c - 1)}}
+		y := []int64{5, -7}
+		want := []int64{A[0][0]*5 - 14, 15 + A[1][1]*-7}
+		ca, cb := wire.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			defer ca.Close()
+			sess, err := srv.NewSession(ca, SessionConfig{GarbleWorkers: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sess.Close()
+			for {
+				_, err := sess.Serve(Request{Matrix: A})
+				if errors.Is(err, ErrSessionEnded) {
+					return
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		go func(want []int64) {
+			defer wg.Done()
+			defer cb.Close()
+			cli, err := NewClient(rand.Reader)
+			if err != nil {
+				errs <- err
+				return
+			}
+			cs, err := cli.Dial(cb)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < requests; r++ {
+				out, err := cs.Do(y)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want {
+					if out[i] != want[i] {
+						errs <- fmt.Errorf("row %d = %d, want %d", i, out[i], want[i])
+						return
+					}
+				}
+			}
+			if err := cs.Close(); err != nil {
+				errs <- err
+			}
+		}(want)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelGarblingMatchesSequential pins the ordering guarantee:
+// whatever the pool size, the streamed session computes the same
+// matvec (the wire format is reordered into row order).
+func TestParallelGarblingMatchesSequential(t *testing.T) {
+	cfg := maxsim.Config{Width: 8, AccWidth: 32, Signed: true}
+	A := make([][]int64, 16)
+	y := []int64{3, -5, 7, -9}
+	want := make([]int64, len(A))
+	for i := range A {
+		A[i] = make([]int64, len(y))
+		for j := range A[i] {
+			A[i][j] = int64((i*7+j*13)%250 - 125)
+			want[i] += A[i][j] * y[j]
+		}
+	}
+	for _, workers := range []int{1, 3, 8} {
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := NewClient(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := wire.Pipe()
+		var wg sync.WaitGroup
+		var resp *Response
+		var srvErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, srvErr = srv.Serve(a, Request{Matrix: A, GarbleWorkers: workers})
+		}()
+		out, err := cli.Run(b, y)
+		wg.Wait()
+		a.Close()
+		b.Close()
+		if err != nil || srvErr != nil {
+			t.Fatalf("workers=%d: client %v server %v", workers, err, srvErr)
+		}
+		for i := range want {
+			if out[i] != want[i] || resp.Values[i] != want[i] {
+				t.Fatalf("workers=%d row %d: client %d server %d, want %d", workers, i, out[i], resp.Values[i], want[i])
+			}
+		}
+		if resp.Stats.MACs != uint64(len(A)*len(y)) {
+			t.Fatalf("workers=%d: stats %d MACs", workers, resp.Stats.MACs)
+		}
+	}
+}
+
+// TestGarblePoolMetrics checks the pool's instrumentation settles
+// clean: every row counted, no queue residue, no busy workers.
+func TestGarblePoolMetrics(t *testing.T) {
+	o := obs.New(4)
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithObs(o)
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := [][]int64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, srvErr = srv.Serve(a, Request{Matrix: A, GarbleWorkers: 4})
+	}()
+	if _, err := cli.Run(b, []int64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	reg := o.Metrics()
+	if got := reg.Counter("garble_rows_total", "").Value(); got != uint64(len(A)) {
+		t.Fatalf("garble_rows_total = %d", got)
+	}
+	if got := reg.Gauge("garble_queue_depth", "").Value(); got != 0 {
+		t.Fatalf("garble_queue_depth = %d after completion", got)
+	}
+	if got := reg.Gauge("garble_workers_busy", "").Value(); got != 0 {
+		t.Fatalf("garble_workers_busy = %d after completion", got)
+	}
+	if got := reg.Gauge("garble_workers", "").Value(); got != 4 {
+		t.Fatalf("garble_workers = %d", got)
+	}
+	if got := reg.Histogram("garble_row_seconds", "", nil).Count(); got != uint64(len(A)) {
+		t.Fatalf("garble_row_seconds count = %d", got)
+	}
+}
+
+// disconnectMidRounds opens a request like a real client, then drops
+// the connection before evaluating, and returns the server error.
+func disconnectMidRounds(t *testing.T, opts Options) error {
+	t.Helper()
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	srvDone := make(chan error, 1)
+	go func() {
+		_, _, err := srv.ServeMatVecOpts(a, [][]int64{{1, 2, 3, 4}, {5, 6, 7, 8}}, opts)
+		srvDone <- err
+	}()
+
+	cs, err := cli.Dial(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open the request by hand: reqOpen out, reqHeader in — then
+	// vanish. The server is now mid-rounds, waiting on OT traffic that
+	// will never come.
+	if err := sendGob(cs.conn, reqOpen{Op: opRequest}); err != nil {
+		t.Fatal(err)
+	}
+	var hdr reqHeader
+	if err := recvGob(cs.conn, &hdr); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	select {
+	case err := <-srvDone:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("server hung after client disconnect mid-rounds")
+		return nil
+	}
+}
+
+func TestClientDisconnectMidRoundsBatched(t *testing.T) {
+	err := disconnectMidRounds(t, Options{BatchedOT: true})
+	if err == nil {
+		t.Fatal("server reported success after client disconnect")
+	}
+	if !errors.Is(err, wire.ErrClosed) {
+		t.Fatalf("error does not wrap the wire failure: %v", err)
+	}
+}
+
+func TestClientDisconnectMidRoundsCorrelated(t *testing.T) {
+	err := disconnectMidRounds(t, Options{CorrelatedOT: true})
+	if err == nil {
+		t.Fatal("server reported success after client disconnect")
+	}
+	if !errors.Is(err, wire.ErrClosed) {
+		t.Fatalf("error does not wrap the wire failure: %v", err)
+	}
+}
+
+func TestClientDisconnectMidRoundsPerRound(t *testing.T) {
+	err := disconnectMidRounds(t, Options{})
+	if err == nil {
+		t.Fatal("server reported success after client disconnect")
+	}
+	if !errors.Is(err, wire.ErrClosed) {
+		t.Fatalf("error does not wrap the wire failure: %v", err)
+	}
+}
+
+// v1Hello mirrors the pre-versioned handshake frame: same field names,
+// no ProtoVersion.
+type v1Hello struct {
+	Width, AccWidth int
+	Signed          bool
+	Scheme          string
+	Rows, Cols      int
+	BatchedOT       bool
+	CorrelatedOT    bool
+}
+
+func TestClientRejectsUnversionedServer(t *testing.T) {
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	// A v1 server opens with a hello that has no ProtoVersion field.
+	if err := sendGob(a, v1Hello{Width: 8, AccWidth: 24, Scheme: "half-gates", Rows: 1, Cols: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cli.Run(b, []int64{1, 2})
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("client error = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestServerRejectsUnversionedClient(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(a, Request{Matrix: [][]int64{{1, 2}}})
+		srvDone <- err
+	}()
+	// A v1 client never acks: it reads the hello and immediately opens
+	// its base-OT phase. The server must name the version mismatch
+	// instead of failing with a bare decode error.
+	if _, err := b.RecvMsg(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SendMsg([]byte{0x01, 0x02, 0x03, 0x04}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-srvDone:
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("server error = %v, want ErrVersionMismatch", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server hung on unversioned client")
+	}
+}
+
+func TestServerRejectsFutureVersionAck(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(a, Request{Matrix: [][]int64{{1, 2}}})
+		srvDone <- err
+	}()
+	if _, err := b.RecvMsg(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sendGob(b, helloAck{ProtoVersion: 99}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-srvDone:
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("server error = %v, want ErrVersionMismatch", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server hung on future-version ack")
+	}
+}
+
+// TestDeprecatedWrappersStillServe pins the migration contract: the
+// pre-v2 entry points keep working as thin wrappers over Serve.
+func TestDeprecatedWrappersStillServe(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	var out int64
+	var srvErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out, _, srvErr = srv.ServeDotProduct(a, []int64{2, -3})
+	}()
+	got, err := cli.Run(b, []int64{4, 5})
+	wg.Wait()
+	if err != nil || srvErr != nil {
+		t.Fatal(err, srvErr)
+	}
+	if want := int64(2*4 - 3*5); got[0] != want || out != want {
+		t.Fatalf("client %d server %d, want %d", got[0], out, want)
+	}
+}
+
+// TestOTModeValidation pins the single-place enum validation.
+func TestOTModeValidation(t *testing.T) {
+	for _, m := range []OTMode{OTPerRound, OTBatched, OTCorrelated} {
+		if err := m.validate(); err != nil {
+			t.Fatalf("%s rejected: %v", m, err)
+		}
+	}
+	if err := otConflict.validate(); err == nil {
+		t.Fatal("conflicting OT modes accepted")
+	}
+	if err := OTMode(42).validate(); err == nil {
+		t.Fatal("unknown OT mode accepted")
+	}
+	if OTPerRound.String() != "per-round" || OTBatched.String() != "batched" || OTCorrelated.String() != "correlated" {
+		t.Fatal("OTMode names wrong")
+	}
+}

@@ -1,0 +1,171 @@
+package protocol
+
+// Parallel row garbling. Matrix rows are independent MAC chains, so
+// they can be garbled concurrently — the paper's parallel-GC-core
+// argument lifted to the host: table *generation* is the compute-bound
+// phase, streaming is not. A pool of workers each owns a private
+// simulator (fresh free-XOR offset and labels per worker, fresh run
+// per row, exactly as the sequential path), and a reorder stage emits
+// completed rows strictly in row order, so the bytes on the wire — and
+// the client's round-by-round evaluation — are identical whatever the
+// pool size.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+)
+
+// lockedReader serializes reads of a shared randomness source so the
+// garbling workers can draw from one cfg.Rand concurrently. The
+// default crypto/rand reader is already safe, but deterministic test
+// readers generally are not.
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (lr *lockedReader) Read(p []byte) (int, error) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.r.Read(p)
+}
+
+// garbleResult carries one garbled row from a worker to the reorder
+// stage.
+type garbleResult struct {
+	idx int
+	run *maxsim.DotProductRun
+	err error
+}
+
+// garbleRows garbles every row of A and hands each run to emit in
+// strict row order. workers <= 1 garbles inline on the calling
+// goroutine (one simulator per request, the pre-v2 behaviour); larger
+// pools garble up to `workers` rows concurrently.
+func (sess *ServerSession) garbleRows(A [][]int64, workers int, emit func(int, *maxsim.DotProductRun) error) error {
+	n := len(A)
+	if workers > n {
+		workers = n
+	}
+	ss := sess.ss
+	if workers <= 1 {
+		sim, err := maxsim.New(sess.srv.cfg)
+		if err != nil {
+			return err
+		}
+		for i, row := range A {
+			run, err := garbleRow(ss, sim, i, row)
+			if err != nil {
+				return err
+			}
+			if err := emit(i, run); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	reg := ss.reg
+	queue := reg.Gauge("garble_queue_depth", "matrix rows waiting for a garbling worker")
+	busy := reg.Gauge("garble_workers_busy", "garbling workers currently running a row")
+	reg.Gauge("garble_workers", "row-garbling worker pool size").Set(int64(workers))
+	rowSeconds := reg.Histogram("garble_row_seconds", "wall time to garble one matrix row", nil)
+	rowsTotal := reg.Counter("garble_rows_total", "matrix rows garbled by the worker pool")
+
+	// One simulator per worker: every worker garbles under its own
+	// fresh free-XOR offset, and nothing mutable is shared except the
+	// randomness source, which gets a lock.
+	cfgw := sess.srv.cfg
+	cfgw.Rand = &lockedReader{r: cfgw.Rand}
+	sims := make([]*maxsim.Simulator, workers)
+	for w := range sims {
+		sim, err := maxsim.New(cfgw)
+		if err != nil {
+			return err
+		}
+		sims[w] = sim
+	}
+
+	// jobs is pre-filled and closed; done is buffered to n so workers
+	// never block on a stalled consumer. stop makes workers drain the
+	// queue without garbling once any side has failed.
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	queue.Add(int64(n))
+	done := make(chan garbleResult, n)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sim *maxsim.Simulator) {
+			defer wg.Done()
+			for i := range jobs {
+				queue.Add(-1)
+				if stop.Load() {
+					continue
+				}
+				busy.Add(1)
+				t0 := time.Now()
+				run, err := garbleRow(ss, sim, i, A[i])
+				rowSeconds.Observe(time.Since(t0).Seconds())
+				busy.Add(-1)
+				rowsTotal.Inc()
+				done <- garbleResult{idx: i, run: run, err: err}
+				if err != nil {
+					stop.Store(true)
+				}
+			}
+		}(sims[w])
+	}
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+
+	// Reorder stage: workers finish rows in any order; emit strictly
+	// in row order so the wire format matches the sequential path.
+	pending := make(map[int]*maxsim.DotProductRun, workers)
+	next := 0
+	for received := 0; received < n; received++ {
+		r := <-done
+		if r.err != nil {
+			return r.err
+		}
+		pending[r.idx] = r.run
+		for {
+			run, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if err := emit(next, run); err != nil {
+				return err
+			}
+			next++
+		}
+	}
+	if next != n {
+		return fmt.Errorf("protocol: garble pool emitted %d of %d rows", next, n)
+	}
+	return nil
+}
+
+// garbleRow garbles one row under its per-row trace span (capped at
+// maxRowSpans spans per session).
+func garbleRow(ss *session, sim *maxsim.Simulator, i int, row []int64) (*maxsim.DotProductRun, error) {
+	var rowSpan *obs.Span
+	if i < maxRowSpans {
+		rowSpan = ss.tr.StartSpan(fmt.Sprintf("round_garble[%d]", i))
+	}
+	defer rowSpan.End()
+	return sim.GarbleDotProduct(row)
+}

@@ -8,47 +8,171 @@
 // sequential-GC flow that lets memory-constrained clients hold only
 // one round of labels at a time.
 //
+// # Protocol v2: multiplexed sessions
+//
+// A connection carries one versioned handshake and one base-OT + IKNP
+// extension setup, then any number of requests. The client drives the
+// request loop: each request is opened by the client, shaped by a
+// server header (rows, columns, OT mode), served with fresh labels,
+// and closed by the client's result report. Paying the expensive OT
+// setup once per connection instead of once per request is what makes
+// the "millions of users" target reachable; see DESIGN.md §9 for the
+// wire format.
+//
+// The server entry point is Serve (one request over a fresh
+// connection) or NewSession (many requests over one connection); the
+// client mirrors them with Run and Dial. The garbler hot path fans
+// matrix rows out to a worker pool (Request.GarbleWorkers) and streams
+// the results strictly in row order, so the wire format is identical
+// whatever the pool size.
+//
 // The threat model is honest-but-curious, matching the paper.
 package protocol
 
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"time"
 
-	"maxelerator/internal/circuit"
 	"maxelerator/internal/gc"
-	"maxelerator/internal/label"
 	"maxelerator/internal/maxsim"
 	"maxelerator/internal/obs"
-	"maxelerator/internal/ot"
-	"maxelerator/internal/seqgc"
 	"maxelerator/internal/wire"
 )
 
-// hello is the handshake the server opens every session with: the
-// client needs the netlist parameters to rebuild the MAC circuit and
-// the shape of the computation.
+// ProtoVersion is the wire protocol generation spoken by this package.
+// Version 2 introduced the versioned handshake, per-connection OT
+// setup and multiplexed request framing; pre-versioned (v1) endpoints
+// are detected and rejected with ErrVersionMismatch.
+const ProtoVersion = 2
+
+// ErrVersionMismatch is returned (wrapped, with both versions named)
+// when the two endpoints speak different protocol generations, instead
+// of the gob decode error a raw mismatch would produce.
+var ErrVersionMismatch = errors.New("protocol: version mismatch")
+
+// ErrSessionEnded is returned by ServerSession.Serve when the client
+// has closed the request loop (or disconnected between requests):
+// the session is over, no request was consumed.
+var ErrSessionEnded = errors.New("protocol: session ended by client")
+
+// OTMode selects how the evaluator's input labels travel (§3).
+type OTMode int
+
+const (
+	// OTPerRound runs one OT-extension batch per MAC round: the
+	// memory-constrained evaluator holds only one round of labels.
+	OTPerRound OTMode = iota
+	// OTBatched transfers every round's labels in one OT-extension
+	// batch before any material: fewer round trips, but the client
+	// holds Rows·Cols·Width labels at once.
+	OTBatched
+	// OTCorrelated uses correlated OT: the OT chooses the FALSE labels
+	// (free-XOR pairs differ by Δ), one correction ciphertext per wire
+	// instead of two, halving label-transfer traffic.
+	OTCorrelated
+
+	// otConflict marks the invalid Options combination (both batched
+	// and correlated requested); it never crosses the wire.
+	otConflict OTMode = -1
+)
+
+// String names the mode for logs and errors.
+func (m OTMode) String() string {
+	switch m {
+	case OTPerRound:
+		return "per-round"
+	case OTBatched:
+		return "batched"
+	case OTCorrelated:
+		return "correlated"
+	case otConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("OTMode(%d)", int(m))
+	}
+}
+
+// validate is the single place an OT mode is checked, for requests
+// built directly and for the deprecated bool pair alike.
+func (m OTMode) validate() error {
+	switch m {
+	case OTPerRound, OTBatched, OTCorrelated:
+		return nil
+	case otConflict:
+		return fmt.Errorf("protocol: batched and correlated OT are mutually exclusive")
+	default:
+		return fmt.Errorf("protocol: unknown OT mode %d", int(m))
+	}
+}
+
+// Mode selects the served datapath granularity.
+type Mode int
+
+const (
+	// ModeMatVec streams one garbled MAC round per matrix element —
+	// the accelerator's natural round granularity.
+	ModeMatVec Mode = iota
+	// ModeSerial streams one garbled *stage* of the bit-serial
+	// datapath at a time (§3's memory-constrained client taken to the
+	// architecture's natural granularity). Serial requests carry
+	// exactly one matrix row and use per-round OT.
+	ModeSerial
+)
+
+// Wire frames. The server opens the connection with hello, the client
+// answers with helloAck, and from then on the client drives: each
+// reqOpen is answered by a reqHeader, the round stream, and the
+// client's result.
 type hello struct {
+	// ProtoVersion is negotiated first: endpoints with different
+	// generations must fail by name, not by gob decode error.
+	ProtoVersion int
 	// Width, AccWidth and Signed mirror the accelerator configuration.
 	Width, AccWidth int
 	Signed          bool
 	// Scheme names the AND-garbling scheme.
 	Scheme string
+}
+
+// helloAck is the client's half of the version negotiation.
+type helloAck struct {
+	ProtoVersion int
+}
+
+// Request-loop operations.
+const (
+	opRequest = "request"
+	opEnd     = "end"
+)
+
+// reqOpen is the client's frame opening (or ending) one request.
+type reqOpen struct {
+	Op string
+}
+
+// reqHeader is the server's per-request shape announcement.
+type reqHeader struct {
+	// Seq numbers requests within the session, starting at 0.
+	Seq int
+	// Mode is the wire name of the served datapath.
+	Mode string
 	// Rows and Cols describe the server matrix: Rows dot products of
 	// length Cols. A plain dot product has Rows == 1.
 	Rows, Cols int
-	// BatchedOT selects the §3 tradeoff: true transfers the labels of
-	// every round in one OT-extension batch ("send all the inputs at
-	// once through OT extension"), false runs OT round by round so a
-	// memory-constrained evaluator stores only one round of labels.
-	BatchedOT bool
-	// CorrelatedOT halves the label-transfer traffic by letting the OT
-	// choose the FALSE labels (free-XOR pairs differ by Δ, so one
-	// correction ciphertext per wire suffices).
-	CorrelatedOT bool
+	// OT is the label-transfer mode of this request.
+	OT OTMode
+	// StagesPerMAC is set in serial mode only.
+	StagesPerMAC int
 }
+
+// Wire names for reqHeader.Mode.
+const (
+	wireModeMatVec = "matvec"
+	wireModeSerial = "serial"
+)
 
 // result is the client's final report back to the server (the paper's
 // output-sharing step: "Alice and Bob share their output maps to
@@ -108,11 +232,14 @@ func schemeByName(name string) (gc.Scheme, error) {
 }
 
 // Server is the garbler endpoint: it owns the accelerator
-// configuration and the model data. Serve methods may be called from
-// concurrent goroutines — each session instantiates its own simulator
-// with a fresh free-XOR offset, as the paper requires ("new labels are
-// required for every garbling operation to ensure security").
+// configuration and the model data. Serve and NewSession may be called
+// from concurrent goroutines — each session (and each garbling worker
+// within one) instantiates its own simulator with a fresh free-XOR
+// offset, as the paper requires ("new labels are required for every
+// garbling operation to ensure security").
 type Server struct {
+	// cfg is the resolved simulator configuration (defaults applied at
+	// NewServer), shared read-only by every session and worker.
 	cfg maxsim.Config
 	obs *obs.Obs
 }
@@ -120,11 +247,13 @@ type Server struct {
 // NewServer builds a server around an accelerator configuration.
 func NewServer(cfg maxsim.Config) (*Server, error) {
 	// Validate eagerly so misconfiguration surfaces at startup, not on
-	// the first client.
-	if _, err := maxsim.New(cfg); err != nil {
+	// the first client. The resolved configuration (defaults applied)
+	// is what every session garbles under.
+	sim, err := maxsim.New(cfg)
+	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg}, nil
+	return &Server{cfg: sim.Config()}, nil
 }
 
 // WithObs attaches an observability hub: every session is counted,
@@ -137,404 +266,204 @@ func (s *Server) WithObs(o *obs.Obs) *Server {
 	return s
 }
 
-// maxRowSpans bounds the per-row garbling spans retained in one
-// session trace; larger matrices keep only the aggregate rounds span.
-const maxRowSpans = 64
-
-// session is the per-session observability state shared by the matvec,
-// correlated and serial serving paths. Every field is nil-safe, so the
-// uninstrumented server pays only a few nil checks.
-type session struct {
-	tr     *obs.SessionTrace
-	reg    *obs.Registry
-	active *obs.Gauge
-	start  time.Time
-	kind   string
-}
-
-func (s *Server) beginSession(kind string, conn wire.Conn, tr *obs.SessionTrace) *session {
-	reg := s.obs.Metrics()
-	if tr == nil {
-		tr = s.obs.Traces().StartSession(kind, wire.PeerAddr(conn))
-	}
-	reg.Counter("sessions_total", "protocol sessions accepted", obs.L("kind", kind)).Inc()
-	active := reg.Gauge("sessions_active", "protocol sessions currently in flight")
-	active.Add(1)
-	return &session{tr: tr, reg: reg, active: active, start: time.Now(), kind: kind}
-}
-
-// finish closes the session against the (named-return) error pointer.
-func (ss *session) finish(errp *error) {
-	ss.active.Add(-1)
-	err := *errp
-	ss.tr.Finish(err)
-	ss.reg.Histogram("session_seconds", "end-to-end session duration", nil,
-		obs.L("kind", ss.kind)).Observe(time.Since(ss.start).Seconds())
-	if err != nil {
-		ss.reg.Counter("session_errors_total", "sessions that ended in error",
-			obs.L("kind", ss.kind)).Inc()
-	}
-}
-
-// observeOTSetup times the base-OT + IKNP extension setup.
-func (ss *session) observeOTSetup(d time.Duration) {
-	ss.reg.Histogram("ot_setup_seconds", "base-OT plus IKNP extension setup time", nil).
-		Observe(d.Seconds())
-}
-
 // Stats of the last served computation.
 type Stats = maxsim.Stats
 
-// Options refine a served session.
-type Options struct {
-	// BatchedOT transfers every round's labels in one OT-extension
-	// batch instead of one batch per round. Fewer round trips, but the
-	// client must hold all labels at once (§3).
-	BatchedOT bool
-	// CorrelatedOT uses correlated OT for the label transfers: one
-	// ciphertext per input wire instead of two. Mutually exclusive
-	// with BatchedOT in this implementation.
-	CorrelatedOT bool
+// Request describes one computation to serve: the unified entry point
+// replacing the ServeDotProduct/ServeMatVec/ServeMatVecOpts/
+// ServeDotProductSerial split.
+type Request struct {
+	// Matrix is the garbler's private input: each row is one
+	// sequential MAC chain over the client's vector. A plain dot
+	// product is a one-row matrix.
+	Matrix [][]int64
+	// Mode selects the datapath granularity (default ModeMatVec).
+	// ModeSerial requires a one-row matrix and per-round OT.
+	Mode Mode
+	// OT selects the label-transfer mode (default OTPerRound).
+	OT OTMode
+	// GarbleWorkers sizes the row-garbling worker pool. 0 or 1 garbles
+	// inline on the session goroutine; N > 1 garbles up to N rows
+	// concurrently (each worker owns a private simulator, so every row
+	// still gets fresh labels) while an in-order streamer keeps the
+	// wire format unchanged. Correlated and serial requests garble
+	// sequentially by construction and ignore this knob.
+	GarbleWorkers int
 	// Trace, when non-nil, is a caller-opened session trace the
 	// protocol annotates with its phase spans instead of opening its
 	// own — this is how the daemon correlates its structured session
-	// logs with /debug/sessions entries.
+	// logs with /debug/sessions entries. Honored by the one-shot Serve
+	// only; multiplexed sessions pass it via SessionConfig.
 	Trace *obs.SessionTrace
+}
+
+// validate rejects malformed requests before any wire traffic, so a
+// bad request never desynchronises an open session.
+func (req Request) validate() error {
+	if len(req.Matrix) == 0 || len(req.Matrix[0]) == 0 {
+		return fmt.Errorf("protocol: empty server matrix")
+	}
+	cols := len(req.Matrix[0])
+	for i, row := range req.Matrix {
+		if len(row) != cols {
+			return fmt.Errorf("protocol: row %d has %d columns, want %d", i, len(row), cols)
+		}
+	}
+	if err := req.OT.validate(); err != nil {
+		return err
+	}
+	switch req.Mode {
+	case ModeMatVec:
+	case ModeSerial:
+		if len(req.Matrix) != 1 {
+			return fmt.Errorf("protocol: serial mode serves exactly one row, got %d", len(req.Matrix))
+		}
+		if req.OT != OTPerRound {
+			return fmt.Errorf("protocol: serial mode requires per-round OT, got %s", req.OT)
+		}
+	default:
+		return fmt.Errorf("protocol: unknown request mode %d", int(req.Mode))
+	}
+	if req.GarbleWorkers < 0 {
+		return fmt.Errorf("protocol: negative garble worker count %d", req.GarbleWorkers)
+	}
+	return nil
+}
+
+// Response is the server-side outcome of one request.
+type Response struct {
+	// Values is the client-reported result, one per matrix row.
+	Values []int64
+	// Stats is the accelerator accounting for the request.
+	Stats Stats
+}
+
+// Serve runs one request over a fresh connection: versioned handshake,
+// one OT setup, the request, and the client's end-of-session marker.
+// To amortise the handshake and OT setup over many requests, use
+// NewSession instead.
+func (s *Server) Serve(conn wire.Conn, req Request) (resp *Response, err error) {
+	kind := "matvec"
+	if req.Mode == ModeSerial {
+		kind = "serial"
+	}
+	ss := s.beginSession(kind, conn, req.Trace)
+	defer func() { ss.finish(err) }()
+	if err = req.validate(); err != nil {
+		return nil, err
+	}
+	sess, err := s.startSession(conn, ss, req.GarbleWorkers)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = sess.Serve(req)
+	if err != nil {
+		return nil, err
+	}
+	// Drain the client's end-of-session marker so the stream closes in
+	// a known state; a disconnect here is fine, the work is done.
+	var open reqOpen
+	if derr := recvGob(conn, &open); derr == nil && open.Op != opEnd {
+		return nil, fmt.Errorf("protocol: client opened a %q request on a single-request session", open.Op)
+	}
+	return resp, nil
+}
+
+// Options refine a served session.
+//
+// Deprecated: Options is the v1 knob set, retained so existing callers
+// compile. Build a Request instead; the mutually-exclusive BatchedOT/
+// CorrelatedOT pair is superseded by the OTMode enum.
+type Options struct {
+	// BatchedOT transfers every round's labels in one OT-extension
+	// batch instead of one batch per round (see OTBatched).
+	BatchedOT bool
+	// CorrelatedOT uses correlated OT for the label transfers (see
+	// OTCorrelated). Mutually exclusive with BatchedOT.
+	CorrelatedOT bool
+	// GarbleWorkers sizes the row-garbling worker pool (see
+	// Request.GarbleWorkers).
+	GarbleWorkers int
+	// Trace is a caller-opened session trace (see Request.Trace).
+	Trace *obs.SessionTrace
+}
+
+// request converts the deprecated knob set; the invalid bool pair maps
+// to otConflict so OTMode.validate reports it in the one place.
+func (o Options) request(A [][]int64) Request {
+	req := Request{Matrix: A, GarbleWorkers: o.GarbleWorkers, Trace: o.Trace}
+	switch {
+	case o.BatchedOT && o.CorrelatedOT:
+		req.OT = otConflict
+	case o.BatchedOT:
+		req.OT = OTBatched
+	case o.CorrelatedOT:
+		req.OT = OTCorrelated
+	}
+	return req
 }
 
 // ServeDotProduct runs one dot-product session over conn with the
 // server-held vector x. It returns the client-reported result and the
 // accelerator statistics.
+//
+// Deprecated: use Serve with a one-row Request.
 func (s *Server) ServeDotProduct(conn wire.Conn, x []int64) (int64, Stats, error) {
-	out, st, err := s.serve(conn, [][]int64{x}, Options{})
+	resp, err := s.Serve(conn, Request{Matrix: [][]int64{x}})
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	return out[0], st, nil
+	return resp.Values[0], resp.Stats, nil
 }
 
 // ServeMatVec runs a matrix-vector session: each row of A is one
 // sequential MAC chain over the client's vector.
+//
+// Deprecated: use Serve.
 func (s *Server) ServeMatVec(conn wire.Conn, A [][]int64) ([]int64, Stats, error) {
-	return s.serve(conn, A, Options{})
+	resp, err := s.Serve(conn, Request{Matrix: A})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return resp.Values, resp.Stats, nil
 }
 
 // ServeMatVecOpts is ServeMatVec with explicit options.
+//
+// Deprecated: use Serve.
 func (s *Server) ServeMatVecOpts(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stats, error) {
-	return s.serve(conn, A, opts)
-}
-
-func (s *Server) serve(conn wire.Conn, A [][]int64, opts Options) (out []int64, st Stats, err error) {
-	ss := s.beginSession("matvec", conn, opts.Trace)
-	defer ss.finish(&err)
-
-	sim, err := maxsim.New(s.cfg)
+	resp, err := s.Serve(conn, opts.request(A))
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if len(A) == 0 || len(A[0]) == 0 {
-		return nil, Stats{}, fmt.Errorf("protocol: empty server matrix")
-	}
-	cols := len(A[0])
-	for i, row := range A {
-		if len(row) != cols {
-			return nil, Stats{}, fmt.Errorf("protocol: row %d has %d columns, want %d", i, len(row), cols)
-		}
-	}
-	if opts.BatchedOT && opts.CorrelatedOT {
-		return nil, Stats{}, fmt.Errorf("protocol: batched and correlated OT are mutually exclusive")
-	}
-	cfg := sim.Config()
-	ss.tr.SetAttr("rows", fmt.Sprint(len(A)))
-	ss.tr.SetAttr("cols", fmt.Sprint(cols))
-	ss.tr.SetAttr("scheme", cfg.Params.Scheme.Name())
-	h := hello{
-		Width: cfg.Width, AccWidth: cfg.AccWidth, Signed: cfg.Signed,
-		Scheme: cfg.Params.Scheme.Name(),
-		Rows:   len(A), Cols: cols,
-		BatchedOT:    opts.BatchedOT,
-		CorrelatedOT: opts.CorrelatedOT,
-	}
-	hs := ss.tr.StartSpan("handshake")
-	err = sendGob(conn, h)
-	hs.End()
-	if err != nil {
-		return nil, Stats{}, err
-	}
-
-	// OT session setup: the garbler is the extension sender.
-	otSpan := ss.tr.StartSpan("ot_setup")
-	sender, err := ot.NewExtensionSender(conn, cfg.Rand)
-	ss.observeOTSetup(otSpan.End())
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	if opts.CorrelatedOT {
-		return s.serveCorrelated(conn, sim, A, sender, ss)
-	}
-
-	rounds := ss.tr.StartSpan("rounds")
-	var agg Stats
-	var allPairs []label.Pair // batched mode: every round's pairs, in order
-	runs := make([]*maxsim.DotProductRun, 0, len(A))
-	for i, row := range A {
-		var rowSpan *obs.Span
-		if i < maxRowSpans {
-			rowSpan = ss.tr.StartSpan(fmt.Sprintf("round_garble[%d]", i))
-		}
-		run, err := sim.GarbleDotProduct(row)
-		if err != nil {
-			rounds.End()
-			return nil, Stats{}, err
-		}
-		runs = append(runs, run)
-		agg.MACs += run.Stats.MACs
-		agg.Cycles += run.Stats.Cycles
-		agg.Stages += run.Stats.Stages
-		agg.TablesGarbled += run.Stats.TablesGarbled
-		agg.TablesScheduled += run.Stats.TablesScheduled
-		agg.TableBytes += run.Stats.TableBytes
-		agg.IdleSlots += run.Stats.IdleSlots
-		agg.RNGBitsDrawn += run.Stats.RNGBitsDrawn
-		agg.ModeledTime += run.Stats.ModeledTime
-		agg.PCIeTime += run.Stats.PCIeTime
-		if opts.BatchedOT {
-			for _, gb := range run.Rounds {
-				allPairs = append(allPairs, gb.EvalPairs...)
-			}
-			rowSpan.End()
-			continue
-		}
-		for _, gb := range run.Rounds {
-			if err := sendMaterial(conn, &gb.Material); err != nil {
-				rounds.End()
-				return nil, Stats{}, err
-			}
-			if err := ot.SendLabels(sender, gb.EvalPairs); err != nil {
-				rounds.End()
-				return nil, Stats{}, err
-			}
-		}
-		rowSpan.End()
-	}
-	if opts.BatchedOT {
-		if err := ot.SendLabels(sender, allPairs); err != nil {
-			rounds.End()
-			return nil, Stats{}, err
-		}
-		for _, run := range runs {
-			for _, gb := range run.Rounds {
-				if err := sendMaterial(conn, &gb.Material); err != nil {
-					rounds.End()
-					return nil, Stats{}, err
-				}
-			}
-		}
-	}
-	rounds.End()
-	ss.tr.SetAttr("macs", fmt.Sprint(agg.MACs))
-	ss.tr.SetAttr("table_bytes", fmt.Sprint(agg.TableBytes))
-
-	decode := ss.tr.StartSpan("decode")
-	defer decode.End()
-	var res result
-	if err := recvGob(conn, &res); err != nil {
-		return nil, Stats{}, fmt.Errorf("protocol: reading client result: %w", err)
-	}
-	if len(res.Values) != len(A) {
-		return nil, Stats{}, fmt.Errorf("protocol: client reported %d values, want %d", len(res.Values), len(A))
-	}
-	return res.Values, agg, nil
+	return resp.Values, resp.Stats, nil
 }
 
-// serveCorrelated is the correlated-OT session flow: each round, the
-// OT fixes the evaluator-input FALSE labels first, then the round is
-// garbled around them and the material streamed. A dedicated
-// sequential-GC session (fresh Δ) drives the garbling so the OT
-// corrections and the circuit share one offset.
-func (s *Server) serveCorrelated(conn wire.Conn, sim *maxsim.Simulator, A [][]int64, sender *ot.ExtensionSender, ss *session) ([]int64, Stats, error) {
-	cfg := sim.Config()
-	gs, err := seqgc.NewGarblerSession(cfg.Params, cfg.Rand, sim.Circuit())
+// ServeDotProductSerial runs one serial-mode dot-product session with
+// the server-held vector x.
+//
+// Deprecated: use Serve with Mode: ModeSerial.
+func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (int64, Stats, error) {
+	resp, err := s.Serve(conn, Request{Matrix: [][]int64{x}, Mode: ModeSerial})
 	if err != nil {
-		return nil, Stats{}, err
+		return 0, Stats{}, err
 	}
-	rounds := ss.tr.StartSpan("rounds")
-	var agg Stats
-	for i, row := range A {
-		var rowSpan *obs.Span
-		if i < maxRowSpans {
-			rowSpan = ss.tr.StartSpan(fmt.Sprintf("round_garble[%d]", i))
-		}
-		gs.Reset()
-		for _, xi := range row {
-			if err := checkRange(xi, cfg.Width, cfg.Signed); err != nil {
-				return nil, Stats{}, fmt.Errorf("protocol: %w", err)
-			}
-			labels, err := sender.SendCorrelatedLabels(cfg.Width, gs.Delta())
-			if err != nil {
-				return nil, Stats{}, err
-			}
-			gb, err := gs.NextRoundWithEvalLabels(circuit.Int64ToBits(xi, cfg.Width), labels)
-			if err != nil {
-				return nil, Stats{}, err
-			}
-			if err := sendMaterial(conn, &gb.Material); err != nil {
-				return nil, Stats{}, err
-			}
-			agg.MACs++
-			agg.TablesGarbled += uint64(len(gb.Material.Tables))
-			agg.TableBytes += uint64(gb.Material.CiphertextBytes())
-		}
-		rowSpan.End()
-	}
-	rounds.End()
-	// Timing follows the same schedule model as the plain path.
-	mm, err := sim.MatMulStats(len(A), len(A[0]), 1)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	agg.Cycles = mm.Cycles
-	agg.Stages = mm.Stages
-	agg.TablesScheduled = mm.TablesScheduled
-	agg.IdleSlots = mm.IdleSlots
-	agg.CoreUtilization = mm.CoreUtilization
-	agg.ModeledTime = mm.ModeledTime
-	agg.PCIeTime = cfg.PCIe.TransferTime(int(agg.TableBytes))
-	// This path assembles its Stats by hand, so it publishes them to
-	// the registry explicitly (GarbleDotProduct is never called).
-	sim.RecordStats(&agg)
-	ss.tr.SetAttr("macs", fmt.Sprint(agg.MACs))
-
-	decode := ss.tr.StartSpan("decode")
-	defer decode.End()
-	var res result
-	if err := recvGob(conn, &res); err != nil {
-		return nil, Stats{}, fmt.Errorf("protocol: reading client result: %w", err)
-	}
-	if len(res.Values) != len(A) {
-		return nil, Stats{}, fmt.Errorf("protocol: client reported %d values, want %d", len(res.Values), len(A))
-	}
-	return res.Values, agg, nil
+	return resp.Values[0], resp.Stats, nil
 }
 
-// Client is the evaluator endpoint.
-type Client struct {
-	// Rand supplies OT randomness; nil means crypto/rand via the
-	// underlying layers' defaults is NOT applied here, so it must be
-	// set by NewClient.
-	rnd randReader
-}
-
-type randReader interface{ Read([]byte) (int, error) }
-
-// NewClient builds a client drawing OT randomness from rnd (pass
-// crypto/rand.Reader in production).
-func NewClient(rnd randReader) (*Client, error) {
-	if rnd == nil {
-		return nil, fmt.Errorf("protocol: nil random source")
-	}
-	return &Client{rnd: rnd}, nil
-}
-
-// Run executes the evaluator side with the client vector y and returns
-// the decoded outputs (one per server matrix row).
-func (c *Client) Run(conn wire.Conn, y []int64) ([]int64, error) {
-	var h hello
-	if err := recvGob(conn, &h); err != nil {
-		return nil, fmt.Errorf("protocol: reading handshake: %w", err)
-	}
-	if h.Cols != len(y) {
-		return nil, fmt.Errorf("protocol: server expects a %d-element vector, client holds %d", h.Cols, len(y))
-	}
-	scheme, err := schemeByName(h.Scheme)
-	if err != nil {
-		return nil, err
-	}
-	params := gc.DefaultParams()
-	params.Scheme = scheme
-	ckt, err := circuit.MAC(circuit.MACConfig{Width: h.Width, AccWidth: h.AccWidth, Signed: h.Signed})
-	if err != nil {
-		return nil, fmt.Errorf("protocol: rebuilding MAC netlist: %w", err)
-	}
-
-	receiver, err := ot.NewExtensionReceiver(conn, c.rnd)
-	if err != nil {
-		return nil, err
-	}
-
-	// Pre-encode the choice bits per round.
-	bitsPerRound := make([][]bool, len(y))
-	for i, v := range y {
-		if err := checkRange(v, h.Width, h.Signed); err != nil {
-			return nil, fmt.Errorf("protocol: element %d: %w", i, err)
-		}
-		bitsPerRound[i] = circuit.Int64ToBits(v, h.Width)
-	}
-
-	// Batched mode: obtain every round's labels in one OT batch before
-	// any material arrives — faster, but the client holds
-	// Rows·Cols·Width labels at once (§3's memory tradeoff).
-	var batched []label.Label
-	if h.BatchedOT {
-		choices := make([]bool, 0, h.Rows*h.Cols*h.Width)
-		for row := 0; row < h.Rows; row++ {
-			for round := 0; round < h.Cols; round++ {
-				choices = append(choices, bitsPerRound[round]...)
-			}
-		}
-		batched, err = ot.ReceiveLabels(receiver, choices)
-		if err != nil {
-			return nil, fmt.Errorf("protocol: batched OT: %w", err)
-		}
-	}
-
-	outs := make([]int64, h.Rows)
-	for row := 0; row < h.Rows; row++ {
-		var stateAct []label.Label
-		var last *gc.EvalResult
-		for round := 0; round < h.Cols; round++ {
-			var active []label.Label
-			if h.CorrelatedOT {
-				// Correlated mode fixes the labels before the round is
-				// garbled, so the OT precedes the material.
-				active, err = receiver.ReceiveCorrelatedLabels(bitsPerRound[round])
-				if err != nil {
-					return nil, fmt.Errorf("protocol: row %d round %d correlated OT: %w", row, round, err)
-				}
-			}
-			m, err := recvMaterial(conn)
-			if err != nil {
-				return nil, fmt.Errorf("protocol: row %d round %d material: %w", row, round, err)
-			}
-			switch {
-			case h.CorrelatedOT:
-				// labels already in hand
-			case h.BatchedOT:
-				off := (row*h.Cols + round) * h.Width
-				active = batched[off : off+h.Width]
-			default:
-				active, err = ot.ReceiveLabels(receiver, bitsPerRound[round])
-				if err != nil {
-					return nil, fmt.Errorf("protocol: row %d round %d OT: %w", row, round, err)
-				}
-			}
-			res, err := gc.Evaluate(params, ckt, m, active, stateAct)
-			if err != nil {
-				return nil, fmt.Errorf("protocol: row %d round %d evaluate: %w", row, round, err)
-			}
-			stateAct = res.StateActive
-			last = res
-		}
-		if h.Signed {
-			outs[row] = circuit.BitsToInt64(last.Outputs)
-		} else {
-			outs[row] = int64(circuit.BitsToUint64(last.Outputs))
-		}
-	}
-	if err := sendGob(conn, result{Values: outs}); err != nil {
-		return nil, err
-	}
-	return outs, nil
+// addStats accumulates one run's accounting into the request aggregate
+// (the fields the matvec paths sum; utilization stays schedule-derived).
+func addStats(agg *Stats, st *Stats) {
+	agg.MACs += st.MACs
+	agg.Cycles += st.Cycles
+	agg.Stages += st.Stages
+	agg.TablesGarbled += st.TablesGarbled
+	agg.TablesScheduled += st.TablesScheduled
+	agg.TableBytes += st.TableBytes
+	agg.IdleSlots += st.IdleSlots
+	agg.RNGBitsDrawn += st.RNGBitsDrawn
+	agg.ModeledTime += st.ModeledTime
+	agg.PCIeTime += st.PCIeTime
 }
 
 func checkRange(v int64, width int, signed bool) error {
@@ -549,4 +478,54 @@ func checkRange(v int64, width int, signed bool) error {
 		return fmt.Errorf("value %d outside unsigned %d-bit range", v, width)
 	}
 	return nil
+}
+
+// maxRowSpans bounds the per-row garbling spans retained in one
+// session trace; larger matrices keep only the aggregate rounds span.
+const maxRowSpans = 64
+
+// session is the per-session observability state shared by every
+// serving path. Every field is nil-safe, so the uninstrumented server
+// pays only a few nil checks. finish is idempotent: the first caller
+// (error return or Close) records the terminal state.
+type session struct {
+	tr     *obs.SessionTrace
+	reg    *obs.Registry
+	active *obs.Gauge
+	start  time.Time
+	kind   string
+	once   bool
+}
+
+func (s *Server) beginSession(kind string, conn wire.Conn, tr *obs.SessionTrace) *session {
+	reg := s.obs.Metrics()
+	if tr == nil {
+		tr = s.obs.Traces().StartSession(kind, wire.PeerAddr(conn))
+	}
+	reg.Counter("sessions_total", "protocol sessions accepted", obs.L("kind", kind)).Inc()
+	active := reg.Gauge("sessions_active", "protocol sessions currently in flight")
+	active.Add(1)
+	return &session{tr: tr, reg: reg, active: active, start: time.Now(), kind: kind}
+}
+
+// finish closes the session once; later calls are no-ops.
+func (ss *session) finish(err error) {
+	if ss.once {
+		return
+	}
+	ss.once = true
+	ss.active.Add(-1)
+	ss.tr.Finish(err)
+	ss.reg.Histogram("session_seconds", "end-to-end session duration", nil,
+		obs.L("kind", ss.kind)).Observe(time.Since(ss.start).Seconds())
+	if err != nil {
+		ss.reg.Counter("session_errors_total", "sessions that ended in error",
+			obs.L("kind", ss.kind)).Inc()
+	}
+}
+
+// observeOTSetup times the base-OT + IKNP extension setup.
+func (ss *session) observeOTSetup(d time.Duration) {
+	ss.reg.Histogram("ot_setup_seconds", "base-OT plus IKNP extension setup time", nil).
+		Observe(d.Seconds())
 }

@@ -1,47 +1,34 @@
 package protocol
 
-import (
-	"fmt"
-
-	"maxelerator/internal/circuit"
-	"maxelerator/internal/gc"
-	"maxelerator/internal/maxsim"
-	"maxelerator/internal/ot"
-	"maxelerator/internal/seqgc"
-	"maxelerator/internal/serial"
-	"maxelerator/internal/wire"
-)
-
-// Serial-mode sessions: the bit-serial datapath streamed over the
+// Serial-mode requests: the bit-serial datapath streamed over the
 // wire, one garbled *stage* at a time. This is §3's memory-constrained
 // client taken to the architecture's natural granularity — the
 // evaluator holds the labels of exactly one stage (a single input bit
 // plus carried state labels) instead of a full round, at the cost of
 // one OT round trip per stage.
 
-// serialHello extends the handshake for serial sessions.
-type serialHello struct {
-	Width        int
-	Signed       bool
-	Scheme       string
-	Cols         int
-	StagesPerMAC int
-}
+import (
+	"fmt"
 
-// ServeDotProductSerial runs one serial-mode dot-product session with
-// the server-held vector x.
-func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (out int64, st Stats, err error) {
-	ss := s.beginSession("serial", conn, nil)
-	defer ss.finish(&err)
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/ot"
+	"maxelerator/internal/seqgc"
+	"maxelerator/internal/serial"
+)
 
-	sim, err := maxsim.New(s.cfg)
+// serveSerial is the serial-mode datapath: one request, one row, one
+// garbled stage per wire exchange. Garbling is inherently sequential
+// (every stage chains carried state labels), so the worker pool does
+// not apply.
+func (sess *ServerSession) serveSerial(req Request) (*Response, error) {
+	x := req.Matrix[0]
+	cfg := sess.srv.cfg
+	ss := sess.ss
+	sim, err := maxsim.New(cfg)
 	if err != nil {
-		return 0, Stats{}, err
+		return nil, err
 	}
-	if len(x) == 0 {
-		return 0, Stats{}, fmt.Errorf("protocol: empty server vector")
-	}
-	cfg := sim.Config()
 
 	var ckt *circuit.Circuit
 	var layout serial.Layout
@@ -51,38 +38,27 @@ func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (out int64, st
 		ckt, layout, err = serial.MAC(cfg.Width)
 	}
 	if err != nil {
-		return 0, Stats{}, err
+		return nil, err
 	}
 
-	h := serialHello{
-		Width: cfg.Width, Signed: cfg.Signed,
-		Scheme: cfg.Params.Scheme.Name(),
-		Cols:   len(x), StagesPerMAC: layout.StagesPerMAC,
-	}
 	ss.tr.SetAttr("cols", fmt.Sprint(len(x)))
 	ss.tr.SetAttr("stages_per_mac", fmt.Sprint(layout.StagesPerMAC))
-	hs := ss.tr.StartSpan("handshake")
-	err = sendGob(conn, h)
-	hs.End()
-	if err != nil {
-		return 0, Stats{}, err
-	}
-	otSpan := ss.tr.StartSpan("ot_setup")
-	sender, err := ot.NewExtensionSender(conn, cfg.Rand)
-	ss.observeOTSetup(otSpan.End())
-	if err != nil {
-		return 0, Stats{}, err
+	hdr := sess.header(req, len(x))
+	hdr.StagesPerMAC = layout.StagesPerMAC
+	if err := sendGob(sess.conn, hdr); err != nil {
+		return nil, err
 	}
 	gs, err := seqgc.NewGarblerSession(cfg.Params, cfg.Rand, ckt)
 	if err != nil {
-		return 0, Stats{}, err
+		return nil, err
 	}
 
 	rounds := ss.tr.StartSpan("rounds")
+	defer rounds.End()
 	var agg Stats
 	for round, xi := range x {
 		if err := checkRange(xi, cfg.Width, cfg.Signed); err != nil {
-			return 0, Stats{}, fmt.Errorf("protocol: round %d: %w", round, err)
+			return nil, fmt.Errorf("protocol: round %d: %w", round, err)
 		}
 		xBits := circuit.Int64ToBits(xi, cfg.Width)
 		for stage := 0; stage < layout.StagesPerMAC; stage++ {
@@ -93,13 +69,13 @@ func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (out int64, st
 			}
 			gb, err := gs.NextRoundWithEvalLabels(g, nil)
 			if err != nil {
-				return 0, Stats{}, fmt.Errorf("protocol: round %d stage %d: %w", round, stage, err)
+				return nil, fmt.Errorf("protocol: round %d stage %d: %w", round, stage, err)
 			}
-			if err := sendMaterial(conn, &gb.Material); err != nil {
-				return 0, Stats{}, err
+			if err := sendMaterial(sess.conn, &gb.Material); err != nil {
+				return nil, err
 			}
-			if err := ot.SendLabels(sender, gb.EvalPairs); err != nil {
-				return 0, Stats{}, err
+			if err := ot.SendLabels(sess.sender, gb.EvalPairs); err != nil {
+				return nil, err
 			}
 			agg.TablesGarbled += uint64(len(gb.Material.Tables))
 			agg.TableBytes += uint64(gb.Material.CiphertextBytes())
@@ -117,90 +93,9 @@ func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (out int64, st
 	// GarbleDotProduct on this path).
 	sim.RecordStats(&agg)
 
-	decode := ss.tr.StartSpan("decode")
-	defer decode.End()
-	var res result
-	if err := recvGob(conn, &res); err != nil {
-		return 0, Stats{}, fmt.Errorf("protocol: reading client result: %w", err)
-	}
-	if len(res.Values) != 1 {
-		return 0, Stats{}, fmt.Errorf("protocol: client reported %d values, want 1", len(res.Values))
-	}
-	return res.Values[0], agg, nil
-}
-
-// RunSerial executes the evaluator side of a serial-mode session with
-// the client vector y: one OT'd bit and one evaluated stage at a time.
-func (c *Client) RunSerial(conn wire.Conn, y []int64) (int64, error) {
-	var h serialHello
-	if err := recvGob(conn, &h); err != nil {
-		return 0, fmt.Errorf("protocol: reading serial handshake: %w", err)
-	}
-	if h.Cols != len(y) {
-		return 0, fmt.Errorf("protocol: server expects %d elements, client holds %d", h.Cols, len(y))
-	}
-	scheme, err := schemeByName(h.Scheme)
+	vals, err := sess.readResult(1)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	params := gc.DefaultParams()
-	params.Scheme = scheme
-
-	var ckt *circuit.Circuit
-	var layout serial.Layout
-	if h.Signed {
-		ckt, layout, err = serial.MACSigned(h.Width)
-	} else {
-		ckt, layout, err = serial.MAC(h.Width)
-	}
-	if err != nil {
-		return 0, err
-	}
-	if layout.StagesPerMAC != h.StagesPerMAC {
-		return 0, fmt.Errorf("protocol: stage count mismatch: server %d, local %d", h.StagesPerMAC, layout.StagesPerMAC)
-	}
-
-	receiver, err := ot.NewExtensionReceiver(conn, c.rnd)
-	if err != nil {
-		return 0, err
-	}
-	es, err := seqgc.NewEvaluatorSession(params, ckt)
-	if err != nil {
-		return 0, err
-	}
-
-	mask := uint64(1)<<uint(h.Width) - 1
-	var accBits []bool
-	for round, yi := range y {
-		if err := checkRange(yi, h.Width, h.Signed); err != nil {
-			return 0, fmt.Errorf("protocol: element %d: %w", round, err)
-		}
-		accBits = accBits[:0]
-		for stage := 0; stage < layout.StagesPerMAC; stage++ {
-			m, err := recvMaterial(conn)
-			if err != nil {
-				return 0, fmt.Errorf("protocol: round %d stage %d material: %w", round, stage, err)
-			}
-			bits := layout.StageInputs(uint64(yi)&mask, stage)
-			active, err := ot.ReceiveLabels(receiver, bits)
-			if err != nil {
-				return 0, fmt.Errorf("protocol: round %d stage %d OT: %w", round, stage, err)
-			}
-			res, err := es.NextRound(m, active)
-			if err != nil {
-				return 0, fmt.Errorf("protocol: round %d stage %d evaluate: %w", round, stage, err)
-			}
-			accBits = append(accBits, res.Outputs[0])
-		}
-	}
-	var out int64
-	if h.Signed {
-		out = circuit.BitsToInt64(accBits[:2*h.Width])
-	} else {
-		out = int64(circuit.BitsToUint64(accBits))
-	}
-	if err := sendGob(conn, result{Values: []int64{out}}); err != nil {
-		return 0, err
-	}
-	return out, nil
+	return &Response{Values: vals, Stats: agg}, nil
 }

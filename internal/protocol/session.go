@@ -1,0 +1,358 @@
+package protocol
+
+// Multiplexed server sessions: one versioned handshake and one base-OT
+// + IKNP extension setup per connection, then any number of requests.
+// The client drives the request loop (reqOpen → reqHeader → rounds →
+// result); every request garbles under fresh labels — per-request
+// simulators in matvec mode, per-request sequential-GC sessions in the
+// correlated and serial modes — so multiplexing never weakens the
+// paper's fresh-labels-per-garbling requirement.
+
+import (
+	"fmt"
+
+	"maxelerator/internal/circuit"
+	"maxelerator/internal/label"
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+	"maxelerator/internal/ot"
+	"maxelerator/internal/seqgc"
+	"maxelerator/internal/wire"
+)
+
+// SessionConfig shapes one multiplexed server session.
+type SessionConfig struct {
+	// GarbleWorkers is the default row-garbling pool size for requests
+	// that leave Request.GarbleWorkers at 0 (see that field's docs).
+	GarbleWorkers int
+	// Trace, when non-nil, is a caller-opened session trace annotated
+	// with the session's phase spans instead of opening a fresh one.
+	Trace *obs.SessionTrace
+}
+
+// ServerSession is the garbler's end of one multiplexed connection.
+// It is not safe for concurrent use: requests are served strictly one
+// at a time, mirroring the client's sequential evaluation. A session
+// that hits a mid-request wire or garbling error is broken — the
+// stream position is unknown — and refuses further requests.
+type ServerSession struct {
+	srv     *Server
+	conn    wire.Conn
+	ss      *session
+	sender  *ot.ExtensionSender
+	workers int
+	seq     int
+	ended   bool
+	broken  error
+}
+
+// NewSession opens a multiplexed session on conn: versioned handshake,
+// then one OT-extension setup whose cost every subsequent Serve call
+// amortizes. Close the session to record its terminal state.
+func (s *Server) NewSession(conn wire.Conn, cfg SessionConfig) (sess *ServerSession, err error) {
+	ss := s.beginSession("mux", conn, cfg.Trace)
+	defer func() {
+		if err != nil {
+			ss.finish(err)
+		}
+	}()
+	if cfg.GarbleWorkers < 0 {
+		return nil, fmt.Errorf("protocol: negative garble worker count %d", cfg.GarbleWorkers)
+	}
+	return s.startSession(conn, ss, cfg.GarbleWorkers)
+}
+
+// startSession runs the connection-level phases shared by Serve and
+// NewSession: version negotiation and OT setup.
+func (s *Server) startSession(conn wire.Conn, ss *session, workers int) (*ServerSession, error) {
+	cfg := s.cfg
+	ss.tr.SetAttr("proto_version", fmt.Sprint(ProtoVersion))
+	ss.tr.SetAttr("scheme", cfg.Params.Scheme.Name())
+	hs := ss.tr.StartSpan("handshake")
+	err := sendGob(conn, hello{
+		ProtoVersion: ProtoVersion,
+		Width:        cfg.Width, AccWidth: cfg.AccWidth, Signed: cfg.Signed,
+		Scheme: cfg.Params.Scheme.Name(),
+	})
+	if err != nil {
+		hs.End()
+		return nil, err
+	}
+	var ack helloAck
+	err = recvGob(conn, &ack)
+	hs.End()
+	switch {
+	case err != nil && wire.IsDisconnect(err):
+		return nil, fmt.Errorf("protocol: peer hung up during handshake (it may speak an unversioned pre-v%d protocol): %w", ProtoVersion, err)
+	case err != nil:
+		// A frame arrived but is not a helloAck: almost certainly a
+		// pre-versioned client that skipped the ack and started its
+		// base-OT phase.
+		return nil, fmt.Errorf("%w: expected a v%d handshake ack, got an unrecognized frame (%v)", ErrVersionMismatch, ProtoVersion, err)
+	case ack.ProtoVersion != ProtoVersion:
+		return nil, fmt.Errorf("%w: client speaks v%d, server v%d", ErrVersionMismatch, ack.ProtoVersion, ProtoVersion)
+	}
+
+	// OT session setup: the garbler is the extension sender. This is
+	// the expensive public-key phase — paid once per connection, reused
+	// by every request.
+	otSpan := ss.tr.StartSpan("ot_setup")
+	sender, err := ot.NewExtensionSender(conn, cfg.Rand)
+	ss.observeOTSetup(otSpan.End())
+	if err != nil {
+		return nil, err
+	}
+	return &ServerSession{srv: s, conn: conn, ss: ss, sender: sender, workers: workers}, nil
+}
+
+// Serve handles the next client request with the server-side inputs in
+// req. It blocks until the client opens a request; ErrSessionEnded
+// means the client closed the loop (or disconnected between requests)
+// and no request was consumed. Request.Trace is ignored — the
+// session's trace spans every request.
+func (sess *ServerSession) Serve(req Request) (*Response, error) {
+	if sess.broken != nil {
+		return nil, fmt.Errorf("protocol: session unusable after earlier error: %w", sess.broken)
+	}
+	if sess.ended {
+		return nil, ErrSessionEnded
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	var open reqOpen
+	if err := recvGob(sess.conn, &open); err != nil {
+		sess.ended = true
+		if wire.IsDisconnect(err) {
+			return nil, ErrSessionEnded
+		}
+		sess.broken = err
+		return nil, fmt.Errorf("protocol: reading request open: %w", err)
+	}
+	switch open.Op {
+	case opEnd:
+		sess.ended = true
+		return nil, ErrSessionEnded
+	case opRequest:
+	default:
+		sess.broken = fmt.Errorf("protocol: unknown request op %q", open.Op)
+		return nil, sess.broken
+	}
+	resp, err := sess.serveOpened(req)
+	if err != nil {
+		sess.broken = err
+		return nil, err
+	}
+	sess.seq++
+	return resp, nil
+}
+
+// Close records the session's terminal state in the observability
+// layer. It never touches the connection — close that separately.
+func (sess *ServerSession) Close() error {
+	sess.ss.finish(sess.broken)
+	return nil
+}
+
+// Requests returns how many requests the session has served.
+func (sess *ServerSession) Requests() int { return sess.seq }
+
+// serveOpened dispatches an opened request to its datapath. Each path
+// sends its own reqHeader (serial mode must build the stage layout
+// first to announce StagesPerMAC).
+func (sess *ServerSession) serveOpened(req Request) (*Response, error) {
+	switch {
+	case req.Mode == ModeSerial:
+		return sess.serveSerial(req)
+	case req.OT == OTCorrelated:
+		return sess.serveCorrelated(req)
+	default:
+		return sess.serveRows(req)
+	}
+}
+
+// header fills the request-invariant frame fields.
+func (sess *ServerSession) header(req Request, cols int) reqHeader {
+	mode := wireModeMatVec
+	if req.Mode == ModeSerial {
+		mode = wireModeSerial
+	}
+	return reqHeader{
+		Seq: sess.seq, Mode: mode,
+		Rows: len(req.Matrix), Cols: cols, OT: req.OT,
+	}
+}
+
+// readResult runs the decode phase: the client's reported values.
+func (sess *ServerSession) readResult(rows int) ([]int64, error) {
+	decode := sess.ss.tr.StartSpan("decode")
+	defer decode.End()
+	var res result
+	if err := recvGob(sess.conn, &res); err != nil {
+		return nil, fmt.Errorf("protocol: reading client result: %w", err)
+	}
+	if len(res.Values) != rows {
+		return nil, fmt.Errorf("protocol: client reported %d values, want %d", len(res.Values), rows)
+	}
+	return res.Values, nil
+}
+
+// serveRows is the per-round and batched matvec datapath. Rows are
+// garbled by the worker pool (fresh labels per row and per request)
+// and streamed strictly in row order, so the wire format is identical
+// whatever the pool size.
+func (sess *ServerSession) serveRows(req Request) (*Response, error) {
+	A := req.Matrix
+	cols := len(A[0])
+	ss := sess.ss
+	ss.tr.SetAttr("rows", fmt.Sprint(len(A)))
+	ss.tr.SetAttr("cols", fmt.Sprint(cols))
+	if err := sendGob(sess.conn, sess.header(req, cols)); err != nil {
+		return nil, err
+	}
+
+	workers := req.GarbleWorkers
+	if workers == 0 {
+		workers = sess.workers
+	}
+
+	rounds := ss.tr.StartSpan("rounds")
+	defer rounds.End()
+	var agg Stats
+	var allPairs []label.Pair            // batched mode: every round's pairs, in order
+	var runs []*maxsim.DotProductRun     // batched mode: material deferred past the OT
+	emit := func(i int, run *maxsim.DotProductRun) error {
+		addStats(&agg, &run.Stats)
+		if req.OT == OTBatched {
+			runs = append(runs, run)
+			for _, gb := range run.Rounds {
+				allPairs = append(allPairs, gb.EvalPairs...)
+			}
+			return nil
+		}
+		for _, gb := range run.Rounds {
+			if err := sendMaterial(sess.conn, &gb.Material); err != nil {
+				return err
+			}
+			if err := ot.SendLabels(sess.sender, gb.EvalPairs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := sess.garbleRows(A, workers, emit); err != nil {
+		return nil, err
+	}
+	if req.OT == OTBatched {
+		if err := ot.SendLabels(sess.sender, allPairs); err != nil {
+			return nil, err
+		}
+		for _, run := range runs {
+			for _, gb := range run.Rounds {
+				if err := sendMaterial(sess.conn, &gb.Material); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	rounds.End()
+	ss.tr.SetAttr("macs", fmt.Sprint(agg.MACs))
+	ss.tr.SetAttr("table_bytes", fmt.Sprint(agg.TableBytes))
+
+	vals, err := sess.readResult(len(A))
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Values: vals, Stats: agg}, nil
+}
+
+// serveCorrelated is the correlated-OT datapath: each round, the OT
+// fixes the evaluator-input FALSE labels first, then the round is
+// garbled around them and the material streamed. A dedicated
+// sequential-GC session (fresh Δ per request) drives the garbling so
+// the OT corrections and the circuit share one offset — which also
+// means rows are inherently sequential here; the worker pool does not
+// apply.
+func (sess *ServerSession) serveCorrelated(req Request) (*Response, error) {
+	A := req.Matrix
+	cfg := sess.srv.cfg
+	ss := sess.ss
+	sim, err := maxsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ss.tr.SetAttr("rows", fmt.Sprint(len(A)))
+	ss.tr.SetAttr("cols", fmt.Sprint(len(A[0])))
+	if err := sendGob(sess.conn, sess.header(req, len(A[0]))); err != nil {
+		return nil, err
+	}
+	gs, err := seqgc.NewGarblerSession(cfg.Params, cfg.Rand, sim.Circuit())
+	if err != nil {
+		return nil, err
+	}
+
+	rounds := ss.tr.StartSpan("rounds")
+	defer rounds.End()
+	var agg Stats
+	for i, row := range A {
+		if err := sess.correlatedRow(gs, i, row, &agg); err != nil {
+			return nil, err
+		}
+	}
+	rounds.End()
+	// Timing follows the same schedule model as the plain path.
+	mm, err := sim.MatMulStats(len(A), len(A[0]), 1)
+	if err != nil {
+		return nil, err
+	}
+	agg.Cycles = mm.Cycles
+	agg.Stages = mm.Stages
+	agg.TablesScheduled = mm.TablesScheduled
+	agg.IdleSlots = mm.IdleSlots
+	agg.CoreUtilization = mm.CoreUtilization
+	agg.ModeledTime = mm.ModeledTime
+	agg.PCIeTime = cfg.PCIe.TransferTime(int(agg.TableBytes))
+	// This path assembles its Stats by hand, so it publishes them to
+	// the registry explicitly (GarbleDotProduct is never called).
+	sim.RecordStats(&agg)
+	ss.tr.SetAttr("macs", fmt.Sprint(agg.MACs))
+
+	vals, err := sess.readResult(len(A))
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Values: vals, Stats: agg}, nil
+}
+
+// correlatedRow garbles and streams one correlated-OT row; the row
+// span ends on every path out, fixing the leak the error returns in
+// the pre-v2 flow had.
+func (sess *ServerSession) correlatedRow(gs *seqgc.GarblerSession, i int, row []int64, agg *Stats) error {
+	cfg := sess.srv.cfg
+	var rowSpan *obs.Span
+	if i < maxRowSpans {
+		rowSpan = sess.ss.tr.StartSpan(fmt.Sprintf("round_garble[%d]", i))
+	}
+	defer rowSpan.End()
+	gs.Reset()
+	for _, xi := range row {
+		if err := checkRange(xi, cfg.Width, cfg.Signed); err != nil {
+			return fmt.Errorf("protocol: %w", err)
+		}
+		labels, err := sess.sender.SendCorrelatedLabels(cfg.Width, gs.Delta())
+		if err != nil {
+			return err
+		}
+		gb, err := gs.NextRoundWithEvalLabels(circuit.Int64ToBits(xi, cfg.Width), labels)
+		if err != nil {
+			return err
+		}
+		if err := sendMaterial(sess.conn, &gb.Material); err != nil {
+			return err
+		}
+		agg.MACs++
+		agg.TablesGarbled += uint64(len(gb.Material.Tables))
+		agg.TableBytes += uint64(gb.Material.CiphertextBytes())
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 )
 
 // MaxMessageSize bounds a single framed message (64 MiB). It protects
@@ -249,4 +250,20 @@ func PeerAddr(c Conn) string {
 		return PeerAddr(v.Conn)
 	}
 	return ""
+}
+
+// IsDisconnect reports whether err is one of the transport-level
+// "peer went away" errors — a closed pipe or socket, an EOF on a frame
+// boundary, or a reset — as opposed to a protocol-level failure.
+// Callers use it to tell an orderly hangup apart from stream
+// corruption.
+func IsDisconnect(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
 }

@@ -2,6 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -282,4 +285,27 @@ func TestPeerAddr(t *testing.T) {
 		t.Fatalf("pipe PeerAddr = %q", got)
 	}
 	<-done
+}
+
+func TestIsDisconnect(t *testing.T) {
+	for _, err := range []error{
+		ErrClosed,
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		net.ErrClosed,
+		fmt.Errorf("reading frame: %w", ErrClosed),
+	} {
+		if !IsDisconnect(err) {
+			t.Fatalf("IsDisconnect(%v) = false", err)
+		}
+	}
+	for _, err := range []error{
+		nil,
+		errors.New("protocol: bad frame"),
+		fmt.Errorf("message exceeds %d bytes", MaxMessageSize),
+	} {
+		if IsDisconnect(err) {
+			t.Fatalf("IsDisconnect(%v) = true", err)
+		}
+	}
 }
