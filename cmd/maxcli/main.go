@@ -14,6 +14,10 @@
 // ([[1, 2.5], [0.5, -1]]). A batch runs every vector over one
 // multiplexed connection — one handshake and one OT setup amortized
 // across all requests.
+//
+// -handshake-timeout and -io-timeout bound each wire operation of the
+// connection-setup and steady-state phases respectively, so a stalled
+// server costs one timeout instead of a hung client; zero disables.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"maxelerator/internal/fixed"
 	"maxelerator/internal/protocol"
@@ -37,9 +42,12 @@ func main() {
 	frac := flag.Int("frac", 6, "fixed-point fraction bits (must match the server)")
 	vec := flag.String("vector", "", "comma-separated client vector")
 	vecFile := flag.String("vector-file", "", "JSON file with one client vector or a batch of vectors")
+	hsTimeout := flag.Duration("handshake-timeout", 30*time.Second, "per-operation deadline for handshake and OT setup (0 = none)")
+	ioTimeout := flag.Duration("io-timeout", 2*time.Minute, "per-operation deadline for steady-state request I/O (0 = none)")
 	flag.Parse()
 
-	if err := run(*addr, *width, *frac, *vec, *vecFile); err != nil {
+	to := protocol.Timeouts{Handshake: *hsTimeout, IO: *ioTimeout}
+	if err := run(*addr, *width, *frac, *vec, *vecFile, to); err != nil {
 		fmt.Fprintln(os.Stderr, "maxcli:", err)
 		os.Exit(1)
 	}
@@ -90,7 +98,7 @@ func parseVectors(vec, vecFile string) ([][]float64, error) {
 	}
 }
 
-func run(addr string, width, frac int, vec, vecFile string) error {
+func run(addr string, width, frac int, vec, vecFile string, to protocol.Timeouts) error {
 	f := fixed.Format{Width: width, Frac: frac}
 	if err := f.Validate(); err != nil {
 		return err
@@ -119,6 +127,7 @@ func run(addr string, width, frac int, vec, vecFile string) error {
 	if err != nil {
 		return err
 	}
+	cli.WithTimeouts(to)
 	// One session for the whole batch: handshake and OT setup are paid
 	// once, each vector is one multiplexed request with fresh labels.
 	sess, err := cli.Dial(conn)

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"maxelerator/internal/protocol"
 )
 
 func TestParseVectorInline(t *testing.T) {
@@ -56,13 +58,13 @@ func TestParseVectorFileErrors(t *testing.T) {
 }
 
 func TestRunValidatesFormat(t *testing.T) {
-	if err := run("127.0.0.1:1", 16, 30, "1,2", ""); err == nil {
+	if err := run("127.0.0.1:1", 16, 30, "1,2", "", protocol.Timeouts{}); err == nil {
 		t.Fatal("invalid fixed-point format accepted")
 	}
-	if err := run("127.0.0.1:1", 16, 6, "", ""); err == nil {
+	if err := run("127.0.0.1:1", 16, 6, "", "", protocol.Timeouts{}); err == nil {
 		t.Fatal("missing vector accepted")
 	}
-	if err := run("127.0.0.1:1", 16, 6, "1e9", ""); err == nil {
+	if err := run("127.0.0.1:1", 16, 6, "1e9", "", protocol.Timeouts{}); err == nil {
 		t.Fatal("overflowing vector accepted")
 	}
 }

@@ -18,6 +18,14 @@
 // request garbles under; -max-sessions bounds the sessions in flight,
 // queueing (not dropping) the overflow.
 //
+// Every wire operation runs under a per-phase deadline so a stalled or
+// vanished client costs one timeout, never a pinned session (and with
+// -max-sessions, never a leaked admission slot): -handshake-timeout
+// bounds each connection-setup operation (version negotiation, base-OT
+// and IKNP extension setup), -io-timeout each steady-state one
+// (request open, per-round OT, material streaming, result read). Zero
+// disables a deadline.
+//
 // With -metrics-addr the daemon exposes a live observability surface:
 //
 //	GET /metrics         Prometheus text exposition (garbling
@@ -70,6 +78,10 @@ type daemonConfig struct {
 	drainTimeout  time.Duration
 	garbleWorkers int
 	maxSessions   int
+	// handshakeTimeout and ioTimeout are the per-phase wire-operation
+	// deadlines (see the package comment); zero disables.
+	handshakeTimeout time.Duration
+	ioTimeout        time.Duration
 }
 
 func main() {
@@ -86,6 +98,8 @@ func main() {
 	flag.DurationVar(&dc.drainTimeout, "drain-timeout", 10*time.Second, "in-flight session drain deadline on shutdown")
 	flag.IntVar(&dc.garbleWorkers, "garble-workers", runtime.NumCPU(), "row-garbling worker pool size per request (1 = sequential)")
 	flag.IntVar(&dc.maxSessions, "max-sessions", 0, "concurrent session limit; extra connections queue (0 = unlimited)")
+	flag.DurationVar(&dc.handshakeTimeout, "handshake-timeout", 30*time.Second, "per-operation deadline for handshake and OT setup (0 = none)")
+	flag.DurationVar(&dc.ioTimeout, "io-timeout", 2*time.Minute, "per-operation deadline for steady-state request I/O (0 = none)")
 	flag.Parse()
 
 	if err := run(dc); err != nil {
@@ -185,7 +199,9 @@ func run(dc daemonConfig) error {
 	if err != nil {
 		return err
 	}
-	srv.WithObs(o)
+	srv.WithObs(o).WithTimeouts(protocol.Timeouts{
+		Handshake: dc.handshakeTimeout, IO: dc.ioTimeout,
+	})
 	// A daemon-owned simulator drives the post-session memory-system
 	// trace (stall cycles, peak occupancy). Its registry is shared with
 	// the protocol sessions; Trace is read-only on the simulator, so
@@ -225,8 +241,13 @@ func run(dc daemonConfig) error {
 
 	// Graceful shutdown: a signal stops the accept loop; in-flight
 	// sessions get dc.drainTimeout to finish before the daemon exits.
+	// serveCtx is cancelled only after the drain deadline expires — it
+	// interrupts sessions wherever they are, including wire operations
+	// already blocked on a silent peer.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	serveCtx, killSessions := context.WithCancel(context.Background())
+	defer killSessions()
 	go func() {
 		<-ctx.Done()
 		ln.Close()
@@ -283,7 +304,7 @@ func run(dc daemonConfig) error {
 		defer release()
 
 		tr := o.Traces().StartSession("mux", peer)
-		sess, err := srv.NewSession(conn, protocol.SessionConfig{
+		sess, err := srv.NewSessionContext(serveCtx, conn, protocol.SessionConfig{
 			GarbleWorkers: dc.garbleWorkers, Trace: tr,
 		})
 		if err != nil {
@@ -297,7 +318,7 @@ func run(dc daemonConfig) error {
 		// matvec requests over the one OT setup; each garbles under
 		// fresh labels.
 		for {
-			resp, err := sess.Serve(protocol.Request{Matrix: raw})
+			resp, err := sess.ServeContext(serveCtx, protocol.Request{Matrix: raw})
 			if errors.Is(err, protocol.ErrSessionEnded) {
 				break
 			}
@@ -370,7 +391,16 @@ func run(dc daemonConfig) error {
 	select {
 	case <-drained:
 	case <-time.After(dc.drainTimeout):
-		log.Printf("maxd: drain deadline %s expired with sessions still in flight", dc.drainTimeout)
+		// The polite drain expired: cancel the serve context, which
+		// slams the deadline on every session's connection and fails
+		// their in-flight wire operations immediately.
+		log.Printf("maxd: drain deadline %s expired, cancelling in-flight sessions", dc.drainTimeout)
+		killSessions()
+		select {
+		case <-drained:
+		case <-time.After(5 * time.Second):
+			log.Printf("maxd: sessions still in flight after cancellation, exiting anyway")
+		}
 	}
 
 	logFinalSnapshot(o)

@@ -359,6 +359,81 @@ func TestMetricsCountersMoveAndSpansRecorded(t *testing.T) {
 	}
 }
 
+// TestHandshakeTimeoutFreesSessionSlot is the peer-stall regression at
+// the daemon level: with -max-sessions 1, a client that connects and
+// then goes silent must not pin the only slot forever. The handshake
+// deadline fires, the session errors out, the slot is released, and a
+// real client queued behind it completes. On the pre-deadline code the
+// silent connection held the slot indefinitely and this test hung.
+func TestHandshakeTimeoutFreesSessionSlot(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	proc, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		done <- run(daemonConfig{
+			listen: addr, width: 8, frac: 3, demoRows: 2, demoCols: 2,
+			seed: 7, drainTimeout: 5 * time.Second, maxSessions: 1,
+			// The budget must sit comfortably above the genuine base-OT
+			// compute gap (~0.5s on a 1-CPU runner) so only the silent
+			// peer times out, never the legitimate queued client.
+			handshakeTimeout: 3 * time.Second, ioTimeout: 20 * time.Second,
+		})
+	}()
+
+	// The stalled peer: connect, say nothing, keep the conn open so the
+	// server cannot learn of the stall from a disconnect.
+	silent := dialWire(t, addr)
+	defer silent.Close()
+
+	f := fixed.Format{Width: 8, Frac: 3}
+	raw, err := f.EncodeVector([]float64{1.0, -1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialWire(t, addr)
+	defer conn.Close()
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.WithTimeouts(protocol.Timeouts{Handshake: 20 * time.Second, IO: 20 * time.Second})
+	type res struct {
+		out []int64
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, err := cli.Run(conn, raw)
+		ch <- res{out, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("queued client failed: %v", r.err)
+		}
+		if len(r.out) != 2 {
+			t.Fatalf("got %d outputs", len(r.out))
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("queued client never ran: stalled peer still holds the -max-sessions slot")
+	}
+
+	if err := proc.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
 // counterMoved reports whether the exposition shows a non-zero value
 // for the given counter family.
 func counterMoved(body, name string) bool {

@@ -257,6 +257,16 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return r.getOrCreate(name, help, kindGauge, labels, func() *child { return &child{g: &Gauge{}} }).g
 }
 
+// PhaseTimeouts returns the counter of wire operations that exceeded
+// their protocol-phase deadline, labelled by phase. It lives here so
+// the protocol layer and the daemons register the family under one
+// name and help string; like every metric, it is nil-safe.
+func (r *Registry) PhaseTimeouts(phase string) *Counter {
+	return r.Counter("phase_timeouts_total",
+		"wire operations that exceeded their protocol-phase deadline",
+		L("phase", phase))
+}
+
 // Histogram returns (creating on first use) the histogram with the
 // given name, label set and bucket upper bounds. Bounds are fixed by
 // the first call; nil bounds default to DurationBuckets.

@@ -34,6 +34,29 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+func TestPhaseTimeoutsCounter(t *testing.T) {
+	r := NewRegistry()
+	r.PhaseTimeouts("rounds").Inc()
+	r.PhaseTimeouts("rounds").Inc()
+	r.PhaseTimeouts("handshake").Inc()
+	if got := r.PhaseTimeouts("rounds").Value(); got != 2 {
+		t.Fatalf("rounds timeouts = %d", got)
+	}
+	if got := r.PhaseTimeouts("handshake").Value(); got != 1 {
+		t.Fatalf("handshake timeouts = %d", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `phase_timeouts_total{phase="rounds"} 2`) {
+		t.Fatalf("exposition missing phase timeouts:\n%s", sb.String())
+	}
+	// Nil-safe like every other metric accessor.
+	var nilReg *Registry
+	nilReg.PhaseTimeouts("rounds").Inc()
+}
+
 func TestLabelledCountersAreDistinct(t *testing.T) {
 	r := NewRegistry()
 	c0 := r.Counter("core_idle_slots_total", "idle", L("core", "0"))

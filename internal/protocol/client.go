@@ -21,6 +21,9 @@ import (
 type Client struct {
 	// rnd supplies OT randomness; set by NewClient.
 	rnd randReader
+	// timeouts are the per-operation I/O budgets applied to every
+	// session this client dials.
+	timeouts Timeouts
 }
 
 type randReader interface{ Read([]byte) (int, error) }
@@ -34,11 +37,22 @@ func NewClient(rnd randReader) (*Client, error) {
 	return &Client{rnd: rnd}, nil
 }
 
+// WithTimeouts sets the per-operation I/O budgets for every session
+// this client dials, mirroring Server.WithTimeouts: Handshake bounds
+// each connection-setup wire operation, IO each steady-state one. The
+// zero value leaves operations unbounded. Returns c for chaining.
+func (c *Client) WithTimeouts(t Timeouts) *Client {
+	c.timeouts = t
+	return c
+}
+
 // ClientSession is the evaluator's end of one multiplexed connection.
 // Not safe for concurrent use; requests run strictly one at a time.
 type ClientSession struct {
 	c        *Client
-	conn     wire.Conn
+	conn     wire.Conn // the timedConn: every op runs under a phase budget
+	tc       *timedConn
+	to       Timeouts
 	h        hello
 	params   gc.Params
 	macCkt   *circuit.Circuit
@@ -55,8 +69,13 @@ type ClientSession struct {
 // the protocol version, run the one base-OT + IKNP extension setup
 // every subsequent Do amortizes.
 func (c *Client) Dial(conn wire.Conn) (*ClientSession, error) {
+	// The client wraps its connection in the same timed wrapper as the
+	// server (with no metrics registry): a garbler that stalls mid-setup
+	// costs the evaluator one phase budget, not a hung Dial.
+	tc := newTimedConn(conn, nil)
+	tc.enterPhase(phaseHandshake, c.timeouts.Handshake)
 	var h hello
-	if err := recvGob(conn, &h); err != nil {
+	if err := recvGob(tc, &h); err != nil {
 		return nil, fmt.Errorf("protocol: reading handshake: %w", err)
 	}
 	if h.ProtoVersion != ProtoVersion {
@@ -65,7 +84,7 @@ func (c *Client) Dial(conn wire.Conn) (*ClientSession, error) {
 		}
 		return nil, fmt.Errorf("%w: server speaks v%d, client v%d", ErrVersionMismatch, h.ProtoVersion, ProtoVersion)
 	}
-	if err := sendGob(conn, helloAck{ProtoVersion: ProtoVersion}); err != nil {
+	if err := sendGob(tc, helloAck{ProtoVersion: ProtoVersion}); err != nil {
 		return nil, err
 	}
 	scheme, err := schemeByName(h.Scheme)
@@ -78,11 +97,13 @@ func (c *Client) Dial(conn wire.Conn) (*ClientSession, error) {
 	if err != nil {
 		return nil, fmt.Errorf("protocol: rebuilding MAC netlist: %w", err)
 	}
-	receiver, err := ot.NewExtensionReceiver(conn, c.rnd)
+	tc.enterPhase(phaseOTSetup, c.timeouts.Handshake)
+	receiver, err := ot.NewExtensionReceiver(tc, c.rnd)
 	if err != nil {
 		return nil, err
 	}
-	return &ClientSession{c: c, conn: conn, h: h, params: params, macCkt: ckt, receiver: receiver}, nil
+	tc.enterPhase(phaseRequestOpen, c.timeouts.IO)
+	return &ClientSession{c: c, conn: tc, tc: tc, to: c.timeouts, h: h, params: params, macCkt: ckt, receiver: receiver}, nil
 }
 
 // Do runs one request with the client vector y and returns the decoded
@@ -105,19 +126,22 @@ func (cs *ClientSession) Do(y []int64) ([]int64, error) {
 		}
 		bitsPerRound[i] = circuit.Int64ToBits(v, cs.h.Width)
 	}
+	cs.tc.enterPhase(phaseRequestOpen, cs.to.IO)
 	if err := sendGob(cs.conn, reqOpen{Op: opRequest}); err != nil {
-		cs.broken = err
-		return nil, err
+		return nil, cs.fail(err)
 	}
 	var hdr reqHeader
 	if err := recvGob(cs.conn, &hdr); err != nil {
-		cs.broken = err
-		return nil, fmt.Errorf("protocol: reading request header: %w", err)
+		return nil, cs.fail(fmt.Errorf("protocol: reading request header: %w", err))
 	}
 	if hdr.Cols != len(y) {
-		cs.broken = fmt.Errorf("protocol: server expects a %d-element vector, client holds %d", hdr.Cols, len(y))
-		return nil, cs.broken
+		// The server is already mid-request, about to garble and stream
+		// Rows·Cols rounds this client will never evaluate. Abort by
+		// closing the connection so it fails fast instead of blocking on
+		// OT traffic that will never come (see ClientSession.fail).
+		return nil, cs.fail(fmt.Errorf("protocol: server expects a %d-element vector, client holds %d", hdr.Cols, len(y)))
 	}
+	cs.tc.enterPhase(phaseRounds, cs.to.IO)
 	var outs []int64
 	var err error
 	switch hdr.Mode {
@@ -129,15 +153,27 @@ func (cs *ClientSession) Do(y []int64) ([]int64, error) {
 		err = fmt.Errorf("protocol: server announced unknown mode %q", hdr.Mode)
 	}
 	if err != nil {
-		cs.broken = err
-		return nil, err
+		return nil, cs.fail(err)
 	}
+	cs.tc.enterPhase(phaseDecode, cs.to.IO)
 	if err := sendGob(cs.conn, result{Values: outs}); err != nil {
-		cs.broken = err
-		return nil, err
+		return nil, cs.fail(err)
 	}
 	cs.seq++
+	cs.tc.enterPhase(phaseRequestOpen, cs.to.IO)
 	return outs, nil
+}
+
+// fail breaks the session and closes the connection. Closing is the
+// abort signal: a client that bails out mid-request (header mismatch,
+// evaluation error) leaves the server garbling rounds nobody will
+// evaluate — with the connection closed it sees a prompt disconnect
+// instead of stalling until its phase deadline. Before this existed,
+// the session was only marked broken locally and the server hung.
+func (cs *ClientSession) fail(err error) error {
+	cs.broken = err
+	cs.conn.Close()
+	return err
 }
 
 // Close ends the request loop. Safe to call on a broken session (the

@@ -1,0 +1,504 @@
+package protocol
+
+// Fault-matrix tests: the faultconn harness drives every protocol
+// phase — handshake, OT setup, request open, rounds, decode — into the
+// silent-peer fault, for every OT mode. The invariants under test are
+// the ones a cloud deployment depends on: a server facing a stalled
+// peer returns ErrPhaseTimeout (never wire.IsDisconnect, never a hang)
+// within its phase budget, releases the session, and leaves the
+// garbling-pool gauges at zero. A stall sweep over the client's
+// message indices reaches every phase without hand-scripting each one:
+// the learning run counts the healthy session's ops, then stalls are
+// injected at sampled indices across that range.
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+	"maxelerator/internal/wire"
+	"maxelerator/internal/wire/faultconn"
+)
+
+// faultBudget is the fixed per-phase budget of the single-scenario
+// tests. The matrix derives its budget from a measured healthy
+// baseline instead, because the budget must comfortably exceed the
+// longest genuine wire-op gap — the server waits one full client
+// base-OT computation during OT setup, which stretches under -race and
+// slow CI machines.
+const faultBudget = 3 * time.Second
+
+func faultMatrixServer(t *testing.T, to Timeouts) (*Server, *obs.Obs) {
+	t.Helper()
+	o := obs.New(4)
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithObs(o).WithTimeouts(to)
+	return srv, o
+}
+
+// serveMux runs the full server side of one mux session and reports
+// the terminal error and wall time.
+func serveMux(srv *Server, conn wire.Conn, req Request) (error, time.Duration) {
+	start := time.Now()
+	sess, err := srv.NewSession(conn, SessionConfig{})
+	if err != nil {
+		return err, time.Since(start)
+	}
+	defer sess.Close()
+	if _, err := sess.Serve(req); err != nil {
+		return err, time.Since(start)
+	}
+	// Drain the client's end-of-session marker.
+	if _, err := sess.Serve(req); !errors.Is(err, ErrSessionEnded) {
+		return err, time.Since(start)
+	}
+	return nil, time.Since(start)
+}
+
+// runFaultClient is the full client side; it runs in a goroutine and
+// may block inside an injected stall until the harness is closed.
+func runFaultClient(conn wire.Conn, y []int64) error {
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		return err
+	}
+	cs, err := cli.Dial(conn)
+	if err != nil {
+		return err
+	}
+	if _, err := cs.Do(y); err != nil {
+		return err
+	}
+	return cs.Close()
+}
+
+// sampleOps picks stall indices covering the start, early setup,
+// middle and end of a healthy run's 1..n op range.
+func sampleOps(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, i := range []int{1, 2, (n + 1) / 2, n} {
+		if i >= 1 && i <= n && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestFaultMatrixPeerStall(t *testing.T) {
+	before := runtime.NumGoroutine()
+	req := Request{Matrix: [][]int64{{1, 2}, {-3, 4}}, GarbleWorkers: 2}
+	y := []int64{5, -6}
+
+	t.Run("matrix", func(t *testing.T) {
+		for _, mode := range []OTMode{OTPerRound, OTBatched, OTCorrelated} {
+			mode := mode
+			mreq := req
+			mreq.OT = mode
+
+			// Learning run: a healthy session through a passthrough
+			// harness (no deadlines — the peer is live), to count the
+			// client's ops and time the baseline.
+			srv, _ := faultMatrixServer(t, Timeouts{})
+			a, b := wire.Pipe()
+			fc := faultconn.New(b, faultconn.Options{})
+			clientDone := make(chan error, 1)
+			go func() { clientDone <- runFaultClient(fc, y) }()
+			serr, healthy := serveMux(srv, a, mreq)
+			if serr != nil {
+				t.Fatalf("%s healthy run: server: %v", mode, serr)
+			}
+			if cerr := <-clientDone; cerr != nil {
+				t.Fatalf("%s healthy run: client: %v", mode, cerr)
+			}
+			a.Close()
+			fc.Close()
+			sends, recvs := fc.Ops()
+			if sends < 3 || recvs < 3 {
+				t.Fatalf("%s healthy run too small to sweep: %d sends, %d recvs", mode, sends, recvs)
+			}
+			// The stall budget must exceed the longest genuine wire-op
+			// gap, which scales with machine speed and -race overhead —
+			// derive it from the measured baseline.
+			// healthy spans the whole session, so 2x is a comfortable
+			// margin over any single wire-op gap within it.
+			budget := 2 * healthy
+			if budget < 2*time.Second {
+				budget = 2 * time.Second
+			}
+			to := Timeouts{Handshake: budget, IO: budget}
+			// Wall-clock ceiling: the baseline compute plus two phase
+			// budgets (acceptance: a stalled peer costs a timeout within
+			// 2x the configured deadline, not a pinned session).
+			maxWait := 4*healthy + 2*budget + 5*time.Second
+
+			var stalls []faultconn.Options
+			if mode == OTPerRound {
+				// Full sweep: helloAck, early base OT, IKNP/rounds, end.
+				for _, i := range sampleOps(sends) {
+					stalls = append(stalls, faultconn.Options{StallOnSend: i})
+				}
+				stalls = append(stalls, faultconn.Options{StallOnRecv: (recvs + 1) / 2})
+			} else {
+				// The setup phases are identical across OT modes (already
+				// swept above); cover the mode-specific stretch — rounds
+				// and decode.
+				for _, i := range []int{(sends + 1) / 2, sends} {
+					stalls = append(stalls, faultconn.Options{StallOnSend: i})
+				}
+			}
+			for _, opts := range stalls {
+				opts := opts
+				name := fmt.Sprintf("%s/stall_send_%d", mode, opts.StallOnSend)
+				if opts.StallOnRecv > 0 {
+					name = fmt.Sprintf("%s/stall_recv_%d", mode, opts.StallOnRecv)
+				}
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					srv, o := faultMatrixServer(t, to)
+					a, b := wire.Pipe()
+					fc := faultconn.New(b, opts)
+					done := make(chan error, 1)
+					go func() { done <- runFaultClient(fc, y) }()
+					t.Cleanup(func() {
+						a.Close()
+						fc.Close()
+						select {
+						case <-done:
+						case <-time.After(10 * time.Second):
+							t.Error("client goroutine not released by harness close")
+						}
+					})
+
+					serr, elapsed := serveMux(srv, a, mreq)
+					if serr == nil {
+						t.Fatal("server reported success against a stalled peer")
+					}
+					if !errors.Is(serr, ErrPhaseTimeout) {
+						t.Fatalf("server error = %v, want ErrPhaseTimeout", serr)
+					}
+					if wire.IsDisconnect(serr) {
+						t.Fatalf("timeout misclassified as disconnect: %v", serr)
+					}
+					if elapsed > maxWait {
+						t.Fatalf("server took %v against a stalled peer (ceiling %v)", elapsed, maxWait)
+					}
+
+					reg := o.Metrics()
+					if got := reg.Gauge("sessions_active", "").Value(); got != 0 {
+						t.Errorf("sessions_active = %d after timeout", got)
+					}
+					if got := reg.Gauge("garble_queue_depth", "").Value(); got != 0 {
+						t.Errorf("garble_queue_depth = %d after timeout", got)
+					}
+					if got := reg.Gauge("garble_workers_busy", "").Value(); got != 0 {
+						t.Errorf("garble_workers_busy = %d after timeout", got)
+					}
+					var timeouts uint64
+					for _, phase := range []string{"handshake", "ot_setup", "request_open", "rounds", "decode"} {
+						timeouts += reg.PhaseTimeouts(phase).Value()
+					}
+					if timeouts == 0 {
+						t.Error("phase_timeouts_total not incremented")
+					}
+				})
+			}
+		}
+	})
+
+	checkGoroutines(t, before)
+}
+
+// TestFaultSerialModeStall covers the serial datapath: a client that
+// goes silent between garbled stages costs one IO budget.
+func TestFaultSerialModeStall(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, o := faultMatrixServer(t, Timeouts{Handshake: faultBudget, IO: faultBudget})
+	a, b := wire.Pipe()
+	// Stall the 20th client send: deep inside the per-stage OT stream.
+	fc := faultconn.New(b, faultconn.Options{StallOnSend: 20})
+	done := make(chan error, 1)
+	go func() { done <- runFaultClient(fc, []int64{7, -8}) }()
+	defer func() {
+		a.Close()
+		fc.Close()
+		<-done
+		checkGoroutines(t, before)
+	}()
+
+	serr, _ := serveMux(srv, a, Request{Matrix: [][]int64{{1, 2}}, Mode: ModeSerial})
+	if !errors.Is(serr, ErrPhaseTimeout) {
+		t.Fatalf("server error = %v, want ErrPhaseTimeout", serr)
+	}
+	if got := o.Metrics().Gauge("sessions_active", "").Value(); got != 0 {
+		t.Errorf("sessions_active = %d after timeout", got)
+	}
+}
+
+// TestClientTimeoutAgainstStalledServer mirrors the matrix from the
+// evaluator's side: a garbler that stalls mid-setup costs the client
+// one phase budget, not a hung Dial.
+func TestClientTimeoutAgainstStalledServer(t *testing.T) {
+	srv, _ := faultMatrixServer(t, Timeouts{Handshake: faultBudget, IO: faultBudget})
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.WithTimeouts(Timeouts{Handshake: faultBudget, IO: faultBudget})
+	a, b := wire.Pipe()
+	defer b.Close()
+	// Stall the server's second send (first OT-setup message after the
+	// hello): the client is left waiting mid-Dial.
+	fc := faultconn.New(a, faultconn.Options{StallOnSend: 2})
+	defer fc.Close()
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.NewSession(fc, SessionConfig{})
+		srvDone <- err
+	}()
+
+	start := time.Now()
+	_, cerr := cli.Dial(b)
+	elapsed := time.Since(start)
+	if !errors.Is(cerr, ErrPhaseTimeout) {
+		t.Fatalf("client Dial error = %v, want ErrPhaseTimeout", cerr)
+	}
+	if elapsed > 2*faultBudget+2*time.Second {
+		t.Fatalf("client Dial took %v against a stalled server", elapsed)
+	}
+	fc.Close()
+	<-srvDone
+}
+
+// TestServeContextCancellationInterruptsStalledSession proves the
+// shutdown-drain path: with NO timeouts configured at all, cancelling
+// the context reclaims a session blocked mid-rounds on a silent peer.
+func TestServeContextCancellationInterruptsStalledSession(t *testing.T) {
+	o := obs.New(4)
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithObs(o)
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srvDone := make(chan error, 1)
+	go func() {
+		sess, err := srv.NewSessionContext(ctx, a, SessionConfig{})
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		defer sess.Close()
+		_, err = sess.ServeContext(ctx, Request{Matrix: [][]int64{{1, 2, 3}}, GarbleWorkers: 2})
+		srvDone <- err
+	}()
+
+	// A client that opens a request, then goes silent without closing:
+	// the server is mid-rounds, waiting on OT traffic that never comes.
+	cs, err := cli.Dial(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sendGob(cs.conn, reqOpen{Op: opRequest}); err != nil {
+		t.Fatal(err)
+	}
+	var hdr reqHeader
+	if err := recvGob(cs.conn, &hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case serr := <-srvDone:
+		if !errors.Is(serr, context.Canceled) {
+			t.Fatalf("server error = %v, want context.Canceled in the chain", serr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not interrupt the stalled session")
+	}
+	reg := o.Metrics()
+	if got := reg.Gauge("sessions_active", "").Value(); got != 0 {
+		t.Errorf("sessions_active = %d after cancellation", got)
+	}
+	if got := reg.Gauge("garble_queue_depth", "").Value(); got != 0 {
+		t.Errorf("garble_queue_depth = %d after cancellation", got)
+	}
+	if got := reg.Gauge("garble_workers_busy", "").Value(); got != 0 {
+		t.Errorf("garble_workers_busy = %d after cancellation", got)
+	}
+}
+
+// TestClientAbortClosesConnPromptly: a client that bails on a header
+// mismatch closes the connection, so the server fails fast instead of
+// stalling until its deadline (or, without one, forever). The server
+// here has NO timeouts — only the abort-by-close can unblock it.
+func TestClientAbortClosesConnPromptly(t *testing.T) {
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(a, Request{Matrix: [][]int64{{1, 2, 3}}})
+		srvDone <- err
+	}()
+	cs, err := cli.Dial(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vector length disagrees with the server's three columns: the
+	// client aborts; the abort must reach the server.
+	if _, err := cs.Do([]int64{1}); err == nil {
+		t.Fatal("mismatched vector accepted")
+	}
+	select {
+	case serr := <-srvDone:
+		if serr == nil {
+			t.Fatal("server reported success after client abort")
+		}
+		if !wire.IsDisconnect(serr) {
+			t.Fatalf("server error = %v, want a disconnect from the abort", serr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client abort never reached the server")
+	}
+}
+
+// TestPoolMetricsFailedRowsAndInlineGauge is the regression test for
+// the two pool-metrics bugs: garble_rows_total counted failed rows,
+// and garble_workers was never reset by inline (single-worker)
+// requests.
+func TestPoolMetricsFailedRowsAndInlineGauge(t *testing.T) {
+	o := obs.New(4)
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithObs(o)
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := o.Metrics()
+
+	// Request 1: every row holds an out-of-range value, so every
+	// garbling fails. Failed rows must not count as garbled.
+	bad := [][]int64{{1 << 20, 1}, {1 << 20, 2}}
+	a, b := wire.Pipe()
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(a, Request{Matrix: bad, GarbleWorkers: 2})
+		srvDone <- err
+	}()
+	clientDone := make(chan error, 1)
+	go func() {
+		_, err := cli.Run(b, []int64{1, 1})
+		clientDone <- err
+	}()
+	if serr := <-srvDone; serr == nil {
+		t.Fatal("server garbled an out-of-range matrix")
+	}
+	a.Close()
+	b.Close()
+	<-clientDone
+	if got := reg.Counter("garble_rows_total", "").Value(); got != 0 {
+		t.Fatalf("garble_rows_total = %d after an all-failed request, want 0", got)
+	}
+	if got := reg.Gauge("garble_workers", "").Value(); got != 2 {
+		t.Fatalf("garble_workers = %d, want 2", got)
+	}
+
+	// Request 2: a healthy pooled request counts exactly its rows.
+	good := [][]int64{{1, 2}, {3, 4}, {5, 6}}
+	a2, b2 := wire.Pipe()
+	defer a2.Close()
+	defer b2.Close()
+	go func() {
+		_, err := srv.Serve(a2, Request{Matrix: good, GarbleWorkers: 3})
+		srvDone <- err
+	}()
+	if _, err := cli.Run(b2, []int64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if serr := <-srvDone; serr != nil {
+		t.Fatal(serr)
+	}
+	if got := reg.Counter("garble_rows_total", "").Value(); got != uint64(len(good)) {
+		t.Fatalf("garble_rows_total = %d after a healthy request, want %d", got, len(good))
+	}
+	if got := reg.Gauge("garble_workers", "").Value(); got != 3 {
+		t.Fatalf("garble_workers = %d, want 3", got)
+	}
+
+	// Request 3: an inline (single-worker) request must reset the pool
+	// gauge — it used to keep reading whatever the last pool used.
+	a3, b3 := wire.Pipe()
+	defer a3.Close()
+	defer b3.Close()
+	go func() {
+		_, err := srv.Serve(a3, Request{Matrix: good, GarbleWorkers: 1})
+		srvDone <- err
+	}()
+	if _, err := cli.Run(b3, []int64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if serr := <-srvDone; serr != nil {
+		t.Fatal(serr)
+	}
+	if got := reg.Gauge("garble_workers", "").Value(); got != 1 {
+		t.Fatalf("garble_workers = %d after an inline request, want 1", got)
+	}
+}
+
+// checkGoroutines polls until the goroutine count settles back to the
+// baseline (plus scheduler slack), failing on a leak. The repo has no
+// external leak detector dependency; before/after counting is the
+// zero-dependency equivalent.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

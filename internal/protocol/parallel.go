@@ -11,6 +11,7 @@ package protocol
 // pool size.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -47,19 +48,28 @@ type garbleResult struct {
 // garbleRows garbles every row of A and hands each run to emit in
 // strict row order. workers <= 1 garbles inline on the calling
 // goroutine (one simulator per request, the pre-v2 behaviour); larger
-// pools garble up to `workers` rows concurrently.
-func (sess *ServerSession) garbleRows(A [][]int64, workers int, emit func(int, *maxsim.DotProductRun) error) error {
+// pools garble up to `workers` rows concurrently. Context cancellation
+// stops the pool between rows — in-flight rows finish (a garbling is
+// CPU work with no wire waits) but no new row starts.
+func (sess *ServerSession) garbleRows(ctx context.Context, A [][]int64, workers int, emit func(int, *maxsim.DotProductRun) error) error {
 	n := len(A)
 	if workers > n {
 		workers = n
 	}
 	ss := sess.ss
 	if workers <= 1 {
+		// The pool-size gauge reflects the effective pool of the current
+		// request — including the inline (size 1) path, so it no longer
+		// reads as whatever the last pooled request used.
+		ss.reg.Gauge("garble_workers", "row-garbling worker pool size").Set(1)
 		sim, err := maxsim.New(sess.srv.cfg)
 		if err != nil {
 			return err
 		}
 		for i, row := range A {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("protocol: garbling interrupted at row %d: %w", i, err)
+			}
 			run, err := garbleRow(ss, sim, i, row)
 			if err != nil {
 				return err
@@ -110,7 +120,7 @@ func (sess *ServerSession) garbleRows(A [][]int64, workers int, emit func(int, *
 			defer wg.Done()
 			for i := range jobs {
 				queue.Add(-1)
-				if stop.Load() {
+				if stop.Load() || ctx.Err() != nil {
 					continue
 				}
 				busy.Add(1)
@@ -118,7 +128,11 @@ func (sess *ServerSession) garbleRows(A [][]int64, workers int, emit func(int, *
 				run, err := garbleRow(ss, sim, i, A[i])
 				rowSeconds.Observe(time.Since(t0).Seconds())
 				busy.Add(-1)
-				rowsTotal.Inc()
+				if err == nil {
+					// Only rows that actually produced garbled material
+					// count; failed rows used to inflate the total.
+					rowsTotal.Inc()
+				}
 				done <- garbleResult{idx: i, run: run, err: err}
 				if err != nil {
 					stop.Store(true)
@@ -133,10 +147,17 @@ func (sess *ServerSession) garbleRows(A [][]int64, workers int, emit func(int, *
 
 	// Reorder stage: workers finish rows in any order; emit strictly
 	// in row order so the wire format matches the sequential path.
+	// Cancellation unblocks the wait even though workers never block on
+	// done (it is buffered to n): the pool drains via the deferred stop.
 	pending := make(map[int]*maxsim.DotProductRun, workers)
 	next := 0
 	for received := 0; received < n; received++ {
-		r := <-done
+		var r garbleResult
+		select {
+		case r = <-done:
+		case <-ctx.Done():
+			return fmt.Errorf("protocol: garbling interrupted after %d of %d rows: %w", next, n, ctx.Err())
+		}
 		if r.err != nil {
 			return r.err
 		}

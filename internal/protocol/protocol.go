@@ -31,6 +31,7 @@ package protocol
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -242,6 +243,9 @@ type Server struct {
 	// NewServer), shared read-only by every session and worker.
 	cfg maxsim.Config
 	obs *obs.Obs
+	// timeouts are the default per-operation I/O budgets applied to
+	// every session (overridable per session via SessionConfig).
+	timeouts Timeouts
 }
 
 // NewServer builds a server around an accelerator configuration.
@@ -263,6 +267,16 @@ func NewServer(cfg maxsim.Config) (*Server, error) {
 func (s *Server) WithObs(o *obs.Obs) *Server {
 	s.obs = o
 	s.cfg.Metrics = o.Metrics()
+	return s
+}
+
+// WithTimeouts sets the default per-operation I/O budgets for every
+// session this server runs: Handshake bounds each wire operation of
+// the connection-setup phases, IO each steady-state one. The zero
+// value leaves operations unbounded (the pre-timeout behaviour). Call
+// before serving; returns s for chaining.
+func (s *Server) WithTimeouts(t Timeouts) *Server {
+	s.timeouts = t
 	return s
 }
 
@@ -352,7 +366,7 @@ func (s *Server) Serve(conn wire.Conn, req Request) (resp *Response, err error) 
 	if err = req.validate(); err != nil {
 		return nil, err
 	}
-	sess, err := s.startSession(conn, ss, req.GarbleWorkers)
+	sess, err := s.startSession(context.Background(), conn, ss, req.GarbleWorkers, s.timeouts)
 	if err != nil {
 		return nil, err
 	}
@@ -361,9 +375,11 @@ func (s *Server) Serve(conn wire.Conn, req Request) (resp *Response, err error) 
 		return nil, err
 	}
 	// Drain the client's end-of-session marker so the stream closes in
-	// a known state; a disconnect here is fine, the work is done.
+	// a known state (through the session's timed connection, so a peer
+	// that never sends it costs one budget, not forever); a disconnect
+	// here is fine, the work is done.
 	var open reqOpen
-	if derr := recvGob(conn, &open); derr == nil && open.Op != opEnd {
+	if derr := recvGob(sess.conn, &open); derr == nil && open.Op != opEnd {
 		return nil, fmt.Errorf("protocol: client opened a %q request on a single-request session", open.Op)
 	}
 	return resp, nil

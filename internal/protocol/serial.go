@@ -8,6 +8,7 @@ package protocol
 // one OT round trip per stage.
 
 import (
+	"context"
 	"fmt"
 
 	"maxelerator/internal/circuit"
@@ -21,10 +22,11 @@ import (
 // garbled stage per wire exchange. Garbling is inherently sequential
 // (every stage chains carried state labels), so the worker pool does
 // not apply.
-func (sess *ServerSession) serveSerial(req Request) (*Response, error) {
+func (sess *ServerSession) serveSerial(ctx context.Context, req Request) (*Response, error) {
 	x := req.Matrix[0]
 	cfg := sess.srv.cfg
 	ss := sess.ss
+	sess.tc.enterPhase(phaseRounds, sess.to.IO)
 	sim, err := maxsim.New(cfg)
 	if err != nil {
 		return nil, err
@@ -57,6 +59,9 @@ func (sess *ServerSession) serveSerial(req Request) (*Response, error) {
 	defer rounds.End()
 	var agg Stats
 	for round, xi := range x {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("protocol: rounds phase interrupted at round %d: %w", round, err)
+		}
 		if err := checkRange(xi, cfg.Width, cfg.Signed); err != nil {
 			return nil, fmt.Errorf("protocol: round %d: %w", round, err)
 		}

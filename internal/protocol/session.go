@@ -9,6 +9,8 @@ package protocol
 // paper's fresh-labels-per-garbling requirement.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"maxelerator/internal/circuit"
@@ -25,6 +27,10 @@ type SessionConfig struct {
 	// GarbleWorkers is the default row-garbling pool size for requests
 	// that leave Request.GarbleWorkers at 0 (see that field's docs).
 	GarbleWorkers int
+	// Timeouts are the per-operation I/O budgets of this session.
+	// Zero fields inherit the server's WithTimeouts defaults; negative
+	// fields disable that budget.
+	Timeouts Timeouts
 	// Trace, when non-nil, is a caller-opened session trace annotated
 	// with the session's phase spans instead of opening a fresh one.
 	Trace *obs.SessionTrace
@@ -37,7 +43,9 @@ type SessionConfig struct {
 // stream position is unknown — and refuses further requests.
 type ServerSession struct {
 	srv     *Server
-	conn    wire.Conn
+	conn    wire.Conn // the timedConn: every op runs under a phase budget
+	tc      *timedConn
+	to      Timeouts
 	ss      *session
 	sender  *ot.ExtensionSender
 	workers int
@@ -49,7 +57,15 @@ type ServerSession struct {
 // NewSession opens a multiplexed session on conn: versioned handshake,
 // then one OT-extension setup whose cost every subsequent Serve call
 // amortizes. Close the session to record its terminal state.
-func (s *Server) NewSession(conn wire.Conn, cfg SessionConfig) (sess *ServerSession, err error) {
+func (s *Server) NewSession(conn wire.Conn, cfg SessionConfig) (*ServerSession, error) {
+	return s.NewSessionContext(context.Background(), conn, cfg)
+}
+
+// NewSessionContext is NewSession under a context: cancellation
+// interrupts the handshake and OT setup, including operations already
+// blocked on the wire. Pass the same context to ServeContext so
+// in-flight requests are interruptible too.
+func (s *Server) NewSessionContext(ctx context.Context, conn wire.Conn, cfg SessionConfig) (sess *ServerSession, err error) {
 	ss := s.beginSession("mux", conn, cfg.Trace)
 	defer func() {
 		if err != nil {
@@ -59,17 +75,22 @@ func (s *Server) NewSession(conn wire.Conn, cfg SessionConfig) (sess *ServerSess
 	if cfg.GarbleWorkers < 0 {
 		return nil, fmt.Errorf("protocol: negative garble worker count %d", cfg.GarbleWorkers)
 	}
-	return s.startSession(conn, ss, cfg.GarbleWorkers)
+	return s.startSession(ctx, conn, ss, cfg.GarbleWorkers, cfg.Timeouts.resolveAgainst(s.timeouts))
 }
 
 // startSession runs the connection-level phases shared by Serve and
-// NewSession: version negotiation and OT setup.
-func (s *Server) startSession(conn wire.Conn, ss *session, workers int) (*ServerSession, error) {
+// NewSession: version negotiation and OT setup, each wire operation
+// under the handshake budget.
+func (s *Server) startSession(ctx context.Context, conn wire.Conn, ss *session, workers int, to Timeouts) (*ServerSession, error) {
 	cfg := s.cfg
+	tc := newTimedConn(conn, ss.reg)
+	release := tc.bind(ctx)
+	defer release()
+	tc.enterPhase(phaseHandshake, to.Handshake)
 	ss.tr.SetAttr("proto_version", fmt.Sprint(ProtoVersion))
 	ss.tr.SetAttr("scheme", cfg.Params.Scheme.Name())
 	hs := ss.tr.StartSpan("handshake")
-	err := sendGob(conn, hello{
+	err := sendGob(tc, hello{
 		ProtoVersion: ProtoVersion,
 		Width:        cfg.Width, AccWidth: cfg.AccWidth, Signed: cfg.Signed,
 		Scheme: cfg.Params.Scheme.Name(),
@@ -79,9 +100,13 @@ func (s *Server) startSession(conn wire.Conn, ss *session, workers int) (*Server
 		return nil, err
 	}
 	var ack helloAck
-	err = recvGob(conn, &ack)
+	err = recvGob(tc, &ack)
 	hs.End()
 	switch {
+	case err != nil && (errors.Is(err, ErrPhaseTimeout) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// Timeouts and cancellations already name the phase; pass them
+		// through untouched so errors.Is classification survives.
+		return nil, err
 	case err != nil && wire.IsDisconnect(err):
 		return nil, fmt.Errorf("protocol: peer hung up during handshake (it may speak an unversioned pre-v%d protocol): %w", ProtoVersion, err)
 	case err != nil:
@@ -95,14 +120,17 @@ func (s *Server) startSession(conn wire.Conn, ss *session, workers int) (*Server
 
 	// OT session setup: the garbler is the extension sender. This is
 	// the expensive public-key phase — paid once per connection, reused
-	// by every request.
+	// by every request. It shares the handshake budget: both are
+	// connection setup.
+	tc.enterPhase(phaseOTSetup, to.Handshake)
 	otSpan := ss.tr.StartSpan("ot_setup")
-	sender, err := ot.NewExtensionSender(conn, cfg.Rand)
+	sender, err := ot.NewExtensionSender(tc, cfg.Rand)
 	ss.observeOTSetup(otSpan.End())
 	if err != nil {
 		return nil, err
 	}
-	return &ServerSession{srv: s, conn: conn, ss: ss, sender: sender, workers: workers}, nil
+	tc.enterPhase(phaseRequestOpen, to.IO)
+	return &ServerSession{srv: s, conn: tc, tc: tc, to: to, ss: ss, sender: sender, workers: workers}, nil
 }
 
 // Serve handles the next client request with the server-side inputs in
@@ -111,6 +139,15 @@ func (s *Server) startSession(conn wire.Conn, ss *session, workers int) (*Server
 // and no request was consumed. Request.Trace is ignored — the
 // session's trace spans every request.
 func (sess *ServerSession) Serve(req Request) (*Response, error) {
+	return sess.ServeContext(context.Background(), req)
+}
+
+// ServeContext is Serve under a context: cancellation interrupts the
+// request wherever it is — including wire operations already blocked —
+// and breaks the session (the stream position is unknown after an
+// interrupted request). This is how shutdown drain reclaims sessions
+// stuck on a silent peer.
+func (sess *ServerSession) ServeContext(ctx context.Context, req Request) (*Response, error) {
 	if sess.broken != nil {
 		return nil, fmt.Errorf("protocol: session unusable after earlier error: %w", sess.broken)
 	}
@@ -120,6 +157,9 @@ func (sess *ServerSession) Serve(req Request) (*Response, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
+	release := sess.tc.bind(ctx)
+	defer release()
+	sess.tc.enterPhase(phaseRequestOpen, sess.to.IO)
 	var open reqOpen
 	if err := recvGob(sess.conn, &open); err != nil {
 		sess.ended = true
@@ -138,12 +178,13 @@ func (sess *ServerSession) Serve(req Request) (*Response, error) {
 		sess.broken = fmt.Errorf("protocol: unknown request op %q", open.Op)
 		return nil, sess.broken
 	}
-	resp, err := sess.serveOpened(req)
+	resp, err := sess.serveOpened(ctx, req)
 	if err != nil {
 		sess.broken = err
 		return nil, err
 	}
 	sess.seq++
+	sess.tc.enterPhase(phaseRequestOpen, sess.to.IO)
 	return resp, nil
 }
 
@@ -160,14 +201,14 @@ func (sess *ServerSession) Requests() int { return sess.seq }
 // serveOpened dispatches an opened request to its datapath. Each path
 // sends its own reqHeader (serial mode must build the stage layout
 // first to announce StagesPerMAC).
-func (sess *ServerSession) serveOpened(req Request) (*Response, error) {
+func (sess *ServerSession) serveOpened(ctx context.Context, req Request) (*Response, error) {
 	switch {
 	case req.Mode == ModeSerial:
-		return sess.serveSerial(req)
+		return sess.serveSerial(ctx, req)
 	case req.OT == OTCorrelated:
-		return sess.serveCorrelated(req)
+		return sess.serveCorrelated(ctx, req)
 	default:
-		return sess.serveRows(req)
+		return sess.serveRows(ctx, req)
 	}
 }
 
@@ -185,6 +226,7 @@ func (sess *ServerSession) header(req Request, cols int) reqHeader {
 
 // readResult runs the decode phase: the client's reported values.
 func (sess *ServerSession) readResult(rows int) ([]int64, error) {
+	sess.tc.enterPhase(phaseDecode, sess.to.IO)
 	decode := sess.ss.tr.StartSpan("decode")
 	defer decode.End()
 	var res result
@@ -201,10 +243,11 @@ func (sess *ServerSession) readResult(rows int) ([]int64, error) {
 // garbled by the worker pool (fresh labels per row and per request)
 // and streamed strictly in row order, so the wire format is identical
 // whatever the pool size.
-func (sess *ServerSession) serveRows(req Request) (*Response, error) {
+func (sess *ServerSession) serveRows(ctx context.Context, req Request) (*Response, error) {
 	A := req.Matrix
 	cols := len(A[0])
 	ss := sess.ss
+	sess.tc.enterPhase(phaseRounds, sess.to.IO)
 	ss.tr.SetAttr("rows", fmt.Sprint(len(A)))
 	ss.tr.SetAttr("cols", fmt.Sprint(cols))
 	if err := sendGob(sess.conn, sess.header(req, cols)); err != nil {
@@ -219,8 +262,8 @@ func (sess *ServerSession) serveRows(req Request) (*Response, error) {
 	rounds := ss.tr.StartSpan("rounds")
 	defer rounds.End()
 	var agg Stats
-	var allPairs []label.Pair            // batched mode: every round's pairs, in order
-	var runs []*maxsim.DotProductRun     // batched mode: material deferred past the OT
+	var allPairs []label.Pair        // batched mode: every round's pairs, in order
+	var runs []*maxsim.DotProductRun // batched mode: material deferred past the OT
 	emit := func(i int, run *maxsim.DotProductRun) error {
 		addStats(&agg, &run.Stats)
 		if req.OT == OTBatched {
@@ -240,7 +283,7 @@ func (sess *ServerSession) serveRows(req Request) (*Response, error) {
 		}
 		return nil
 	}
-	if err := sess.garbleRows(A, workers, emit); err != nil {
+	if err := sess.garbleRows(ctx, A, workers, emit); err != nil {
 		return nil, err
 	}
 	if req.OT == OTBatched {
@@ -273,10 +316,11 @@ func (sess *ServerSession) serveRows(req Request) (*Response, error) {
 // the OT corrections and the circuit share one offset — which also
 // means rows are inherently sequential here; the worker pool does not
 // apply.
-func (sess *ServerSession) serveCorrelated(req Request) (*Response, error) {
+func (sess *ServerSession) serveCorrelated(ctx context.Context, req Request) (*Response, error) {
 	A := req.Matrix
 	cfg := sess.srv.cfg
 	ss := sess.ss
+	sess.tc.enterPhase(phaseRounds, sess.to.IO)
 	sim, err := maxsim.New(cfg)
 	if err != nil {
 		return nil, err
@@ -295,6 +339,9 @@ func (sess *ServerSession) serveCorrelated(req Request) (*Response, error) {
 	defer rounds.End()
 	var agg Stats
 	for i, row := range A {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("protocol: rounds phase interrupted at row %d: %w", i, err)
+		}
 		if err := sess.correlatedRow(gs, i, row, &agg); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,244 @@
+package wire
+
+// Deadline semantics of the transport layer: pipe ends and stream
+// connections must expire blocked operations (the peer-stall case the
+// protocol timeouts rely on), clear deadlines, and classify expiry
+// as a timeout — never as a disconnect.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeDeadlineExpiresBlockedRecv(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	dc, ok := AsDeadline(b)
+	if !ok {
+		t.Fatal("pipe end is not deadline-capable")
+	}
+	if err := dc.SetDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := b.RecvMsg()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("RecvMsg blocked %s past its deadline", elapsed)
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("expired recv error = %v, want timeout", err)
+	}
+	if IsDisconnect(err) {
+		t.Fatalf("timeout classified as disconnect: %v", err)
+	}
+	// The deadline is sticky: later operations fail immediately.
+	if _, err := b.RecvMsg(); !IsTimeout(err) {
+		t.Fatalf("second recv after expiry = %v, want timeout", err)
+	}
+	if err := b.SendMsg([]byte("x")); !IsTimeout(err) {
+		t.Fatalf("send after expiry = %v, want timeout", err)
+	}
+	// Clearing the deadline restores service.
+	if err := dc.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendMsg([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.RecvMsg()
+	if err != nil || string(msg) != "ping" {
+		t.Fatalf("recv after clearing deadline: %q, %v", msg, err)
+	}
+}
+
+func TestPipeDeadlineInterruptsInFlightRecv(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	dc, _ := AsDeadline(b)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.RecvMsg()
+		errc <- err
+	}()
+	// Let the receiver block, then slam the deadline into the past —
+	// the cancellation path ServeContext uses to interrupt a wire wait.
+	time.Sleep(20 * time.Millisecond)
+	if err := dc.SetDeadline(time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !IsTimeout(err) {
+			t.Fatalf("interrupted recv error = %v, want timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("past deadline did not wake the blocked receiver")
+	}
+}
+
+func TestPipeDeadlinePerEnd(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	da, _ := AsDeadline(a)
+	if err := da.SetDeadline(time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// a is expired; b is untouched and must still operate.
+	if err := a.SendMsg([]byte("x")); !IsTimeout(err) {
+		t.Fatalf("expired end send = %v, want timeout", err)
+	}
+	if err := b.SendMsg([]byte("to-a")); err != nil {
+		t.Fatalf("peer end send failed: %v", err)
+	}
+}
+
+func TestStreamConnDeadline(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	c := NewStreamConn(client)
+	dc, ok := AsDeadline(c)
+	if !ok {
+		t.Fatal("stream conn over net.Conn is not deadline-capable")
+	}
+	if err := dc.SetDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RecvMsg(); !IsTimeout(err) {
+		t.Fatalf("stream recv past deadline = %v, want timeout", err)
+	}
+
+	// A transport with no deadline support reports it by name.
+	plain := NewStreamConn(&bytes.Buffer{})
+	pdc, ok := AsDeadline(plain)
+	if !ok {
+		t.Fatal("stream conn lost its DeadlineConn shape")
+	}
+	if err := pdc.SetDeadline(time.Now()); !errors.Is(err, ErrDeadlineUnsupported) {
+		t.Fatalf("deadline on plain buffer = %v, want ErrDeadlineUnsupported", err)
+	}
+}
+
+func TestAsDeadlineUnwrapsWrappers(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	wrapped := Observed(NewCounting(a), nil, nil)
+	dc, ok := AsDeadline(wrapped)
+	if !ok {
+		t.Fatal("AsDeadline failed to unwrap Observed(Counting(pipe))")
+	}
+	if err := dc.SetDeadline(time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The deadline set through the unwrapped handle bounds operations
+	// made through the wrappers.
+	if err := wrapped.SendMsg([]byte("x")); !IsTimeout(err) {
+		t.Fatalf("wrapped send past deadline = %v, want timeout", err)
+	}
+}
+
+func TestIsTimeoutClassification(t *testing.T) {
+	if !IsTimeout(os.ErrDeadlineExceeded) {
+		t.Fatal("os.ErrDeadlineExceeded not a timeout")
+	}
+	if !IsTimeout(errPipeTimeout) {
+		t.Fatal("pipe timeout not a timeout")
+	}
+	for _, err := range []error{nil, ErrClosed, errors.New("boom")} {
+		if IsTimeout(err) {
+			t.Fatalf("IsTimeout(%v) = true", err)
+		}
+	}
+	// Timeout and disconnect are disjoint classifications.
+	if IsDisconnect(errPipeTimeout) {
+		t.Fatal("pipe timeout classified as disconnect")
+	}
+}
+
+// TestConcurrentRecvMsgIntegrity is the regression test for the
+// read-side lock: two goroutines receiving from one streamConn must
+// never interleave a header read with another receiver's body read.
+// Before the rmu lock, concurrent receivers silently corrupted the
+// stream (body bytes parsed as a length prefix). Run under -race by
+// the tier-1 recipe.
+func TestConcurrentRecvMsgIntegrity(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	const frames = 200
+	sums := make(map[[32]byte]bool, frames)
+	var payloads [][]byte
+	for i := 0; i < frames; i++ {
+		p := make([]byte, 1+(i*37)%512)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		payloads = append(payloads, p)
+		sums[sha256.Sum256(p)] = true
+	}
+
+	go func() {
+		sc := NewStreamConn(server)
+		for _, p := range payloads {
+			if err := sc.SendMsg(p); err != nil {
+				return
+			}
+		}
+	}()
+
+	conn := NewStreamConn(client)
+	var mu sync.Mutex
+	received := 0
+	var firstErr error
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				msg, err := conn.RecvMsg()
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil && received < frames {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if !sums[sha256.Sum256(msg)] {
+					if firstErr == nil {
+						firstErr = errors.New("received frame matches no sent payload: stream corrupted")
+					}
+					mu.Unlock()
+					return
+				}
+				received++
+				done := received == frames
+				mu.Unlock()
+				if done {
+					// Unblock the sibling receiver parked in RecvMsg.
+					client.Close()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if received != frames {
+		t.Fatalf("received %d of %d frames", received, frames)
+	}
+}

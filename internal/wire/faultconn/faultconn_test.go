@@ -1,0 +1,162 @@
+package faultconn
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"maxelerator/internal/wire"
+)
+
+func TestPassThroughWithoutFaults(t *testing.T) {
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := New(a, Options{})
+	if err := fc.SendMsg([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.RecvMsg()
+	if err != nil || string(msg) != "hello" {
+		t.Fatalf("recv = %q, %v", msg, err)
+	}
+	if err := b.SendMsg([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := fc.RecvMsg(); err != nil || string(msg) != "back" {
+		t.Fatalf("recv = %q, %v", msg, err)
+	}
+	if s, r := fc.Ops(); s != 1 || r != 1 {
+		t.Fatalf("ops = %d sends %d recvs", s, r)
+	}
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	a, b := wire.Pipe()
+	defer b.Close()
+	fc := New(a, Options{StallOnSend: 2})
+	if err := fc.SendMsg([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- fc.SendMsg([]byte("second")) }()
+	select {
+	case err := <-errc:
+		t.Fatalf("stalled send returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released stall error = %v, want ErrInjected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not release the stalled send")
+	}
+	// Send 1 was delivered; the stalled send 2 never reached the peer.
+	if msg, err := b.RecvMsg(); err != nil || string(msg) != "first" {
+		t.Fatalf("peer drain = %q, %v", msg, err)
+	}
+	if msg, err := b.RecvMsg(); err == nil {
+		t.Fatalf("stalled message leaked to the peer: %q", msg)
+	}
+}
+
+func TestErrAndCloseTriggers(t *testing.T) {
+	a, b := wire.Pipe()
+	defer b.Close()
+	fc := New(a, Options{ErrOnSend: 1, CloseOnRecv: 1})
+	if err := fc.SendMsg([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("send 1 = %v, want ErrInjected", err)
+	}
+	// The injected error did not touch the wire: send 2 goes through.
+	if err := fc.SendMsg([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.RecvMsg(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("recv 1 = %v, want ErrInjected", err)
+	}
+	// CloseOnRecv tore the connection down for the peer too: after
+	// draining the message that preceded the fault, the peer sees a
+	// disconnect.
+	if msg, err := b.RecvMsg(); err != nil || string(msg) != "y" {
+		t.Fatalf("peer drain = %q, %v", msg, err)
+	}
+	if _, err := b.RecvMsg(); !wire.IsDisconnect(err) {
+		t.Fatalf("peer after injected close = %v, want disconnect", err)
+	}
+}
+
+func TestDelayIsDeterministic(t *testing.T) {
+	elapsed := func(seed int64) time.Duration {
+		a, b := wire.Pipe()
+		defer a.Close()
+		defer b.Close()
+		fc := New(a, Options{Seed: seed, SendDelay: time.Millisecond, Jitter: 20 * time.Millisecond})
+		start := time.Now()
+		if err := fc.SendMsg([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	d1, d2 := elapsed(7), elapsed(7)
+	// Same seed, same jitter draw; allow generous scheduling noise but
+	// require the base+jitter floor.
+	if d1 < time.Millisecond || d2 < time.Millisecond {
+		t.Fatalf("delays below the base latency: %s, %s", d1, d2)
+	}
+	diff := d1 - d2
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 15*time.Millisecond {
+		t.Fatalf("same-seed delays diverge: %s vs %s", d1, d2)
+	}
+}
+
+func TestStreamCorruptLengthPrefix(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	// Write 1 is the first frame's 4-byte length prefix.
+	fs := NewStream(client)
+	fs.CorruptWrite = 1
+	faulty := wire.NewStreamConn(fs)
+	errc := make(chan error, 1)
+	go func() { errc <- faulty.SendMsg([]byte("payload")) }()
+	sc := wire.NewStreamConn(server)
+	_, err := sc.RecvMsg()
+	if err == nil {
+		t.Fatal("corrupt length prefix accepted")
+	}
+	if wire.IsDisconnect(err) || wire.IsTimeout(err) {
+		t.Fatalf("hostile prefix misclassified: %v", err)
+	}
+	server.Close()
+	<-errc
+}
+
+func TestStreamCutMidFrame(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	// Write 2 is the first frame's body: forward half, then cut.
+	fs := NewStream(client)
+	fs.CutWrite = 2
+	faulty := wire.NewStreamConn(fs)
+	errc := make(chan error, 1)
+	go func() { errc <- faulty.SendMsg([]byte("0123456789abcdef")) }()
+	sc := wire.NewStreamConn(server)
+	_, err := sc.RecvMsg()
+	if err == nil {
+		t.Fatal("partial frame accepted")
+	}
+	if !wire.IsDisconnect(err) {
+		t.Fatalf("mid-frame cut = %v, want disconnect classification", err)
+	}
+	if serr := <-errc; !errors.Is(serr, ErrInjected) {
+		t.Fatalf("cut sender error = %v, want ErrInjected", serr)
+	}
+}

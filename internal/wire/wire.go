@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"syscall"
+	"time"
 )
 
 // MaxMessageSize bounds a single framed message (64 MiB). It protects
@@ -32,11 +34,52 @@ type Conn interface {
 	Close() error
 }
 
+// DeadlineConn is a Conn whose blocking operations can be bounded by
+// an absolute deadline, in the net.Conn style: the deadline applies to
+// every current and future SendMsg/RecvMsg until replaced, the zero
+// time clears it, and an expired deadline fails operations — including
+// ones already blocked — with an error matching os.ErrDeadlineExceeded
+// (see IsTimeout). Both Pipe ends and stream connections over a
+// deadline-capable transport (any net.Conn) implement it.
+type DeadlineConn interface {
+	Conn
+	SetDeadline(t time.Time) error
+}
+
+// ErrDeadlineUnsupported is returned by SetDeadline when the
+// underlying transport cannot enforce deadlines (a plain io.ReadWriter
+// with no SetDeadline of its own).
+var ErrDeadlineUnsupported = errors.New("wire: transport does not support deadlines")
+
+// connUnwrapper is implemented by Conn wrappers (Counting, Observed,
+// fault injectors, ...) that delegate to an inner Conn, so helpers like
+// AsDeadline and PeerAddr can reach the transport underneath.
+type connUnwrapper interface{ Unwrap() Conn }
+
+// AsDeadline finds the deadline-capable connection underneath c,
+// unwrapping any chain of wrappers that expose Unwrap. Setting a
+// deadline on the returned DeadlineConn bounds operations made through
+// the wrappers too, since they all delegate to the same transport.
+func AsDeadline(c Conn) (DeadlineConn, bool) {
+	for c != nil {
+		if dc, ok := c.(DeadlineConn); ok {
+			return dc, true
+		}
+		u, ok := c.(connUnwrapper)
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+	return nil, false
+}
+
 // streamConn frames messages over a byte stream with a 4-byte
 // big-endian length prefix.
 type streamConn struct {
-	rw io.ReadWriter
-	mu sync.Mutex // serialises writers
+	rw  io.ReadWriter
+	wmu sync.Mutex // serialises writers: header and body must stay adjacent
+	rmu sync.Mutex // serialises readers: header and body must be read by one caller
 }
 
 // NewStreamConn wraps a byte stream (e.g. a *net.TCPConn) as a Conn.
@@ -48,8 +91,8 @@ func (c *streamConn) SendMsg(msg []byte) error {
 	if len(msg) > MaxMessageSize {
 		return fmt.Errorf("wire: message of %d bytes exceeds limit %d", len(msg), MaxMessageSize)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
 	if _, err := c.rw.Write(hdr[:]); err != nil {
@@ -62,6 +105,8 @@ func (c *streamConn) SendMsg(msg []byte) error {
 }
 
 func (c *streamConn) RecvMsg() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
 		return nil, fmt.Errorf("wire: reading frame header: %w", err)
@@ -84,6 +129,20 @@ func (c *streamConn) Close() error {
 	return nil
 }
 
+// streamDeadliner is satisfied by net.Conn transports.
+type streamDeadliner interface{ SetDeadline(t time.Time) error }
+
+// SetDeadline bounds current and future stream operations when the
+// underlying transport supports deadlines (any net.Conn does), and
+// returns ErrDeadlineUnsupported otherwise — the caller decides whether
+// a timeout-less transport is acceptable.
+func (c *streamConn) SetDeadline(t time.Time) error {
+	if d, ok := c.rw.(streamDeadliner); ok {
+		return d.SetDeadline(t)
+	}
+	return ErrDeadlineUnsupported
+}
+
 // ErrClosed is returned by pipe operations after Close.
 var ErrClosed = errors.New("wire: connection closed")
 
@@ -96,23 +155,89 @@ type pipeCloser struct {
 
 func (c *pipeCloser) close() { c.once.Do(func() { close(c.done) }) }
 
+// pipeDeadline is one end's deadline state, in the style of net.Pipe:
+// a channel that closes when the deadline passes, recreated when a new
+// deadline is set after an expiry.
+type pipeDeadline struct {
+	mu     sync.Mutex
+	timer  *time.Timer
+	cancel chan struct{} // closed when the deadline passes
+}
+
+func makePipeDeadline() *pipeDeadline {
+	return &pipeDeadline{cancel: make(chan struct{})}
+}
+
+// set replaces the deadline: zero clears it, a past time expires it
+// immediately (waking blocked operations), a future time arms a timer.
+func (d *pipeDeadline) set(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.timer != nil && !d.timer.Stop() {
+		<-d.cancel // the timer fired between Stop and here; wait it out
+	}
+	d.timer = nil
+	closed := isClosedChan(d.cancel)
+	if t.IsZero() {
+		if closed {
+			d.cancel = make(chan struct{})
+		}
+		return
+	}
+	if dur := time.Until(t); dur > 0 {
+		if closed {
+			d.cancel = make(chan struct{})
+		}
+		ch := d.cancel
+		d.timer = time.AfterFunc(dur, func() { close(ch) })
+		return
+	}
+	if !closed {
+		close(d.cancel)
+	}
+}
+
+// wait returns the channel that closes when the deadline passes.
+func (d *pipeDeadline) wait() chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cancel
+}
+
+func isClosedChan(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// errPipeTimeout is what an expired pipe deadline yields; it wraps
+// os.ErrDeadlineExceeded so callers classify it exactly like a socket
+// timeout (see IsTimeout).
+var errPipeTimeout = fmt.Errorf("wire: pipe deadline exceeded: %w", os.ErrDeadlineExceeded)
+
 // pipeConn is one end of an in-memory duplex message channel.
 type pipeConn struct {
-	send   chan<- []byte
-	recv   <-chan []byte
-	closer *pipeCloser
+	send     chan<- []byte
+	recv     <-chan []byte
+	closer   *pipeCloser
+	deadline *pipeDeadline // this end's deadline, shared by send and recv
 }
 
 // Pipe returns two connected in-memory Conns. Messages sent on one end
 // are received on the other, in order. The buffer depth keeps
 // ping-pong protocols from deadlocking when both parties run in the
-// same goroutine for short exchanges.
+// same goroutine for short exchanges. Each end supports SetDeadline
+// with net.Conn semantics, so timeout paths are testable without
+// sockets.
 func Pipe() (Conn, Conn) {
 	ab := make(chan []byte, 1024)
 	ba := make(chan []byte, 1024)
 	closer := &pipeCloser{done: make(chan struct{})}
-	a := &pipeConn{send: ab, recv: ba, closer: closer}
-	b := &pipeConn{send: ba, recv: ab, closer: closer}
+	a := &pipeConn{send: ab, recv: ba, closer: closer, deadline: makePipeDeadline()}
+	b := &pipeConn{send: ba, recv: ab, closer: closer, deadline: makePipeDeadline()}
 	return a, b
 }
 
@@ -123,15 +248,23 @@ func (p *pipeConn) SendMsg(msg []byte) error {
 		return ErrClosed
 	default:
 	}
+	if isClosedChan(p.deadline.wait()) {
+		return errPipeTimeout
+	}
 	select {
 	case p.send <- cp:
 		return nil
 	case <-p.closer.done:
 		return ErrClosed
+	case <-p.deadline.wait():
+		return errPipeTimeout
 	}
 }
 
 func (p *pipeConn) RecvMsg() ([]byte, error) {
+	if isClosedChan(p.deadline.wait()) {
+		return nil, errPipeTimeout
+	}
 	select {
 	case msg, ok := <-p.recv:
 		if !ok {
@@ -148,7 +281,16 @@ func (p *pipeConn) RecvMsg() ([]byte, error) {
 		default:
 		}
 		return nil, ErrClosed
+	case <-p.deadline.wait():
+		return nil, errPipeTimeout
 	}
+}
+
+// SetDeadline bounds this end's current and future operations; the
+// zero time clears it. The peer end keeps its own deadline.
+func (p *pipeConn) SetDeadline(t time.Time) error {
+	p.deadline.set(t)
+	return nil
 }
 
 func (p *pipeConn) Close() error {
@@ -200,6 +342,9 @@ func (c *Counting) Totals() (sentBytes, recvBytes, sentMsgs, recvMsgs int64) {
 	return c.sent, c.received, c.sentMsgs, c.recvMsgs
 }
 
+// Unwrap returns the wrapped Conn.
+func (c *Counting) Unwrap() Conn { return c.Conn }
+
 // observedConn reports per-message wire volume to callbacks. Unlike
 // Counting it charges the 4-byte frame header too, so the totals match
 // what actually crosses the transport.
@@ -232,22 +377,28 @@ func (c *observedConn) RecvMsg() ([]byte, error) {
 	return msg, err
 }
 
+// Unwrap returns the wrapped Conn.
+func (c *observedConn) Unwrap() Conn { return c.Conn }
+
 // remoteAddrer is satisfied by net.Conn transports.
 type remoteAddrer interface{ RemoteAddr() net.Addr }
 
 // PeerAddr reports the remote address of the transport underlying c,
-// unwrapping counting/observing wrappers. It returns "" for in-memory
-// pipes and other address-less transports.
+// unwrapping any chain of wrappers that expose Unwrap. It returns ""
+// for in-memory pipes and other address-less transports.
 func PeerAddr(c Conn) string {
-	switch v := c.(type) {
-	case *streamConn:
-		if ra, ok := v.rw.(remoteAddrer); ok {
-			return ra.RemoteAddr().String()
+	for c != nil {
+		if sc, ok := c.(*streamConn); ok {
+			if ra, ok := sc.rw.(remoteAddrer); ok {
+				return ra.RemoteAddr().String()
+			}
+			return ""
 		}
-	case *observedConn:
-		return PeerAddr(v.Conn)
-	case *Counting:
-		return PeerAddr(v.Conn)
+		u, ok := c.(connUnwrapper)
+		if !ok {
+			return ""
+		}
+		c = u.Unwrap()
 	}
 	return ""
 }
@@ -266,4 +417,21 @@ func IsDisconnect(err error) bool {
 		return true
 	}
 	return errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+}
+
+// IsTimeout reports whether err is a deadline expiry — from a net.Conn
+// deadline, a pipe deadline, or anything else wrapping
+// os.ErrDeadlineExceeded or a net.Error with Timeout() — as opposed to
+// a disconnect or a corruption error. IsTimeout and IsDisconnect are
+// disjoint: a stalled-but-connected peer times out, a vanished peer
+// disconnects, and callers react differently to each.
+func IsTimeout(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
