@@ -18,6 +18,14 @@
 // -handshake-timeout and -io-timeout bound each wire operation of the
 // connection-setup and steady-state phases respectively, so a stalled
 // server costs one timeout instead of a hung client; zero disables.
+//
+// Transient failures — a dropped connection, a deadline expiry, or a
+// BUSY rejection from a loaded server — are retried transparently:
+// -retries bounds the extra attempts per request and -retry-backoff
+// the base of the full-jitter exponential backoff between them. A
+// reconnect resumes the batch at the failed vector (finished results
+// are never re-run); a request that exhausts its retries is reported
+// and the batch continues, with a nonzero exit at the end.
 package main
 
 import (
@@ -33,21 +41,34 @@ import (
 
 	"maxelerator/internal/fixed"
 	"maxelerator/internal/protocol"
+	"maxelerator/internal/protocol/retry"
 	"maxelerator/internal/wire"
 )
 
+// cliConfig gathers every knob of one maxcli invocation.
+type cliConfig struct {
+	addr         string
+	width, frac  int
+	vec, vecFile string
+	timeouts     protocol.Timeouts
+	retries      int
+	retryBackoff time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7700", "maxd server address")
-	width := flag.Int("b", 16, "operand bit-width (must match the server)")
-	frac := flag.Int("frac", 6, "fixed-point fraction bits (must match the server)")
-	vec := flag.String("vector", "", "comma-separated client vector")
-	vecFile := flag.String("vector-file", "", "JSON file with one client vector or a batch of vectors")
-	hsTimeout := flag.Duration("handshake-timeout", 30*time.Second, "per-operation deadline for handshake and OT setup (0 = none)")
-	ioTimeout := flag.Duration("io-timeout", 2*time.Minute, "per-operation deadline for steady-state request I/O (0 = none)")
+	var cc cliConfig
+	flag.StringVar(&cc.addr, "addr", "127.0.0.1:7700", "maxd server address")
+	flag.IntVar(&cc.width, "b", 16, "operand bit-width (must match the server)")
+	flag.IntVar(&cc.frac, "frac", 6, "fixed-point fraction bits (must match the server)")
+	flag.StringVar(&cc.vec, "vector", "", "comma-separated client vector")
+	flag.StringVar(&cc.vecFile, "vector-file", "", "JSON file with one client vector or a batch of vectors")
+	flag.DurationVar(&cc.timeouts.Handshake, "handshake-timeout", 30*time.Second, "per-operation deadline for handshake and OT setup (0 = none)")
+	flag.DurationVar(&cc.timeouts.IO, "io-timeout", 2*time.Minute, "per-operation deadline for steady-state request I/O (0 = none)")
+	flag.IntVar(&cc.retries, "retries", 2, "extra attempts per request after a transient failure (0 = fail fast)")
+	flag.DurationVar(&cc.retryBackoff, "retry-backoff", 100*time.Millisecond, "base backoff before the first retry (doubles per retry, full jitter)")
 	flag.Parse()
 
-	to := protocol.Timeouts{Handshake: *hsTimeout, IO: *ioTimeout}
-	if err := run(*addr, *width, *frac, *vec, *vecFile, to); err != nil {
+	if err := run(cc); err != nil {
 		fmt.Fprintln(os.Stderr, "maxcli:", err)
 		os.Exit(1)
 	}
@@ -98,12 +119,12 @@ func parseVectors(vec, vecFile string) ([][]float64, error) {
 	}
 }
 
-func run(addr string, width, frac int, vec, vecFile string, to protocol.Timeouts) error {
-	f := fixed.Format{Width: width, Frac: frac}
+func run(cc cliConfig) error {
+	f := fixed.Format{Width: cc.width, Frac: cc.frac}
 	if err := f.Validate(); err != nil {
 		return err
 	}
-	vs, err := parseVectors(vec, vecFile)
+	vs, err := parseVectors(cc.vec, cc.vecFile)
 	if err != nil {
 		return err
 	}
@@ -116,28 +137,42 @@ func run(addr string, width, frac int, vec, vecFile string, to protocol.Timeouts
 		raws[i] = raw
 	}
 
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	conn := wire.NewStreamConn(nc)
-	defer conn.Close()
-
 	cli, err := protocol.NewClient(rand.Reader)
 	if err != nil {
 		return err
 	}
-	cli.WithTimeouts(to)
+	cli.WithTimeouts(cc.timeouts)
 	// One session for the whole batch: handshake and OT setup are paid
 	// once, each vector is one multiplexed request with fresh labels.
-	sess, err := cli.Dial(conn)
+	// The ReDialer re-establishes the session on a transient failure
+	// (disconnect, timeout, BUSY) and replays only the failed vector —
+	// completed results are never re-run.
+	rd, err := retry.NewReDialer(cli, func() (wire.Conn, error) {
+		nc, err := net.Dial("tcp", cc.addr)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewStreamConn(nc), nil
+	}, retry.Policy{MaxAttempts: cc.retries + 1, BaseBackoff: cc.retryBackoff})
 	if err != nil {
 		return err
 	}
+	defer rd.Close()
+
+	failed := 0
 	for r, raw := range raws {
-		out, err := sess.Do(raw)
+		out, err := rd.Do(raw)
 		if err != nil {
-			return fmt.Errorf("request %d: %w", r, err)
+			// A fatal error (version mismatch, crypto failure) sinks the
+			// whole batch: every later vector would hit the same wall.
+			// An exhausted retry budget is a per-item outcome: report it
+			// and keep going.
+			if !retry.Retryable(err) {
+				return fmt.Errorf("request %d: %w", r, err)
+			}
+			failed++
+			fmt.Fprintf(os.Stderr, "maxcli: request %d failed: %v\n", r, err)
+			continue
 		}
 		for i, v := range out {
 			if len(raws) > 1 {
@@ -147,5 +182,11 @@ func run(addr string, width, frac int, vec, vecFile string, to protocol.Timeouts
 			}
 		}
 	}
-	return sess.Close()
+	if err := rd.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "maxcli: closing session: %v\n", err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d requests failed after retries", failed, len(raws))
+	}
+	return nil
 }

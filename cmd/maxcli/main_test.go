@@ -4,8 +4,6 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-
-	"maxelerator/internal/protocol"
 )
 
 func TestParseVectorInline(t *testing.T) {
@@ -58,13 +56,13 @@ func TestParseVectorFileErrors(t *testing.T) {
 }
 
 func TestRunValidatesFormat(t *testing.T) {
-	if err := run("127.0.0.1:1", 16, 30, "1,2", "", protocol.Timeouts{}); err == nil {
+	if err := run(cliConfig{addr: "127.0.0.1:1", width: 16, frac: 30, vec: "1,2"}); err == nil {
 		t.Fatal("invalid fixed-point format accepted")
 	}
-	if err := run("127.0.0.1:1", 16, 6, "", "", protocol.Timeouts{}); err == nil {
+	if err := run(cliConfig{addr: "127.0.0.1:1", width: 16, frac: 6}); err == nil {
 		t.Fatal("missing vector accepted")
 	}
-	if err := run("127.0.0.1:1", 16, 6, "1e9", "", protocol.Timeouts{}); err == nil {
+	if err := run(cliConfig{addr: "127.0.0.1:1", width: 16, frac: 6, vec: "1e9"}); err == nil {
 		t.Fatal("overflowing vector accepted")
 	}
 }

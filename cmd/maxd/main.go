@@ -15,8 +15,11 @@
 // setup, then any number of client requests with per-round material
 // streaming) and emits structured per-request and per-session log
 // lines. -garble-workers sizes the parallel row-garbling pool each
-// request garbles under; -max-sessions bounds the sessions in flight,
-// queueing (not dropping) the overflow.
+// request garbles under; -max-sessions bounds the sessions in flight.
+// Overflow connections queue up to -admission-wait and are then shed
+// with a BUSY control frame carrying a retry-after hint (so a loaded
+// daemon answers in bounded time instead of stringing clients along);
+// -admission-wait 0 restores the old queue-forever behaviour.
 //
 // Every wire operation runs under a per-phase deadline so a stalled or
 // vanished client costs one timeout, never a pinned session (and with
@@ -32,7 +35,8 @@
 //	                     throughput, stall cycles, per-core counters,
 //	                     OT and session latency histograms, ...)
 //	GET /debug/sessions  recent session phase traces as JSON
-//	GET /healthz         liveness probe
+//	GET /healthz         ok | degraded (connections queueing) |
+//	                     overloaded (recently shed load; answers 503)
 //
 // On SIGINT/SIGTERM the daemon stops accepting, drains in-flight
 // sessions up to -drain-timeout, and flushes a final metrics snapshot
@@ -52,8 +56,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -78,6 +84,10 @@ type daemonConfig struct {
 	drainTimeout  time.Duration
 	garbleWorkers int
 	maxSessions   int
+	// admissionWait bounds how long a connection may queue behind the
+	// -max-sessions limit before being shed with a BUSY frame; <= 0
+	// queues without bound (the pre-admission-control behaviour).
+	admissionWait time.Duration
 	// handshakeTimeout and ioTimeout are the per-phase wire-operation
 	// deadlines (see the package comment); zero disables.
 	handshakeTimeout time.Duration
@@ -98,6 +108,7 @@ func main() {
 	flag.DurationVar(&dc.drainTimeout, "drain-timeout", 10*time.Second, "in-flight session drain deadline on shutdown")
 	flag.IntVar(&dc.garbleWorkers, "garble-workers", runtime.NumCPU(), "row-garbling worker pool size per request (1 = sequential)")
 	flag.IntVar(&dc.maxSessions, "max-sessions", 0, "concurrent session limit; extra connections queue (0 = unlimited)")
+	flag.DurationVar(&dc.admissionWait, "admission-wait", 5*time.Second, "max queue wait behind -max-sessions before a BUSY rejection (0 = queue forever)")
 	flag.DurationVar(&dc.handshakeTimeout, "handshake-timeout", 30*time.Second, "per-operation deadline for handshake and OT setup (0 = none)")
 	flag.DurationVar(&dc.ioTimeout, "io-timeout", 2*time.Minute, "per-operation deadline for steady-state request I/O (0 = none)")
 	flag.Parse()
@@ -254,30 +265,43 @@ func run(dc daemonConfig) error {
 	}()
 
 	// -max-sessions admission control: a counting semaphore bounds the
-	// sessions in flight; connections beyond the limit queue (and are
-	// visible on the sessions_waiting gauge) instead of being dropped,
-	// so overload degrades into latency, not errors.
+	// sessions in flight; connections beyond the limit queue (visible
+	// on the sessions_waiting gauge) up to -admission-wait and are then
+	// shed with a BUSY frame, so overload degrades into bounded latency
+	// and honest rejections, not silent unbounded queueing. busy=true
+	// from acquire means "rejected for load" (the peer deserves a BUSY
+	// frame); admitted=false with busy=false means "shutting down".
 	var sem chan struct{}
 	if dc.maxSessions > 0 {
 		sem = make(chan struct{}, dc.maxSessions)
 	}
 	waiting := reg.Gauge("sessions_waiting", "connections queued behind the -max-sessions limit")
-	acquire := func() bool {
+	busyRejects := reg.Counter("busy_rejects_total", "connections shed with a BUSY frame after the -admission-wait queue deadline")
+	var lastReject atomic.Int64 // unix nanos of the most recent BUSY rejection
+	acquire := func() (admitted, busy bool) {
 		if sem == nil {
-			return true
+			return true, false
 		}
 		select {
 		case sem <- struct{}{}:
-			return true
+			return true, false
 		default:
 		}
 		waiting.Add(1)
 		defer waiting.Add(-1)
+		var deadline <-chan time.Time
+		if dc.admissionWait > 0 {
+			t := time.NewTimer(dc.admissionWait)
+			defer t.Stop()
+			deadline = t.C
+		}
 		select {
 		case sem <- struct{}{}:
-			return true
+			return true, false
+		case <-deadline:
+			return false, true
 		case <-ctx.Done():
-			return false
+			return false, false
 		}
 	}
 	release := func() {
@@ -286,8 +310,36 @@ func run(dc daemonConfig) error {
 		}
 	}
 
+	// /healthz load signal: overloaded while a BUSY rejection is recent
+	// (a load balancer should route away), degraded while connections
+	// are merely queueing, ok otherwise. The overload window matches the
+	// admission wait so the state outlives the instant of rejection.
+	rejectWindow := dc.admissionWait
+	if rejectWindow < time.Second {
+		rejectWindow = time.Second
+	}
+	o.SetHealth(func() string {
+		if t := lastReject.Load(); t != 0 && time.Since(time.Unix(0, t)) < rejectWindow {
+			return obs.HealthOverloaded
+		}
+		if waiting.Value() > 0 {
+			return obs.HealthDegraded
+		}
+		return obs.HealthOK
+	})
+
 	handle := func(c net.Conn) {
 		peer := c.RemoteAddr().String()
+		// A panic anywhere in this connection's serving must cost only
+		// this connection: the session layer already recovers inside
+		// request handling, so this is the outermost backstop keeping
+		// the daemon up (the accept loop never dies with a handler).
+		defer func() {
+			if r := recover(); r != nil {
+				reg.Counter("panics_recovered_total", "panics recovered and converted to per-request errors").Inc()
+				log.Printf("maxd: peer=%s recovered panic in connection handler: %v\n%s", peer, r, debug.Stack())
+			}
+		}()
 		connsTotal.Inc()
 		// Per-connection byte accounting; callbacks run on the session
 		// goroutine only.
@@ -297,7 +349,21 @@ func run(dc daemonConfig) error {
 			func(n int) { bytesIn.Add(uint64(n)); connIn += uint64(n) })
 		defer conn.Close()
 
-		if !acquire() {
+		admitted, busy := acquire()
+		if busy {
+			busyRejects.Inc()
+			lastReject.Store(time.Now().UnixNano())
+			// Best-effort BUSY frame under a short deadline: a peer too
+			// broken to read two dozen bytes just gets the close.
+			c.SetDeadline(time.Now().Add(2 * time.Second))
+			if err := protocol.SendBusy(conn, dc.admissionWait); err != nil {
+				log.Printf("maxd: peer=%s busy frame not delivered: %v", peer, err)
+			}
+			log.Printf("maxd: peer=%s rejected: busy (max-sessions=%d full past admission-wait=%s)",
+				peer, dc.maxSessions, dc.admissionWait)
+			return
+		}
+		if !admitted {
 			log.Printf("maxd: peer=%s rejected: shutting down", peer)
 			return
 		}
@@ -393,8 +459,12 @@ func run(dc daemonConfig) error {
 	case <-time.After(dc.drainTimeout):
 		// The polite drain expired: cancel the serve context, which
 		// slams the deadline on every session's connection and fails
-		// their in-flight wire operations immediately.
-		log.Printf("maxd: drain deadline %s expired, cancelling in-flight sessions", dc.drainTimeout)
+		// their in-flight wire operations immediately. Escalation is
+		// the moment metrics are most likely to be lost, so flush the
+		// snapshot (and the load-shedding total) before the kill.
+		log.Printf("maxd: drain deadline %s expired, cancelling in-flight sessions shutdown_busy_rejects=%d",
+			dc.drainTimeout, busyRejects.Value())
+		logFinalSnapshot(o)
 		killSessions()
 		select {
 		case <-drained:

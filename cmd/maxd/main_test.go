@@ -3,6 +3,7 @@ package main
 import (
 	"crypto/rand"
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"net"
@@ -430,6 +431,134 @@ func TestHandshakeTimeoutFreesSessionSlot(t *testing.T) {
 			t.Fatalf("shutdown returned %v", err)
 		}
 	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
+// httpGetStatus is httpGet without the 200 assertion — overload probes
+// expect a 503.
+func httpGetStatus(t *testing.T, url string) (int, string) {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp.StatusCode, string(body)
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("GET %s never succeeded: %v", url, lastErr)
+	return 0, ""
+}
+
+// TestAdmissionWaitShedsLoadWithBusy: with -max-sessions full past
+// -admission-wait, an overflow connection receives a BUSY frame with
+// the retry hint in bounded time — never an indefinite queue — while
+// /healthz walks degraded (queueing) → overloaded (rejecting, 503) and
+// busy_rejects_total counts the shed.
+func TestAdmissionWaitShedsLoadWithBusy(t *testing.T) {
+	addr, maddr := freePort(t), freePort(t)
+	const wait = time.Second
+	done := make(chan error, 1)
+	proc, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		done <- run(daemonConfig{
+			listen: addr, metricsAddr: maddr, width: 8, frac: 3,
+			demoRows: 2, demoCols: 2, seed: 7, drainTimeout: 5 * time.Second,
+			maxSessions: 1, admissionWait: wait,
+			handshakeTimeout: 20 * time.Second, ioTimeout: 20 * time.Second,
+		})
+	}()
+
+	// The slot holder: a silent connection occupying the only session
+	// slot for the duration (its handshake budget outlives the test).
+	silent := dialWire(t, addr)
+	defer silent.Close()
+	// Wait until the holder actually owns the slot (the server's hello
+	// arrives once its session starts), so the next dial queues.
+	if _, err := silent.RecvMsg(); err != nil {
+		t.Fatalf("slot holder never saw the server hello: %v", err)
+	}
+
+	conn := dialWire(t, addr)
+	defer conn.Close()
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		err     error
+		elapsed time.Duration
+	}
+	ch := make(chan res, 1)
+	go func() {
+		start := time.Now()
+		_, derr := cli.Dial(conn)
+		ch <- res{derr, time.Since(start)}
+	}()
+
+	// While the overflow connection queues, /healthz reports degraded.
+	sawDegraded := false
+	for deadline := time.Now().Add(wait); time.Now().Before(deadline); {
+		if _, body := httpGetStatus(t, "http://"+maddr+"/healthz"); strings.TrimSpace(body) == obs.HealthDegraded {
+			sawDegraded = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	r := <-ch
+	if r.err == nil {
+		t.Fatal("overflow dial succeeded with the only slot held")
+	}
+	if !errors.Is(r.err, protocol.ErrServerBusy) {
+		t.Fatalf("overflow dial error = %v, want ErrServerBusy", r.err)
+	}
+	var be *protocol.BusyError
+	if !errors.As(r.err, &be) {
+		t.Fatalf("overflow dial error = %T, want *BusyError", r.err)
+	}
+	if be.RetryAfter != wait {
+		t.Errorf("RetryAfter = %v, want the admission wait %v", be.RetryAfter, wait)
+	}
+	// "Never a hang": the rejection arrives around the admission wait,
+	// with generous CI slack, not after an unbounded queue.
+	if r.elapsed > wait+10*time.Second {
+		t.Errorf("BUSY rejection took %v (admission wait %v)", r.elapsed, wait)
+	}
+	if !sawDegraded {
+		t.Error("healthz never reported degraded while the connection queued")
+	}
+
+	// Immediately after the rejection the daemon is overloaded: 503.
+	code, body := httpGetStatus(t, "http://"+maddr+"/healthz")
+	if code != http.StatusServiceUnavailable || strings.TrimSpace(body) != obs.HealthOverloaded {
+		t.Errorf("healthz after rejection = %d %q, want 503 %q", code, body, obs.HealthOverloaded)
+	}
+	if metrics := httpGet(t, "http://"+maddr+"/metrics"); !strings.Contains(metrics, "busy_rejects_total 1") {
+		t.Errorf("/metrics missing busy_rejects_total 1:\n%s", metrics)
+	}
+
+	// Free the slot so shutdown drains promptly, then stop the daemon.
+	silent.Close()
+	if err := proc.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down on SIGTERM")
 	}
 }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getHealth(t *testing.T, srv *httptest.Server) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, strings.TrimSpace(string(body))
+}
+
+// TestHealthzStates: without a hook /healthz is a plain liveness probe;
+// with one it reflects the load-shedding state, answering 503 only
+// when overloaded so dumb HTTP probes can act without parsing.
+func TestHealthzStates(t *testing.T) {
+	o := New(0)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	if code, body := getHealth(t, srv); code != http.StatusOK || body != HealthOK {
+		t.Fatalf("default healthz = %d %q, want 200 %q", code, body, HealthOK)
+	}
+
+	state := HealthDegraded
+	o.SetHealth(func() string { return state })
+	if code, body := getHealth(t, srv); code != http.StatusOK || body != HealthDegraded {
+		t.Fatalf("degraded healthz = %d %q, want 200 %q", code, body, HealthDegraded)
+	}
+
+	state = HealthOverloaded
+	if code, body := getHealth(t, srv); code != http.StatusServiceUnavailable || body != HealthOverloaded {
+		t.Fatalf("overloaded healthz = %d %q, want 503 %q", code, body, HealthOverloaded)
+	}
+
+	state = HealthOK
+	if code, body := getHealth(t, srv); code != http.StatusOK || body != HealthOK {
+		t.Fatalf("recovered healthz = %d %q, want 200 %q", code, body, HealthOK)
+	}
+}
+
+// TestHealthNilSafety: SetHealth and healthStatus on a nil Obs are
+// no-ops, like every other observability entry point.
+func TestHealthNilSafety(t *testing.T) {
+	var o *Obs
+	o.SetHealth(func() string { return HealthOverloaded })
+	if got := o.healthStatus(); got != HealthOK {
+		t.Fatalf("nil Obs healthStatus = %q, want %q", got, HealthOK)
+	}
+	live := New(0)
+	live.SetHealth(nil)
+	if got := live.healthStatus(); got != HealthOK {
+		t.Fatalf("nil hook healthStatus = %q, want %q", got, HealthOK)
+	}
+}

@@ -4,6 +4,18 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+)
+
+// Health states reported by /healthz. Degraded and Overloaded are the
+// daemon's load-shedding signals: degraded means connections are
+// queueing behind admission control, overloaded means the daemon is
+// actively rejecting them (BUSY frames) — the state a load balancer
+// should route away from.
+const (
+	HealthOK         = "ok"
+	HealthDegraded   = "degraded"
+	HealthOverloaded = "overloaded"
 )
 
 // Obs bundles the metrics registry and the session tracer: the one
@@ -12,6 +24,9 @@ import (
 type Obs struct {
 	reg    *Registry
 	tracer *Tracer
+	// health, when set, is consulted by /healthz; it returns one of
+	// the Health* states.
+	health atomic.Pointer[func() string]
 }
 
 // New creates a registry plus a tracer retaining traceCapacity recent
@@ -36,11 +51,34 @@ func (o *Obs) Traces() *Tracer {
 	return o.tracer
 }
 
+// SetHealth installs the function /healthz consults; it must return
+// one of HealthOK, HealthDegraded or HealthOverloaded and be safe for
+// concurrent calls. Without one, /healthz reports HealthOK (the plain
+// liveness-probe behaviour).
+func (o *Obs) SetHealth(f func() string) {
+	if o == nil {
+		return
+	}
+	o.health.Store(&f)
+}
+
+// healthStatus evaluates the installed health function.
+func (o *Obs) healthStatus() string {
+	if o == nil {
+		return HealthOK
+	}
+	if f := o.health.Load(); f != nil && *f != nil {
+		return (*f)()
+	}
+	return HealthOK
+}
+
 // Handler returns the daemon's debug surface:
 //
 //	GET /metrics         Prometheus text exposition of every metric
 //	GET /debug/sessions  recent session traces as JSON (?n=K limits)
-//	GET /healthz         liveness probe, "ok"
+//	GET /healthz         health probe: ok | degraded | overloaded
+//	                     (overloaded answers 503; see SetHealth)
 func (o *Obs) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -64,7 +102,13 @@ func (o *Obs) Handler() http.Handler {
 		enc.Encode(map[string]any{"sessions": sessions})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
+		status := o.healthStatus()
+		if status == HealthOverloaded {
+			// 503 lets dumb HTTP probes (load balancers, orchestrators)
+			// act on overload without parsing the body.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write([]byte(status + "\n"))
 	})
 	return mux
 }

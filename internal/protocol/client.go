@@ -7,6 +7,7 @@ package protocol
 
 import (
 	"fmt"
+	"time"
 
 	"maxelerator/internal/circuit"
 	"maxelerator/internal/gc"
@@ -74,8 +75,20 @@ func (c *Client) Dial(conn wire.Conn) (*ClientSession, error) {
 	// costs the evaluator one phase budget, not a hung Dial.
 	tc := newTimedConn(conn, nil)
 	tc.enterPhase(phaseHandshake, c.timeouts.Handshake)
+	first, err := tc.RecvMsg()
+	if err != nil {
+		return nil, fmt.Errorf("protocol: reading handshake: %w", err)
+	}
+	// Load shedding precedes version negotiation: an overloaded server
+	// answers the connection with a busy frame instead of its hello.
+	// Probe for it first — a genuine hello decoded as msgBusy leaves
+	// Busy false, so the probe never misfires.
+	var busy msgBusy
+	if err := decodeGob(first, &busy); err == nil && busy.Busy {
+		return nil, &BusyError{RetryAfter: time.Duration(busy.RetryAfterMillis) * time.Millisecond}
+	}
 	var h hello
-	if err := recvGob(tc, &h); err != nil {
+	if err := decodeGob(first, &h); err != nil {
 		return nil, fmt.Errorf("protocol: reading handshake: %w", err)
 	}
 	if h.ProtoVersion != ProtoVersion {
@@ -112,10 +125,10 @@ func (c *Client) Dial(conn wire.Conn) (*ClientSession, error) {
 // request header; Do validates that y fits.
 func (cs *ClientSession) Do(y []int64) ([]int64, error) {
 	if cs.broken != nil {
-		return nil, fmt.Errorf("protocol: session unusable after earlier error: %w", cs.broken)
+		return nil, fmt.Errorf("%w: session unusable after earlier error: %w", ErrSessionClosed, cs.broken)
 	}
 	if cs.closed {
-		return nil, ErrSessionEnded
+		return nil, ErrSessionClosed
 	}
 	// Validate the vector before opening a request, so a bad input
 	// never costs a wire exchange (or desynchronizes the session).
@@ -176,8 +189,9 @@ func (cs *ClientSession) fail(err error) error {
 	return err
 }
 
-// Close ends the request loop. Safe to call on a broken session (the
-// end marker is suppressed — the stream position is unknown).
+// Close ends the request loop. It is idempotent — the end marker is
+// sent at most once — and safe to call on a broken session (the marker
+// is suppressed there: the stream position is unknown).
 func (cs *ClientSession) Close() error {
 	if cs.closed || cs.broken != nil {
 		cs.closed = true
@@ -189,6 +203,11 @@ func (cs *ClientSession) Close() error {
 
 // Requests returns how many requests the session has completed.
 func (cs *ClientSession) Requests() int { return cs.seq }
+
+// Err reports the error that broke the session, or nil while it is
+// usable. A retry layer uses it to tell a broken session (reconnect
+// required) from one that merely rejected a bad input.
+func (cs *ClientSession) Err() error { return cs.broken }
 
 // evalMatVec evaluates a matvec request round by round, obtaining
 // input labels per the server-announced OT mode.

@@ -1,0 +1,165 @@
+package protocol
+
+// Panic containment: a panic inside one garble-pool worker (or the
+// serving path generally) must cost exactly that request — the client
+// receives an explicit error frame, the server logs the stack and
+// counts the recovery, the pool gauges settle to zero, and the server
+// value keeps serving fresh sessions.
+
+import (
+	"crypto/rand"
+	"errors"
+	"runtime"
+	"testing"
+
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+	"maxelerator/internal/wire"
+)
+
+func TestWorkerPanicIsolatedToRequest(t *testing.T) {
+	before := runtime.NumGoroutine()
+	o := obs.New(4)
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithObs(o)
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Row 1's garbling panics inside its pool worker; row 0 garbles
+	// normally. The hook is cleared before the recovery session below.
+	garbleTestHook = func(row int) {
+		if row == 1 {
+			panic("injected garbling panic")
+		}
+	}
+	defer func() { garbleTestHook = nil }()
+
+	req := Request{Matrix: [][]int64{{1, 2}, {3, 4}}, GarbleWorkers: 2}
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	srvDone := make(chan error, 1)
+	go func() {
+		sess, err := srv.NewSession(a, SessionConfig{})
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		defer sess.Close()
+		_, err = sess.Serve(req)
+		srvDone <- err
+	}()
+
+	cs, err := cli.Dial(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, derr := cs.Do([]int64{5, 6})
+	if derr == nil {
+		t.Fatal("request succeeded despite a panicking garble worker")
+	}
+	// The failure must arrive as the explicit internal-error frame, not
+	// a timeout or a decode error — the client learns the server broke,
+	// without the panic detail crossing the wire.
+	if !errors.Is(derr, ErrInternal) {
+		t.Fatalf("client error = %v, want ErrInternal", derr)
+	}
+	if contains := "injected garbling panic"; errContains(derr, contains) {
+		t.Errorf("client error %q leaks the server-side panic detail", derr)
+	}
+	serr := <-srvDone
+	if !errors.Is(serr, ErrInternal) {
+		t.Fatalf("server error = %v, want ErrInternal", serr)
+	}
+
+	reg := o.Metrics()
+	if got := reg.Counter("panics_recovered_total", "").Value(); got != 1 {
+		t.Errorf("panics_recovered_total = %d, want 1", got)
+	}
+	for _, g := range []string{"garble_queue_depth", "garble_workers_busy", "sessions_active"} {
+		if got := reg.Gauge(g, "").Value(); got != 0 {
+			t.Errorf("%s = %d after recovered panic, want 0", g, got)
+		}
+	}
+
+	// The same server value must keep serving: a fresh session (panic
+	// hook cleared) completes normally — the daemon stayed up.
+	garbleTestHook = nil
+	a2, b2 := wire.Pipe()
+	defer a2.Close()
+	defer b2.Close()
+	go func() {
+		_, err := srv.Serve(a2, req)
+		srvDone <- err
+	}()
+	out, err := cli.Run(b2, []int64{5, 6})
+	if err != nil {
+		t.Fatalf("server unusable after a recovered panic: %v", err)
+	}
+	if serr := <-srvDone; serr != nil {
+		t.Fatalf("server error on recovery session: %v", serr)
+	}
+	// [[1,2],[3,4]] · [5,6] = [17, 39]
+	if len(out) != 2 || out[0] != 17 || out[1] != 39 {
+		t.Fatalf("recovery session result = %v, want [17 39]", out)
+	}
+
+	checkGoroutines(t, before)
+}
+
+// TestInlinePanicIsolated covers the single-worker (inline) garbling
+// path, where the panic unwinds the session goroutine itself and is
+// caught by serveOpened's recover, not a pool worker's.
+func TestInlinePanicIsolated(t *testing.T) {
+	o := obs.New(4)
+	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithObs(o)
+	cli, err := NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbleTestHook = func(row int) { panic("inline garbling panic") }
+	defer func() { garbleTestHook = nil }()
+
+	a, b := wire.Pipe()
+	defer a.Close()
+	defer b.Close()
+	srvDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(a, Request{Matrix: [][]int64{{1, 2}}, GarbleWorkers: 1})
+		srvDone <- err
+	}()
+	_, derr := cli.Run(b, []int64{5, 6})
+	if !errors.Is(derr, ErrInternal) {
+		t.Fatalf("client error = %v, want ErrInternal", derr)
+	}
+	if serr := <-srvDone; !errors.Is(serr, ErrInternal) {
+		t.Fatalf("server error = %v, want ErrInternal", serr)
+	}
+	if got := o.Metrics().Counter("panics_recovered_total", "").Value(); got != 1 {
+		t.Errorf("panics_recovered_total = %d, want 1", got)
+	}
+}
+
+// errContains reports whether the error text includes sub — used to
+// assert panic details do NOT leak to the peer.
+func errContains(err error, sub string) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

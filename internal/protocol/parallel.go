@@ -125,7 +125,7 @@ func (sess *ServerSession) garbleRows(ctx context.Context, A [][]int64, workers 
 				}
 				busy.Add(1)
 				t0 := time.Now()
-				run, err := garbleRow(ss, sim, i, A[i])
+				run, err := safeGarbleRow(ss, sim, i, A[i])
 				rowSeconds.Observe(time.Since(t0).Seconds())
 				busy.Add(-1)
 				if err == nil {
@@ -180,6 +180,25 @@ func (sess *ServerSession) garbleRows(ctx context.Context, A [][]int64, workers 
 	return nil
 }
 
+// safeGarbleRow is garbleRow behind a recover(): a panic inside one
+// worker's garbling becomes that row's error result, so the reorder
+// stage fails the request cleanly instead of the panic killing the
+// process (a goroutine panic is not catchable from the session
+// goroutine's own recover).
+func safeGarbleRow(ss *session, sim *maxsim.Simulator, i int, row []int64) (run *maxsim.DotProductRun, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			run, err = nil, recoveredPanic(ss.reg, r)
+		}
+	}()
+	return garbleRow(ss, sim, i, row)
+}
+
+// garbleTestHook, when non-nil, runs before each row garbling — the
+// fault-injection seam the panic-containment tests use. Set and
+// cleared only while no session is in flight.
+var garbleTestHook func(row int)
+
 // garbleRow garbles one row under its per-row trace span (capped at
 // maxRowSpans spans per session).
 func garbleRow(ss *session, sim *maxsim.Simulator, i int, row []int64) (*maxsim.DotProductRun, error) {
@@ -188,5 +207,8 @@ func garbleRow(ss *session, sim *maxsim.Simulator, i int, row []int64) (*maxsim.
 		rowSpan = ss.tr.StartSpan(fmt.Sprintf("round_garble[%d]", i))
 	}
 	defer rowSpan.End()
+	if garbleTestHook != nil {
+		garbleTestHook(i)
+	}
 	return sim.GarbleDotProduct(row)
 }

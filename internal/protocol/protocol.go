@@ -59,6 +59,41 @@ var ErrVersionMismatch = errors.New("protocol: version mismatch")
 // the session is over, no request was consumed.
 var ErrSessionEnded = errors.New("protocol: session ended by client")
 
+// ErrSessionClosed is returned by ClientSession.Do on a session that
+// was Closed or broken by an earlier error — a named sentinel instead
+// of the opaque gob/transport error a dead session used to produce.
+var ErrSessionClosed = errors.New("protocol: client session closed")
+
+// ErrServerBusy marks a connection the server shed at admission: the
+// server answered with a busy frame instead of its hello and closed.
+// The condition is transient by construction — retry with backoff
+// (see BusyError.RetryAfter for the server's hint).
+var ErrServerBusy = errors.New("protocol: server busy")
+
+// ErrInternal marks a server-side failure (typically a recovered
+// panic) converted into a per-request error frame. The session is
+// broken, but the request is safely replayable on a fresh connection:
+// every garbling uses fresh labels, so nothing was leaked.
+var ErrInternal = errors.New("protocol: internal server error")
+
+// BusyError is the client-side view of a server busy frame. It wraps
+// ErrServerBusy so errors.Is classification works, and carries the
+// server's retry hint.
+type BusyError struct {
+	// RetryAfter is the server's suggested backoff before the next
+	// connection attempt (zero when the server offered no hint).
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("protocol: server busy (retry after %v)", e.RetryAfter)
+	}
+	return "protocol: server busy"
+}
+
+func (e *BusyError) Unwrap() error { return ErrServerBusy }
+
 // OTMode selects how the evaluator's input labels travel (§3).
 type OTMode int
 
@@ -143,6 +178,31 @@ type helloAck struct {
 	ProtoVersion int
 }
 
+// msgBusy is the load-shedding frame: an overloaded server sends it in
+// place of its hello and closes the connection. Busy is always true on
+// the wire; it is the field that distinguishes a busy frame from a
+// hello when the client probes the first frame (a hello decoded into
+// msgBusy leaves Busy false, since gob matches fields by name).
+type msgBusy struct {
+	Busy             bool
+	RetryAfterMillis int64
+}
+
+// SendBusy sheds one connection: it sends the busy frame carrying the
+// retry hint. The caller closes the connection afterwards; the client
+// surfaces the frame as a BusyError from Dial.
+func SendBusy(conn wire.Conn, retryAfter time.Duration) error {
+	return sendGob(conn, msgBusy{Busy: true, RetryAfterMillis: retryAfter.Milliseconds()})
+}
+
+// errFrame rides the round stream (tagged roundTagError) to tell the
+// evaluator the garbler aborted the request. The message is a generic
+// description: internal details (panic values, operand ranges) stay in
+// the server log, never on the wire.
+type errFrame struct {
+	Msg string
+}
+
 // Request-loop operations.
 const (
 	opRequest = "request"
@@ -190,25 +250,45 @@ func sendGob(conn wire.Conn, v any) error {
 	return conn.SendMsg(buf.Bytes())
 }
 
-func recvGob(conn wire.Conn, v any) error {
-	msg, err := conn.RecvMsg()
-	if err != nil {
-		return err
-	}
+// decodeGob decodes one already-received frame, so a single frame can
+// be probed as more than one shape (busy frame vs hello).
+func decodeGob(msg []byte, v any) error {
 	if err := gob.NewDecoder(bytes.NewReader(msg)).Decode(v); err != nil {
 		return fmt.Errorf("protocol: decoding %T: %w", v, err)
 	}
 	return nil
 }
 
+func recvGob(conn wire.Conn, v any) error {
+	msg, err := conn.RecvMsg()
+	if err != nil {
+		return err
+	}
+	return decodeGob(msg, v)
+}
+
+// Round-stream frame tags. Every frame the garbler sends at a round
+// boundary carries a one-byte tag, so the stream can deliver either
+// garbled material or a terminal error frame — the mechanism that lets
+// a recovered server-side panic fail one request explicitly instead of
+// leaving the evaluator blocked until its deadline.
+const (
+	roundTagMaterial byte = 0x00
+	roundTagError    byte = 0x01
+)
+
 // sendMaterial ships garbled material in the explicit binary wire
-// format of gc.MarshalMaterial (language-agnostic, unlike gob).
+// format of gc.MarshalMaterial (language-agnostic, unlike gob), behind
+// the material round tag.
 func sendMaterial(conn wire.Conn, m *gc.Material) error {
 	enc, err := gc.MarshalMaterial(m)
 	if err != nil {
 		return err
 	}
-	return conn.SendMsg(enc)
+	framed := make([]byte, 1+len(enc))
+	framed[0] = roundTagMaterial
+	copy(framed[1:], enc)
+	return conn.SendMsg(framed)
 }
 
 func recvMaterial(conn wire.Conn) (*gc.Material, error) {
@@ -216,7 +296,33 @@ func recvMaterial(conn wire.Conn) (*gc.Material, error) {
 	if err != nil {
 		return nil, err
 	}
-	return gc.UnmarshalMaterial(msg)
+	if len(msg) == 0 {
+		return nil, fmt.Errorf("protocol: empty round frame")
+	}
+	switch msg[0] {
+	case roundTagMaterial:
+		return gc.UnmarshalMaterial(msg[1:])
+	case roundTagError:
+		var ef errFrame
+		if err := decodeGob(msg[1:], &ef); err != nil {
+			return nil, fmt.Errorf("%w: peer aborted the request (undecodable error frame: %v)", ErrInternal, err)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrInternal, ef.Msg)
+	default:
+		return nil, fmt.Errorf("protocol: unknown round frame tag %#02x", msg[0])
+	}
+}
+
+// sendErrFrame is the garbler's best-effort abort notification on the
+// round stream; failures to deliver it are ignored (the peer may
+// already be gone, and the session is broken either way).
+func sendErrFrame(conn wire.Conn, msg string) error {
+	var buf bytes.Buffer
+	buf.WriteByte(roundTagError)
+	if err := gob.NewEncoder(&buf).Encode(errFrame{Msg: msg}); err != nil {
+		return err
+	}
+	return conn.SendMsg(buf.Bytes())
 }
 
 func schemeByName(name string) (gc.Scheme, error) {

@@ -1,0 +1,278 @@
+// Package retry layers client-side fault recovery over the protocol:
+// a Policy classifying errors into retryable and fatal with
+// exponential full-jitter backoff, and a ReDialer that re-establishes
+// a broken session (fresh handshake and OT setup) and replays the
+// in-flight request.
+//
+// Replay is safe by construction: every garbling uses fresh wire
+// labels and a fresh free-XOR offset, so a request that died mid-way
+// leaked nothing and can be rerun verbatim on a new session — the
+// property that makes GC serving embarrassingly restartable per
+// request. The only state worth preserving across requests is the
+// IKNP OT-extension setup, which the ReDialer re-pays once per
+// reconnect, not per retry of an open session.
+//
+// Fatal errors are never retried: a version mismatch will not heal,
+// and a cryptographic or codec failure means one endpoint is broken —
+// looping on it would only burn attempts. The default classification
+// is deliberately closed: only the known-transient failures
+// (disconnects, deadline expiries, BUSY rejections, server-internal
+// errors from recovered panics) retry; everything else fails fast.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"maxelerator/internal/obs"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+// Policy shapes one retry loop. The zero value is usable: it resolves
+// to 4 total attempts, 100ms base backoff doubling up to 5s, full
+// jitter, and the Retryable classification.
+type Policy struct {
+	// MaxAttempts is the total number of tries per request, the first
+	// included (so MaxAttempts 1 disables retrying). Default 4.
+	MaxAttempts int
+	// BaseBackoff caps the sleep before the first retry; each further
+	// retry doubles the cap. Default 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff bounds the cap's exponential growth. Default 5s.
+	MaxBackoff time.Duration
+	// Classify reports whether an error is worth retrying. Nil uses
+	// Retryable.
+	Classify func(error) bool
+	// Sleep performs the backoff wait; nil uses time.Sleep. Tests
+	// substitute a recorder.
+	Sleep func(time.Duration)
+	// Rand draws the jitter; nil uses the global math/rand source.
+	Rand *rand.Rand
+}
+
+// withDefaults resolves the zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Classify == nil {
+		p.Classify = Retryable
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Retryable is the default error classification.
+//
+// Retryable: peer disconnects and refused dials (wire.IsDisconnect),
+// deadline expiries (wire.IsTimeout, protocol.ErrPhaseTimeout), BUSY
+// load-shedding rejections (protocol.ErrServerBusy), and
+// server-internal failures (protocol.ErrInternal — a recovered panic,
+// replayable on a fresh session).
+//
+// Fatal: protocol.ErrVersionMismatch (will not heal on retry),
+// protocol.ErrSessionClosed (a caller bug, not a fault), and
+// everything unrecognized — cryptographic and codec errors mean an
+// endpoint is broken, so the default is closed.
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, protocol.ErrVersionMismatch),
+		errors.Is(err, protocol.ErrSessionClosed):
+		return false
+	case errors.Is(err, protocol.ErrServerBusy),
+		errors.Is(err, protocol.ErrPhaseTimeout),
+		errors.Is(err, protocol.ErrInternal):
+		return true
+	default:
+		return wire.IsDisconnect(err) || wire.IsTimeout(err)
+	}
+}
+
+// Reason buckets an error for the retry_attempts_total{reason} label.
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return "none"
+	case errors.Is(err, protocol.ErrServerBusy):
+		return "busy"
+	case errors.Is(err, protocol.ErrInternal):
+		return "internal"
+	case errors.Is(err, protocol.ErrPhaseTimeout), wire.IsTimeout(err):
+		return "timeout"
+	case wire.IsDisconnect(err):
+		return "disconnect"
+	default:
+		return "other"
+	}
+}
+
+// backoff computes the wait before the next try after the given
+// 1-based count of failures: full jitter in [0, cap) where cap is
+// BaseBackoff·2^(failures-1) bounded by MaxBackoff, floored at the
+// server's BusyError.RetryAfter hint when one was given. Full jitter
+// desynchronizes a thundering herd of clients all rejected at once —
+// the whole point of shedding load is that it must not come back as
+// one synchronized wave.
+func (p Policy) backoff(failures int, err error) time.Duration {
+	ceil := p.BaseBackoff
+	for i := 1; i < failures && ceil < p.MaxBackoff; i++ {
+		ceil *= 2
+	}
+	if ceil > p.MaxBackoff || ceil <= 0 {
+		ceil = p.MaxBackoff
+	}
+	var d time.Duration
+	if p.Rand != nil {
+		d = time.Duration(p.Rand.Int63n(int64(ceil)))
+	} else {
+		d = time.Duration(rand.Int63n(int64(ceil)))
+	}
+	var be *protocol.BusyError
+	if errors.As(err, &be) && d < be.RetryAfter {
+		d = be.RetryAfter
+	}
+	return d
+}
+
+// ReDialer wraps a protocol.Client with transparent reconnection: Do
+// runs one request, and any retryable failure — at dial, mid-session,
+// or a BUSY rejection — tears the session down, backs off, dials a
+// fresh connection through Connect (new handshake, new OT setup), and
+// replays the request, up to the policy's attempt budget. Not safe
+// for concurrent use, mirroring ClientSession.
+type ReDialer struct {
+	client  *protocol.Client
+	connect func() (wire.Conn, error)
+	policy  Policy
+	reg     *obs.Registry
+
+	conn       wire.Conn
+	sess       *protocol.ClientSession
+	dialed     bool // a session has been established at least once
+	reconnects int
+	closed     bool
+}
+
+// NewReDialer builds a ReDialer dialing sessions for client over
+// connections supplied by connect (called once per connection attempt
+// — typically a net.Dial wrapped in wire.NewStreamConn).
+func NewReDialer(client *protocol.Client, connect func() (wire.Conn, error), policy Policy) (*ReDialer, error) {
+	if client == nil {
+		return nil, fmt.Errorf("retry: nil client")
+	}
+	if connect == nil {
+		return nil, fmt.Errorf("retry: nil connect function")
+	}
+	return &ReDialer{client: client, connect: connect, policy: policy.withDefaults()}, nil
+}
+
+// WithObs attaches a metrics registry: retry_attempts_total{reason}
+// counts failed retryable attempts and reconnects_total the session
+// re-establishments. Returns rd for chaining; a nil registry is a
+// no-op, like everywhere else in the repo.
+func (rd *ReDialer) WithObs(reg *obs.Registry) *ReDialer {
+	rd.reg = reg
+	return rd
+}
+
+// Do runs one request, reconnecting and replaying on retryable
+// failures. It returns the first fatal error unchanged; exhausting the
+// attempt budget returns the last error wrapped with the budget named.
+func (rd *ReDialer) Do(y []int64) ([]int64, error) {
+	if rd.closed {
+		return nil, protocol.ErrSessionClosed
+	}
+	p := rd.policy
+	for attempt := 1; ; attempt++ {
+		out, err := rd.attempt(y)
+		if err == nil {
+			return out, nil
+		}
+		if !p.Classify(err) {
+			return nil, err
+		}
+		rd.reg.Counter("retry_attempts_total",
+			"request attempts that failed with a retryable error",
+			obs.L("reason", Reason(err))).Inc()
+		if attempt >= p.MaxAttempts {
+			return nil, fmt.Errorf("retry: %d attempts exhausted: %w", p.MaxAttempts, err)
+		}
+		p.Sleep(p.backoff(attempt, err))
+	}
+}
+
+// attempt runs one try: ensure a live session, run the request, and on
+// failure drop the session if it broke (a rejected input on a healthy
+// session keeps it).
+func (rd *ReDialer) attempt(y []int64) ([]int64, error) {
+	if err := rd.ensureSession(); err != nil {
+		return nil, err
+	}
+	out, err := rd.sess.Do(y)
+	if err != nil && rd.sess.Err() != nil {
+		rd.dropSession()
+	}
+	return out, err
+}
+
+// ensureSession dials a fresh connection and session if none is live.
+func (rd *ReDialer) ensureSession() error {
+	if rd.sess != nil {
+		return nil
+	}
+	conn, err := rd.connect()
+	if err != nil {
+		return err
+	}
+	sess, err := rd.client.Dial(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if rd.dialed {
+		rd.reconnects++
+		rd.reg.Counter("reconnects_total",
+			"sessions re-established after a retryable failure").Inc()
+	}
+	rd.dialed = true
+	rd.conn, rd.sess = conn, sess
+	return nil
+}
+
+// dropSession discards the current session and closes its connection.
+func (rd *ReDialer) dropSession() {
+	if rd.conn != nil {
+		rd.conn.Close()
+	}
+	rd.conn, rd.sess = nil, nil
+}
+
+// Reconnects reports how many times the dialer re-established a
+// session after the first.
+func (rd *ReDialer) Reconnects() int { return rd.reconnects }
+
+// Close ends the current session (if any) and marks the dialer
+// closed; further Do calls return protocol.ErrSessionClosed.
+// Idempotent.
+func (rd *ReDialer) Close() error {
+	rd.closed = true
+	if rd.sess == nil {
+		return nil
+	}
+	err := rd.sess.Close()
+	rd.dropSession()
+	return err
+}

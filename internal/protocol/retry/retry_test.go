@@ -1,0 +1,219 @@
+package retry
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"maxelerator/internal/obs"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"version mismatch", fmt.Errorf("x: %w", protocol.ErrVersionMismatch), false},
+		{"session closed", protocol.ErrSessionClosed, false},
+		{"busy", &protocol.BusyError{RetryAfter: time.Second}, true},
+		{"phase timeout", fmt.Errorf("x: %w", protocol.ErrPhaseTimeout), true},
+		{"internal", fmt.Errorf("x: %w", protocol.ErrInternal), true},
+		{"eof", io.EOF, true},
+		{"wire closed", fmt.Errorf("x: %w", wire.ErrClosed), true},
+		{"refused", fmt.Errorf("dial: %w", syscall.ECONNREFUSED), true},
+		{"deadline", fmt.Errorf("x: %w", os.ErrDeadlineExceeded), true},
+		{"unknown", errors.New("garbling scheme exploded"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestReasonBuckets(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "none"},
+		{&protocol.BusyError{}, "busy"},
+		{fmt.Errorf("x: %w", protocol.ErrInternal), "internal"},
+		{fmt.Errorf("x: %w", protocol.ErrPhaseTimeout), "timeout"},
+		{os.ErrDeadlineExceeded, "timeout"},
+		{io.EOF, "disconnect"},
+		{errors.New("weird"), "other"},
+	}
+	for _, tc := range cases {
+		if got := Reason(tc.err); got != tc.want {
+			t.Errorf("Reason(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.MaxAttempts != 4 {
+		t.Errorf("MaxAttempts = %d, want 4", p.MaxAttempts)
+	}
+	if p.BaseBackoff != 100*time.Millisecond {
+		t.Errorf("BaseBackoff = %v", p.BaseBackoff)
+	}
+	if p.MaxBackoff != 5*time.Second {
+		t.Errorf("MaxBackoff = %v", p.MaxBackoff)
+	}
+	if p.Classify == nil || p.Sleep == nil {
+		t.Error("Classify/Sleep not defaulted")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	p := Policy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}.withDefaults()
+	p.Rand = mrand.New(mrand.NewSource(7))
+	for failures := 1; failures <= 10; failures++ {
+		ceil := 100 * time.Millisecond << uint(failures-1)
+		if ceil > time.Second {
+			ceil = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := p.backoff(failures, io.EOF)
+			if d < 0 || d >= ceil {
+				t.Fatalf("backoff(%d) = %v, want in [0, %v)", failures, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffBusyFloor(t *testing.T) {
+	p := Policy{BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}.withDefaults()
+	p.Rand = mrand.New(mrand.NewSource(1))
+	busy := &protocol.BusyError{RetryAfter: 3 * time.Second}
+	if d := p.backoff(1, busy); d < 3*time.Second {
+		t.Fatalf("backoff under a BUSY hint = %v, want >= %v (the server's floor)", d, busy.RetryAfter)
+	}
+}
+
+func TestNewReDialerValidates(t *testing.T) {
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReDialer(nil, func() (wire.Conn, error) { return nil, nil }, Policy{}); err == nil {
+		t.Error("nil client accepted")
+	}
+	if _, err := NewReDialer(cli, nil, Policy{}); err == nil {
+		t.Error("nil connect accepted")
+	}
+}
+
+// TestDoConnectRetryExhausted: a connect that always fails with a
+// transient error burns the whole attempt budget, sleeps between
+// attempts, and counts every failed attempt under its reason label.
+func TestDoConnectRetryExhausted(t *testing.T) {
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dials := 0
+	var sleeps []time.Duration
+	p := Policy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+		Rand:        mrand.New(mrand.NewSource(1)),
+	}
+	rd, err := NewReDialer(cli, func() (wire.Conn, error) {
+		dials++
+		return nil, fmt.Errorf("dial: %w", syscall.ECONNREFUSED)
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rd.WithObs(reg)
+
+	_, derr := rd.Do([]int64{1})
+	if derr == nil {
+		t.Fatal("Do succeeded with a dead connect")
+	}
+	if !errors.Is(derr, syscall.ECONNREFUSED) {
+		t.Errorf("Do error = %v, want ECONNREFUSED in the chain", derr)
+	}
+	if dials != 3 {
+		t.Errorf("connect called %d times, want 3", dials)
+	}
+	if len(sleeps) != 2 {
+		t.Errorf("slept %d times between 3 attempts, want 2", len(sleeps))
+	}
+	if got := reg.Counter("retry_attempts_total", "", obs.L("reason", "disconnect")).Value(); got != 3 {
+		t.Errorf("retry_attempts_total{disconnect} = %d, want 3", got)
+	}
+	if got := reg.Counter("reconnects_total", "").Value(); got != 0 {
+		t.Errorf("reconnects_total = %d with no session ever established, want 0", got)
+	}
+}
+
+// TestDoFatalErrorImmediate: an unclassified connect error is returned
+// unchanged on the first attempt — no retries, no sleeps, no counts.
+func TestDoFatalErrorImmediate(t *testing.T) {
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("certificate pinning failure")
+	dials := 0
+	var sleeps int
+	rd, err := NewReDialer(cli, func() (wire.Conn, error) {
+		dials++
+		return nil, boom
+	}, Policy{Sleep: func(time.Duration) { sleeps++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rd.WithObs(reg)
+
+	_, derr := rd.Do([]int64{1})
+	if !errors.Is(derr, boom) {
+		t.Fatalf("Do error = %v, want the fatal connect error", derr)
+	}
+	if dials != 1 || sleeps != 0 {
+		t.Errorf("fatal error retried: %d dials, %d sleeps", dials, sleeps)
+	}
+	if got := reg.Counter("retry_attempts_total", "", obs.L("reason", "other")).Value(); got != 0 {
+		t.Errorf("retry_attempts_total = %d for a fatal error, want 0", got)
+	}
+}
+
+func TestDoAfterCloseReturnsSessionClosed(t *testing.T) {
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReDialer(cli, func() (wire.Conn, error) {
+		t.Fatal("connect called after Close")
+		return nil, nil
+	}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatalf("second Close = %v, want idempotent nil", err)
+	}
+	if _, err := rd.Do([]int64{1}); !errors.Is(err, protocol.ErrSessionClosed) {
+		t.Fatalf("Do after Close = %v, want ErrSessionClosed", err)
+	}
+}

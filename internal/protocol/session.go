@@ -180,6 +180,13 @@ func (sess *ServerSession) ServeContext(ctx context.Context, req Request) (*Resp
 	}
 	resp, err := sess.serveOpened(ctx, req)
 	if err != nil {
+		if errors.Is(err, ErrInternal) {
+			// A recovered panic: tell the evaluator explicitly so it
+			// fails now instead of waiting out its deadline. Best
+			// effort — the wire may already be down — and generic: the
+			// panic detail stays in the server log, off the wire.
+			_ = sendErrFrame(sess.conn, "request aborted by internal server error")
+		}
 		sess.broken = err
 		return nil, err
 	}
@@ -200,8 +207,16 @@ func (sess *ServerSession) Requests() int { return sess.seq }
 
 // serveOpened dispatches an opened request to its datapath. Each path
 // sends its own reqHeader (serial mode must build the stage layout
-// first to announce StagesPerMAC).
-func (sess *ServerSession) serveOpened(ctx context.Context, req Request) (*Response, error) {
+// first to announce StagesPerMAC). A panic anywhere in the serving
+// path is contained here: it becomes a per-request ErrInternal, never
+// a daemon crash (pool workers carry their own recover — a goroutine
+// panic cannot be caught across goroutines).
+func (sess *ServerSession) serveOpened(ctx context.Context, req Request) (resp *Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, recoveredPanic(sess.ss.reg, r)
+		}
+	}()
 	switch {
 	case req.Mode == ModeSerial:
 		return sess.serveSerial(ctx, req)

@@ -404,10 +404,12 @@ func PeerAddr(c Conn) string {
 }
 
 // IsDisconnect reports whether err is one of the transport-level
-// "peer went away" errors — a closed pipe or socket, an EOF on a frame
-// boundary, or a reset — as opposed to a protocol-level failure.
-// Callers use it to tell an orderly hangup apart from stream
-// corruption.
+// "peer went away (or is not there)" errors — a closed pipe or socket,
+// an EOF on a frame boundary, a reset, or a refused dial — as opposed
+// to a protocol-level failure. Callers use it to tell an orderly
+// hangup apart from stream corruption; retry layers use it as the
+// transient-fault signal (a refused connection usually means the
+// server is restarting).
 func IsDisconnect(err error) bool {
 	if err == nil {
 		return false
@@ -416,7 +418,8 @@ func IsDisconnect(err error) bool {
 		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 		return true
 	}
-	return errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+	return errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED)
 }
 
 // IsTimeout reports whether err is a deadline expiry — from a net.Conn

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"testing"
 )
 
@@ -294,6 +295,10 @@ func TestIsDisconnect(t *testing.T) {
 		io.ErrUnexpectedEOF,
 		net.ErrClosed,
 		fmt.Errorf("reading frame: %w", ErrClosed),
+		// A refused dial is transient from a retry layer's viewpoint:
+		// the server is restarting or shedding its listener.
+		syscall.ECONNREFUSED,
+		&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED},
 	} {
 		if !IsDisconnect(err) {
 			t.Fatalf("IsDisconnect(%v) = false", err)
@@ -307,5 +312,24 @@ func TestIsDisconnect(t *testing.T) {
 		if IsDisconnect(err) {
 			t.Fatalf("IsDisconnect(%v) = true", err)
 		}
+	}
+}
+
+// TestIsDisconnectRefusedDial: a real refused TCP dial (listener
+// closed) classifies as a disconnect end to end, not just the bare
+// errno.
+func TestIsDisconnectRefusedDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	_, derr := net.Dial("tcp", addr)
+	if derr == nil {
+		t.Skip("dial to a closed port unexpectedly succeeded")
+	}
+	if !IsDisconnect(derr) {
+		t.Fatalf("IsDisconnect(%v) = false for a refused dial", derr)
 	}
 }
