@@ -1,0 +1,221 @@
+// Latency mode (-latency): measures what a client actually waits for
+// per request — the online path of the Fig. 1 protocol — over a
+// multiplexed in-memory session, and reports p50/p95/p99/mean. With
+// -precompute the same workload runs twice, inline and against a warm
+// precompute pool (refills happen off the clock, as the offline
+// phase), so the offline/online split's win is visible in one
+// invocation:
+//
+//	maxbench -latency -rows 16 -cols 16 -b 16 -requests 30 -precompute
+//	maxbench -latency -precompute -json   # machine-readable
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/precompute"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+// latencyConfig gathers the -latency mode knobs.
+type latencyConfig struct {
+	rows, cols int
+	width      int
+	requests   int
+	precompute bool
+	pool       int
+	jsonOut    bool
+}
+
+// latencyResult is one measured pass; all times in milliseconds so the
+// JSON needs no unit parsing.
+type latencyResult struct {
+	Mode     string  `json:"mode"` // "inline" or "precomputed"
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// latencyReport is the full -latency artefact.
+type latencyReport struct {
+	Rows       int             `json:"rows"`
+	Cols       int             `json:"cols"`
+	Width      int             `json:"width"`
+	Results    []latencyResult `json:"results"`
+	SpeedupP50 float64         `json:"speedup_p50,omitempty"`
+}
+
+func runLatency(lc latencyConfig, w io.Writer) error {
+	if lc.rows <= 0 || lc.cols <= 0 {
+		return fmt.Errorf("latency: rows and cols must be positive (got %dx%d)", lc.rows, lc.cols)
+	}
+	if lc.requests <= 0 {
+		return fmt.Errorf("latency: requests must be positive (got %d)", lc.requests)
+	}
+
+	rep := latencyReport{Rows: lc.rows, Cols: lc.cols, Width: lc.width}
+	inline, err := measureLatency(lc, false)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, inline)
+	if lc.precompute {
+		pre, err := measureLatency(lc, true)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, pre)
+		if pre.P50Ms > 0 {
+			rep.SpeedupP50 = inline.P50Ms / pre.P50Ms
+		}
+	}
+
+	if lc.jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(w, "Online request latency, %d×%d matvec at b=%d (%d requests per pass)\n\n",
+		lc.rows, lc.cols, lc.width, lc.requests)
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "mode", "p50", "p95", "p99", "mean")
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "%-12s %9.1fms %9.1fms %9.1fms %9.1fms\n",
+			r.Mode, r.P50Ms, r.P95Ms, r.P99Ms, r.MeanMs)
+	}
+	if rep.SpeedupP50 > 0 {
+		fmt.Fprintf(w, "\nwarm-pool speedup (p50): %.2f×\n", rep.SpeedupP50)
+	}
+	return nil
+}
+
+// measureLatency runs lc.requests matvec requests over one multiplexed
+// session and clocks each request round trip. The connection handshake
+// and OT setup are paid once, outside the clocked region, in both
+// passes; in the precomputed pass each request is preceded by an
+// unclocked Prefill — that garbling is exactly the work the offline
+// phase moves off the request path.
+func measureLatency(lc latencyConfig, warm bool) (latencyResult, error) {
+	res := latencyResult{Mode: "inline", Requests: lc.requests}
+	if warm {
+		res.Mode = "precomputed"
+	}
+	cfg := maxsim.Config{Width: lc.width, AccWidth: 2 * lc.width, Signed: true}
+	A := make([][]int64, lc.rows)
+	y := make([]int64, lc.cols)
+	for i := range A {
+		A[i] = make([]int64, lc.cols)
+		for j := range A[i] {
+			A[i][j] = int64((i*31+j*17)%200 - 100)
+		}
+	}
+	for j := range y {
+		y[j] = int64(j%16 - 8)
+	}
+	req := protocol.Request{Matrix: A, OT: protocol.OTBatched}
+	shape := precompute.Shape{Rows: lc.rows, Cols: lc.cols, Width: lc.width,
+		Signed: true, Mode: "matvec", OT: protocol.OTBatched.String()}
+
+	srv, err := protocol.NewServer(cfg)
+	if err != nil {
+		return res, err
+	}
+	var eng *precompute.Engine
+	if warm {
+		eng, err = precompute.New(precompute.Config{Sim: cfg, PoolSize: lc.pool})
+		if err != nil {
+			return res, err
+		}
+		defer eng.Stop()
+		srv.WithPrecompute(eng)
+	}
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		return res, err
+	}
+
+	ca, cb := wire.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	srvDone := make(chan error, 1)
+	go func() {
+		sess, err := srv.NewSession(ca, protocol.SessionConfig{})
+		if err != nil {
+			srvDone <- err
+			return
+		}
+		defer sess.Close()
+		for {
+			if _, err := sess.Serve(req); err != nil {
+				if errors.Is(err, protocol.ErrSessionEnded) {
+					err = nil
+				}
+				srvDone <- err
+				return
+			}
+		}
+	}()
+	cs, err := cli.Dial(cb)
+	if err != nil {
+		return res, err
+	}
+
+	samples := make([]time.Duration, 0, lc.requests)
+	for i := 0; i < lc.requests; i++ {
+		if eng != nil {
+			if err := eng.Prefill(shape, 1); err != nil {
+				return res, err
+			}
+		}
+		start := time.Now()
+		if _, err := cs.Do(y); err != nil {
+			return res, err
+		}
+		samples = append(samples, time.Since(start))
+	}
+	if err := cs.Close(); err != nil {
+		return res, err
+	}
+	if err := <-srvDone; err != nil {
+		return res, err
+	}
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	res.P50Ms = ms(percentile(samples, 50))
+	res.P95Ms = ms(percentile(samples, 95))
+	res.P99Ms = ms(percentile(samples, 99))
+	res.MeanMs = ms(sum / time.Duration(len(samples)))
+	return res, nil
+}
+
+// percentile reads the nearest-rank percentile from sorted samples.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLatencyJSON runs the smallest real measurement through both
+// passes and checks the machine-readable artefact: two modes, sane
+// ordering of the percentiles, and a reported speedup.
+func TestRunLatencyJSON(t *testing.T) {
+	var out bytes.Buffer
+	lc := latencyConfig{rows: 2, cols: 2, width: 8, requests: 3, precompute: true, pool: 1, jsonOut: true}
+	if err := runLatency(lc, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep latencyReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("latency JSON did not parse: %v\n%s", err, out.String())
+	}
+	if len(rep.Results) != 2 || rep.Results[0].Mode != "inline" || rep.Results[1].Mode != "precomputed" {
+		t.Fatalf("results = %+v, want inline then precomputed", rep.Results)
+	}
+	for _, r := range rep.Results {
+		if r.Requests != 3 {
+			t.Fatalf("%s requests = %d, want 3", r.Mode, r.Requests)
+		}
+		if r.P50Ms <= 0 || r.P50Ms > r.P95Ms || r.P95Ms > r.P99Ms {
+			t.Fatalf("%s percentiles not ordered: %+v", r.Mode, r)
+		}
+	}
+	if rep.SpeedupP50 <= 0 {
+		t.Fatalf("speedup = %v, want > 0", rep.SpeedupP50)
+	}
+}
+
+func TestRunLatencyHumanOutput(t *testing.T) {
+	var out bytes.Buffer
+	lc := latencyConfig{rows: 2, cols: 2, width: 8, requests: 2}
+	if err := runLatency(lc, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "p50") || !strings.Contains(s, "inline") {
+		t.Fatalf("human output missing table:\n%s", s)
+	}
+	if strings.Contains(s, "precomputed") {
+		t.Fatalf("precomputed pass ran without -precompute:\n%s", s)
+	}
+}
+
+func TestRunLatencyValidates(t *testing.T) {
+	var out bytes.Buffer
+	if err := runLatency(latencyConfig{rows: 0, cols: 2, width: 8, requests: 1}, &out); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if err := runLatency(latencyConfig{rows: 2, cols: 2, width: 8, requests: 0}, &out); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	if err := runLatency(latencyConfig{rows: 2, cols: 2, width: 7, requests: 1}, &out); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []time.Duration{10, 20, 30, 40}
+	for _, tc := range []struct {
+		p    int
+		want time.Duration
+	}{{50, 20}, {95, 40}, {99, 40}, {1, 10}} {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Fatalf("p%d = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}

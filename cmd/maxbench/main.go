@@ -11,6 +11,13 @@
 //	maxbench -figure 3 -b 16  # one figure at a chosen bit-width
 //	maxbench -case portfolio  # one case study
 //	maxbench -fast            # skip the live software measurement
+//
+// Latency mode measures online request latency (p50/p95/p99) over a
+// multiplexed in-memory session; with -precompute it contrasts inline
+// garbling with a warm precompute pool in one run (see latency.go):
+//
+//	maxbench -latency -rows 16 -cols 16 -b 16 -requests 30 -precompute
+//	maxbench -latency -precompute -json
 package main
 
 import (
@@ -28,8 +35,24 @@ func main() {
 	width := flag.Int("b", 8, "bit-width for figure renderings")
 	fast := flag.Bool("fast", false, "skip live software measurement in Table 2")
 	rounds := flag.Int("rounds", 200, "MAC rounds per width for the live software measurement")
+	latency := flag.Bool("latency", false, "measure online request latency over a multiplexed session")
+	rows := flag.Int("rows", 16, "matrix rows for -latency")
+	cols := flag.Int("cols", 16, "matrix columns for -latency")
+	requests := flag.Int("requests", 20, "requests per -latency pass")
+	precompute := flag.Bool("precompute", false, "also measure against a warm precompute pool (-latency)")
+	pool := flag.Int("precompute-pool", 1, "precompute pool size per shape (-latency -precompute)")
+	jsonOut := flag.Bool("json", false, "emit -latency results as JSON")
 	flag.Parse()
 
+	if *latency {
+		lc := latencyConfig{rows: *rows, cols: *cols, width: *width, requests: *requests,
+			precompute: *precompute, pool: *pool, jsonOut: *jsonOut}
+		if err := runLatency(lc, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "maxbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*table, *figure, *study, *width, *fast, *rounds); err != nil {
 		fmt.Fprintln(os.Stderr, "maxbench:", err)
 		os.Exit(1)

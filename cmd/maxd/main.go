@@ -21,6 +21,15 @@
 // daemon answers in bounded time instead of stringing clients along);
 // -admission-wait 0 restores the old queue-forever behaviour.
 //
+// With -precompute the daemon runs an offline/online split: background
+// workers pre-garble MAC circuits for the model's shape (and for any
+// shape the traffic teaches) into bounded per-shape pools of
+// single-use entries, so a request that hits the pool pays only OT,
+// table streaming and decode online. -precompute-pool sizes each
+// shape's pool; -precompute-shapes bounds the distinct shapes held
+// before the coldest is evicted. The wire format is identical on hits
+// and misses — a cold pool just garbles inline as before.
+//
 // Every wire operation runs under a per-phase deadline so a stalled or
 // vanished client costs one timeout, never a pinned session (and with
 // -max-sessions, never a leaked admission slot): -handshake-timeout
@@ -66,6 +75,7 @@ import (
 	"maxelerator/internal/fixed"
 	"maxelerator/internal/maxsim"
 	"maxelerator/internal/obs"
+	"maxelerator/internal/precompute"
 	"maxelerator/internal/protocol"
 	"maxelerator/internal/report"
 	"maxelerator/internal/wire"
@@ -92,6 +102,12 @@ type daemonConfig struct {
 	// deadlines (see the package comment); zero disables.
 	handshakeTimeout time.Duration
 	ioTimeout        time.Duration
+	// precompute enables the offline/online split: background workers
+	// pre-garble MAC circuits for the model's shape so requests hit a
+	// warm pool and only pay OT + streaming + decode online.
+	precompute       bool
+	precomputePool   int
+	precomputeShapes int
 }
 
 func main() {
@@ -111,6 +127,9 @@ func main() {
 	flag.DurationVar(&dc.admissionWait, "admission-wait", 5*time.Second, "max queue wait behind -max-sessions before a BUSY rejection (0 = queue forever)")
 	flag.DurationVar(&dc.handshakeTimeout, "handshake-timeout", 30*time.Second, "per-operation deadline for handshake and OT setup (0 = none)")
 	flag.DurationVar(&dc.ioTimeout, "io-timeout", 2*time.Minute, "per-operation deadline for steady-state request I/O (0 = none)")
+	flag.BoolVar(&dc.precompute, "precompute", false, "pre-garble MAC circuits in the background so requests serve from a warm pool")
+	flag.IntVar(&dc.precomputePool, "precompute-pool", 4, "precomputed entries kept per shape")
+	flag.IntVar(&dc.precomputeShapes, "precompute-shapes", 8, "distinct shapes pooled before LRU eviction")
 	flag.Parse()
 
 	if err := run(dc); err != nil {
@@ -221,6 +240,34 @@ func run(dc daemonConfig) error {
 	sim, err := maxsim.New(simCfg)
 	if err != nil {
 		return err
+	}
+
+	// -precompute: pre-garble the model's shape in the background. Both
+	// poolable OT modes are admitted up front (the client picks the
+	// mode, the daemon cannot know which); any other shape the traffic
+	// teaches is admitted on first miss. eng stays nil when disabled —
+	// the protocol layer treats a nil engine as always-miss.
+	var eng *precompute.Engine
+	if dc.precompute {
+		eng, err = precompute.New(precompute.Config{
+			Sim:       simCfg,
+			PoolSize:  dc.precomputePool,
+			MaxShapes: dc.precomputeShapes,
+			Metrics:   o.Metrics(),
+		})
+		if err != nil {
+			return fmt.Errorf("precompute engine: %w", err)
+		}
+		srv.WithPrecompute(eng)
+		for _, ot := range []string{"per-round", "batched"} {
+			eng.Admit(precompute.Shape{
+				Rows: len(raw), Cols: len(raw[0]),
+				Width: dc.width, Signed: true, Mode: "matvec", OT: ot,
+			})
+		}
+		eng.Start()
+		log.Printf("maxd: precompute engine on (pool=%d per shape, max shapes=%d)",
+			dc.precomputePool, dc.precomputeShapes)
 	}
 
 	ln, err := net.Listen("tcp", dc.listen)
@@ -464,6 +511,7 @@ func run(dc daemonConfig) error {
 		// snapshot (and the load-shedding total) before the kill.
 		log.Printf("maxd: drain deadline %s expired, cancelling in-flight sessions shutdown_busy_rejects=%d",
 			dc.drainTimeout, busyRejects.Value())
+		eng.Stop() // escalating anyway: remaining requests fall back inline
 		logFinalSnapshot(o)
 		killSessions()
 		select {
@@ -473,6 +521,10 @@ func run(dc daemonConfig) error {
 		}
 	}
 
+	// Stop the refill workers and drain the pools before the final
+	// snapshot: a shut-down daemon must report zero pooled capacity, not
+	// its last warm depths.
+	eng.Stop()
 	logFinalSnapshot(o)
 	return acceptErr
 }

@@ -1,16 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/json"
 	"errors"
 	"io"
+	"log"
 	"math"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -576,4 +579,91 @@ func counterMoved(body, name string) bool {
 		}
 	}
 	return false
+}
+
+// TestPrecomputeWarmPoolServesAndDrainsOnShutdown boots maxd with the
+// offline/online split on, waits for the background workers to warm
+// the model's pool, serves one real client from it, and checks the
+// shutdown invariant of ISSUE 5: the final metrics snapshot reports
+// the hit and zero pooled capacity — no phantom entries survive the
+// daemon.
+func TestPrecomputeWarmPoolServesAndDrainsOnShutdown(t *testing.T) {
+	var logBuf syncBuffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	addr, maddr := freePort(t), freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(daemonConfig{
+			listen: addr, metricsAddr: maddr, width: 8, frac: 3,
+			demoRows: 2, demoCols: 2, seed: 7, once: true,
+			drainTimeout: 5 * time.Second,
+			precompute:   true, precomputePool: 1, precomputeShapes: 4,
+		})
+	}()
+
+	// Wait for the refill workers to warm the admitted shape.
+	const depthLine = `precompute_pool_depth{shape="2x2/b8s/matvec/per-round"} 1`
+	warm := false
+	for i := 0; i < 500 && !warm; i++ {
+		warm = strings.Contains(httpGet(t, "http://"+maddr+"/metrics"), depthLine)
+		if !warm {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !warm {
+		t.Fatal("pool never warmed for the model shape")
+	}
+
+	f := fixed.Format{Width: 8, Frac: 3}
+	raw, err := f.EncodeVector([]float64{1.0, -1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialWire(t, addr)
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Run(conn, raw); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The final snapshot (after engine Stop) must show the hit and a
+	// fully drained pool.
+	logs := logBuf.String()
+	snap := logs[strings.LastIndex(logs, "final metrics snapshot"):]
+	if !strings.Contains(snap, `precompute_hits_total{shape="2x2/b8s/matvec/per-round"} 1`) {
+		t.Fatalf("warm pool did not serve the request:\n%s", snap)
+	}
+	if !strings.Contains(snap, `precompute_pool_depth{shape="2x2/b8s/matvec/per-round"} 0`) {
+		t.Fatalf("pool depth not drained to zero at shutdown:\n%s", snap)
+	}
+	if !strings.Contains(snap, "precompute_shapes 0") {
+		t.Fatalf("shapes gauge not drained to zero at shutdown:\n%s", snap)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: run's goroutine logs
+// concurrently with the test's reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

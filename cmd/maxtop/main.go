@@ -262,6 +262,59 @@ func render(w io.Writer, url string, prev, cur *snapshot) {
 	}
 	fmt.Fprintf(w, "latency     ot_setup %s   session %s\n", lat("ot_setup_seconds"), lat("session_seconds"))
 
+	// Precompute panel: only rendered once the daemon exposes the
+	// offline/online split (maxd -precompute).
+	hits := cur.sumBy("precompute_hits_total", "shape")
+	misses := cur.sumBy("precompute_misses_total", "shape")
+	depths := cur.sumBy("precompute_pool_depth", "shape")
+	if len(hits) > 0 || len(misses) > 0 || len(depths) > 0 {
+		missBy := map[string]float64{}
+		var hitTotal, missTotal float64
+		for _, e := range misses {
+			missBy[e.Label] = e.Value
+			missTotal += e.Value
+		}
+		hitBy := map[string]float64{}
+		for _, e := range hits {
+			hitBy[e.Label] = e.Value
+			hitTotal += e.Value
+		}
+		ratio := func(h, m float64) string {
+			if h+m == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.0f%%", 100*h/(h+m))
+		}
+		fmt.Fprintf(w, "precompute  hits %.0f   misses %.0f   hit ratio %s   shapes %.0f   evictions %.0f\n",
+			hitTotal, missTotal, ratio(hitTotal, missTotal),
+			cur.val("precompute_shapes"), cur.val("precompute_evictions_total"))
+		shapes := map[string]bool{}
+		for _, e := range depths {
+			shapes[e.Label] = true
+		}
+		for l := range hitBy {
+			shapes[l] = true
+		}
+		for l := range missBy {
+			shapes[l] = true
+		}
+		names := make([]string, 0, len(shapes))
+		for l := range shapes {
+			names = append(names, l)
+		}
+		sort.Strings(names)
+		depthBy := map[string]float64{}
+		for _, e := range depths {
+			depthBy[e.Label] = e.Value
+		}
+		t := report.NewTable("\nper-shape", "shape", "depth", "hits", "hit ratio")
+		for _, l := range names {
+			t.AddRow(l, fmt.Sprintf("%.0f", depthBy[l]),
+				fmt.Sprintf("%.0f", hitBy[l]), ratio(hitBy[l], missBy[l]))
+		}
+		fmt.Fprint(w, t.String())
+	}
+
 	cores := cur.sumBy("core_tables_total", "core")
 	if len(cores) > 0 {
 		idle := map[string]float64{}

@@ -40,6 +40,13 @@ core_tables_total{core="0"} 100
 core_tables_total{core="1"} 90
 core_tables_total{core="10"} 80
 core_idle_slots_total{core="0"} 7
+# TYPE precompute_hits_total counter
+precompute_hits_total{shape="16x16/b16s/matvec/batched"} 9
+precompute_misses_total{shape="16x16/b16s/matvec/batched"} 1
+precompute_misses_total{shape="4x8/b16s/matvec/per-round"} 2
+precompute_pool_depth{shape="16x16/b16s/matvec/batched"} 3
+precompute_shapes 2
+precompute_evictions_total 1
 `
 
 func TestParseMetrics(t *testing.T) {
@@ -101,11 +108,34 @@ func TestRenderFrame(t *testing.T) {
 		"in 2.0 KiB   out 1.0 MiB",
 		"ot_setup avg 5.00ms (n=4)",
 		"session avg 500.00ms (n=3)",
+		"precompute  hits 9   misses 3   hit ratio 75%   shapes 2   evictions 1",
+		"per-shape",
+		"16x16/b16s/matvec/batched",
+		"4x8/b16s/matvec/per-round",
 		"per-core",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("frame missing %q:\n%s", want, out)
 		}
+	}
+	// The all-miss shape shows an empty depth and 0% hit ratio.
+	if !strings.Contains(out, "0%") {
+		t.Fatalf("per-shape hit ratio missing:\n%s", out)
+	}
+}
+
+// TestRenderFrameWithoutPrecompute: a daemon running without
+// -precompute must not grow a phantom panel.
+func TestRenderFrameWithoutPrecompute(t *testing.T) {
+	cur, err := parseMetrics(strings.NewReader("macs_total 10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.when = time.Unix(1000, 0)
+	var sb strings.Builder
+	render(&sb, "u", nil, cur)
+	if strings.Contains(sb.String(), "precompute") {
+		t.Fatalf("precompute panel rendered with no precompute metrics:\n%s", sb.String())
 	}
 }
 

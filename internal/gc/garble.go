@@ -78,6 +78,13 @@ type Garbled struct {
 	// EvalPairs holds the label pair of each evaluator input wire, the
 	// sender-side input to oblivious transfer.
 	EvalPairs []label.Pair
+	// GarblerPairs holds the label pair of each garbler input wire.
+	// Material.GarblerActive is the per-value selection from these
+	// pairs; retaining them lets a precomputation layer garble before
+	// the garbler's inputs are known and select the active labels later
+	// (the offline/online split — tables and labels are input-
+	// independent, only the selection is not).
+	GarblerPairs []label.Pair
 	// OutputPairs holds the label pair of each output wire; the garbler
 	// can decode or verify outputs with them.
 	OutputPairs []label.Pair
@@ -199,15 +206,13 @@ func (g *Garbler) Garble(c *circuit.Circuit, opts GarbleOptions) (*Garbled, erro
 	// of const-1 its TRUE label.
 	res.Material.ConstActive[0] = wire0[circuit.Const0]
 	res.Material.ConstActive[1] = g.delta.Flip(wire0[circuit.Const1])
-	// Garbler inputs: active labels for the garbler's values.
+	// Garbler inputs: active labels for the garbler's values, selected
+	// from the retained pairs.
 	res.Material.GarblerActive = make([]label.Label, c.NGarbler)
+	res.GarblerPairs = make([]label.Pair, c.NGarbler)
 	for i, v := range opts.GarblerInputs {
-		w := c.GarblerInputWire(i)
-		if v {
-			res.Material.GarblerActive[i] = g.delta.Flip(wire0[w])
-		} else {
-			res.Material.GarblerActive[i] = wire0[w]
-		}
+		res.GarblerPairs[i] = label.NewPair(wire0[c.GarblerInputWire(i)], g.delta)
+		res.Material.GarblerActive[i] = res.GarblerPairs[i].Get(v)
 	}
 	for i := range res.EvalPairs {
 		res.EvalPairs[i] = label.NewPair(wire0[c.EvaluatorInputWire(i)], g.delta)

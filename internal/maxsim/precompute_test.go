@@ -1,0 +1,136 @@
+package maxsim
+
+import (
+	"bytes"
+	"testing"
+
+	"maxelerator/internal/gc"
+	"maxelerator/internal/label"
+)
+
+func seededSim(t *testing.T, seed byte) *Simulator {
+	t.Helper()
+	var s [16]byte
+	s[0] = seed
+	drbg, err := label.NewDRBG(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Config{Width: 8, AccWidth: 24, Signed: true, Rand: drbg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestPreGarbleMatchesInline is the determinism invariant the
+// offline/online split rests on: under the same randomness stream, a
+// pre-garbled-then-bound run is byte-identical to an inline garbling of
+// the same vector — tables, active labels, eval pairs, everything the
+// wire or the OT would carry.
+func TestPreGarbleMatchesInline(t *testing.T) {
+	x := []int64{3, -7, 0, 127, -128}
+
+	inline, err := seededSim(t, 9).GarbleDotProduct(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := seededSim(t, 9).PreGarbleDotProduct(len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := pre.Bind(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(bound.Rounds) != len(inline.Rounds) {
+		t.Fatalf("rounds %d != %d", len(bound.Rounds), len(inline.Rounds))
+	}
+	for r := range inline.Rounds {
+		wantM, err := gc.MarshalMaterial(&inline.Rounds[r].Material)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotM, err := gc.MarshalMaterial(&bound.Rounds[r].Material)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantM, gotM) {
+			t.Fatalf("round %d: bound material differs from inline garbling", r)
+		}
+		for i := range inline.Rounds[r].EvalPairs {
+			if bound.Rounds[r].EvalPairs[i] != inline.Rounds[r].EvalPairs[i] {
+				t.Fatalf("round %d: eval pair %d differs", r, i)
+			}
+		}
+	}
+	for i := range inline.OutputPairs {
+		if bound.OutputPairs[i] != inline.OutputPairs[i] {
+			t.Fatalf("output pair %d differs", i)
+		}
+	}
+	if bound.Stats != inline.Stats {
+		t.Fatalf("stats differ: bound %+v inline %+v", bound.Stats, inline.Stats)
+	}
+}
+
+// TestPreGarbleEvaluates closes the loop functionally: a bound run
+// evaluates to the true dot product.
+func TestPreGarbleEvaluates(t *testing.T) {
+	sim := seededSim(t, 4)
+	x := []int64{5, -3, 2}
+	a := []int64{-1, 4, 7}
+	pre, err := sim.PreGarbleDotProduct(len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Cols() != len(x) {
+		t.Fatalf("cols = %d, want %d", pre.Cols(), len(x))
+	}
+	run, err := pre.Bind(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateDotProduct(sim.Config().Params, sim.Circuit(), run, a, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(5*-1 + -3*4 + 2*7)
+	if got != want {
+		t.Fatalf("dot product = %d, want %d", got, want)
+	}
+}
+
+func TestPreRunBindOnce(t *testing.T) {
+	pre, err := seededSim(t, 1).PreGarbleDotProduct(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pre.Bind([]int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pre.Bind([]int64{1, 2}); err == nil {
+		t.Fatal("second Bind succeeded; pre-garbled labels must be single-use")
+	}
+}
+
+func TestPreRunBindValidates(t *testing.T) {
+	pre, err := seededSim(t, 2).PreGarbleDotProduct(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pre.Bind([]int64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := pre.Bind([]int64{1, 1 << 20}); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+	// Failed binds must not consume the run.
+	if _, err := pre.Bind([]int64{1, 2}); err != nil {
+		t.Fatalf("valid bind after rejected binds: %v", err)
+	}
+	if _, err := seededSim(t, 3).PreGarbleDotProduct(0); err == nil {
+		t.Fatal("zero-round pre-garble accepted")
+	}
+}

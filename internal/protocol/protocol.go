@@ -40,6 +40,7 @@ import (
 	"maxelerator/internal/gc"
 	"maxelerator/internal/maxsim"
 	"maxelerator/internal/obs"
+	"maxelerator/internal/precompute"
 	"maxelerator/internal/wire"
 )
 
@@ -352,6 +353,10 @@ type Server struct {
 	// timeouts are the default per-operation I/O budgets applied to
 	// every session (overridable per session via SessionConfig).
 	timeouts Timeouts
+	// pre, when non-nil, is the offline/online precomputation engine:
+	// matvec requests first try a pre-garbled pool entry and only fall
+	// back to inline garbling on a miss.
+	pre *precompute.Engine
 }
 
 // NewServer builds a server around an accelerator configuration.
@@ -374,6 +379,30 @@ func (s *Server) WithObs(o *obs.Obs) *Server {
 	s.obs = o
 	s.cfg.Metrics = o.Metrics()
 	return s
+}
+
+// WithPrecompute attaches an offline/online precomputation engine:
+// every matvec request (per-round or batched OT) first tries a
+// pre-garbled pool entry for its shape — the online path then runs only
+// OT, table streaming and decode, skipping garbling entirely — and
+// falls back to inline garbling on a miss, with identical wire format
+// either way. Misses teach the engine the shape, so steady traffic
+// converges to pool hits. Call before serving; returns s for chaining.
+func (s *Server) WithPrecompute(eng *precompute.Engine) *Server {
+	s.pre = eng
+	return s
+}
+
+// shapeOf keys a request into the precompute pool namespace.
+func (s *Server) shapeOf(req Request) precompute.Shape {
+	return precompute.Shape{
+		Rows:   len(req.Matrix),
+		Cols:   len(req.Matrix[0]),
+		Width:  s.cfg.Width,
+		Signed: s.cfg.Signed,
+		Mode:   wireModeMatVec,
+		OT:     req.OT.String(),
+	}
 }
 
 // WithTimeouts sets the default per-operation I/O budgets for every

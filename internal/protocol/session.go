@@ -274,6 +274,26 @@ func (sess *ServerSession) serveRows(ctx context.Context, req Request) (*Respons
 		workers = sess.workers
 	}
 
+	// Offline/online split: a pool hit replaces garbling with material
+	// that was pre-garbled during idle time — the online path below is
+	// then OT + table streaming + decode only. A miss (or no engine)
+	// falls through to inline garbling; the bytes on the wire are
+	// identical either way, so the evaluator cannot tell (and need not
+	// care) which path served it.
+	var pre []*maxsim.DotProductRun
+	if eng := sess.srv.pre; eng != nil {
+		if ent := eng.Take(sess.srv.shapeOf(req)); ent != nil {
+			bound, err := ent.Bind(A)
+			if err != nil {
+				return nil, err
+			}
+			pre = bound
+			ss.tr.SetAttr("precompute", "hit")
+		} else {
+			ss.tr.SetAttr("precompute", "miss")
+		}
+	}
+
 	rounds := ss.tr.StartSpan("rounds")
 	defer rounds.End()
 	var agg Stats
@@ -298,7 +318,16 @@ func (sess *ServerSession) serveRows(ctx context.Context, req Request) (*Respons
 		}
 		return nil
 	}
-	if err := sess.garbleRows(ctx, A, workers, emit); err != nil {
+	if pre != nil {
+		for i, run := range pre {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("protocol: streaming interrupted at row %d: %w", i, err)
+			}
+			if err := emit(i, run); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := sess.garbleRows(ctx, A, workers, emit); err != nil {
 		return nil, err
 	}
 	if req.OT == OTBatched {
