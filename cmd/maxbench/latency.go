@@ -8,15 +8,18 @@
 //
 //	maxbench -latency -rows 16 -cols 16 -b 16 -requests 30 -precompute
 //	maxbench -latency -precompute -json   # machine-readable
+//
+// measurePass is also the engine under -grid (grid.go): every grid
+// cell is one pass at a fixed OT mode × shape × serving mode.
 package main
 
 import (
 	"crypto/rand"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"maxelerator/internal/maxsim"
@@ -32,7 +35,6 @@ type latencyConfig struct {
 	requests   int
 	precompute bool
 	pool       int
-	jsonOut    bool
 }
 
 // latencyResult is one measured pass; all times in milliseconds so the
@@ -55,7 +57,7 @@ type latencyReport struct {
 	SpeedupP50 float64         `json:"speedup_p50,omitempty"`
 }
 
-func runLatency(lc latencyConfig, w io.Writer) error {
+func runLatency(lc latencyConfig, out *output) error {
 	if lc.rows <= 0 || lc.cols <= 0 {
 		return fmt.Errorf("latency: rows and cols must be positive (got %dx%d)", lc.rows, lc.cols)
 	}
@@ -64,12 +66,15 @@ func runLatency(lc latencyConfig, w io.Writer) error {
 	}
 
 	rep := latencyReport{Rows: lc.rows, Cols: lc.cols, Width: lc.width}
+	out.progressf("latency: inline pass (%d requests, %dx%d b=%d)...",
+		lc.requests, lc.rows, lc.cols, lc.width)
 	inline, err := measureLatency(lc, false)
 	if err != nil {
 		return err
 	}
 	rep.Results = append(rep.Results, inline)
 	if lc.precompute {
+		out.progressf("latency: precomputed pass (%d requests, warm pool)...", lc.requests)
 		pre, err := measureLatency(lc, true)
 		if err != nil {
 			return err
@@ -80,11 +85,10 @@ func runLatency(lc latencyConfig, w io.Writer) error {
 		}
 	}
 
-	if lc.jsonOut {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+	if out.json {
+		return out.emitJSON(rep)
 	}
+	w := out.data
 	fmt.Fprintf(w, "Online request latency, %d×%d matvec at b=%d (%d requests per pass)\n\n",
 		lc.rows, lc.cols, lc.width, lc.requests)
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "mode", "p50", "p95", "p99", "mean")
@@ -98,22 +102,96 @@ func runLatency(lc latencyConfig, w io.Writer) error {
 	return nil
 }
 
-// measureLatency runs lc.requests matvec requests over one multiplexed
-// session and clocks each request round trip. The connection handshake
-// and OT setup are paid once, outside the clocked region, in both
-// passes; in the precomputed pass each request is preceded by an
-// unclocked Prefill — that garbling is exactly the work the offline
-// phase moves off the request path.
+// measureLatency is the -latency pass: batched OT, per-request
+// unclocked prefill on the warm pass (the historical contract of the
+// mode), no allocation accounting.
 func measureLatency(lc latencyConfig, warm bool) (latencyResult, error) {
 	res := latencyResult{Mode: "inline", Requests: lc.requests}
 	if warm {
 		res.Mode = "precomputed"
 	}
-	cfg := maxsim.Config{Width: lc.width, AccWidth: 2 * lc.width, Signed: true}
-	A := make([][]int64, lc.rows)
-	y := make([]int64, lc.cols)
+	ps, err := measurePass(passConfig{
+		rows: lc.rows, cols: lc.cols, width: lc.width, ot: protocol.OTBatched,
+		requests: lc.requests, warm: warm, pool: lc.pool,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.P50Ms = ms(percentile(ps.samples, 50))
+	res.P95Ms = ms(percentile(ps.samples, 95))
+	res.P99Ms = ms(percentile(ps.samples, 99))
+	res.MeanMs = ms(ps.mean())
+	return res, nil
+}
+
+// passConfig fixes one measured pass: a workload shape, an OT mode and
+// a serving mode.
+type passConfig struct {
+	rows, cols int
+	width      int
+	ot         protocol.OTMode
+	requests   int
+	// warm serves from a precompute pool. With prefillAll the whole
+	// pool is built before the clocked loop (grid cells: a fully warm
+	// steady state); without it one entry is prefilled, unclocked,
+	// before each request (the -latency contract).
+	warm       bool
+	prefillAll bool
+	// pool sizes the engine's per-shape refill target when warm;
+	// prefillAll passes ignore it and size the pool to requests.
+	pool int
+	// memstats collects runtime.MemStats deltas across the clocked
+	// loop (bytes/op, allocs/op).
+	memstats bool
+}
+
+// passStats is what one pass actually measured.
+type passStats struct {
+	// samples are the per-request round-trip times, sorted ascending.
+	samples []time.Duration
+	// tables is the garbled-table count the server reported across the
+	// clocked requests.
+	tables uint64
+	// bytesPerOp and allocsPerOp are MemStats deltas over the clocked
+	// loop divided by requests (zero unless memstats was set).
+	bytesPerOp  uint64
+	allocsPerOp uint64
+}
+
+// mean returns the average sample.
+func (ps passStats) mean() time.Duration {
+	if len(ps.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ps.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(ps.samples))
+}
+
+// onlineSeconds is the total clocked time of the pass.
+func (ps passStats) onlineSeconds() float64 {
+	var sum time.Duration
+	for _, d := range ps.samples {
+		sum += d
+	}
+	return sum.Seconds()
+}
+
+// measurePass runs pc.requests matvec requests over one multiplexed
+// in-memory session and clocks each request round trip. The connection
+// handshake and OT setup are paid once, outside the clocked region;
+// warm passes prefill the precompute pool off the clock — that
+// garbling is exactly the work the offline phase moves off the request
+// path.
+func measurePass(pc passConfig) (passStats, error) {
+	var ps passStats
+	cfg := maxsim.Config{Width: pc.width, AccWidth: 2 * pc.width, Signed: true}
+	A := make([][]int64, pc.rows)
+	y := make([]int64, pc.cols)
 	for i := range A {
-		A[i] = make([]int64, lc.cols)
+		A[i] = make([]int64, pc.cols)
 		for j := range A[i] {
 			A[i][j] = int64((i*31+j*17)%200 - 100)
 		}
@@ -121,31 +199,41 @@ func measureLatency(lc latencyConfig, warm bool) (latencyResult, error) {
 	for j := range y {
 		y[j] = int64(j%16 - 8)
 	}
-	req := protocol.Request{Matrix: A, OT: protocol.OTBatched}
-	shape := precompute.Shape{Rows: lc.rows, Cols: lc.cols, Width: lc.width,
-		Signed: true, Mode: "matvec", OT: protocol.OTBatched.String()}
+	req := protocol.Request{Matrix: A, OT: pc.ot}
+	shape := precompute.Shape{Rows: pc.rows, Cols: pc.cols, Width: pc.width,
+		Signed: true, Mode: "matvec", OT: pc.ot.String()}
 
 	srv, err := protocol.NewServer(cfg)
 	if err != nil {
-		return res, err
+		return ps, err
 	}
 	var eng *precompute.Engine
-	if warm {
-		eng, err = precompute.New(precompute.Config{Sim: cfg, PoolSize: lc.pool})
+	if pc.warm {
+		pool := pc.pool
+		if pc.prefillAll {
+			pool = pc.requests
+		}
+		eng, err = precompute.New(precompute.Config{Sim: cfg, PoolSize: pool})
 		if err != nil {
-			return res, err
+			return ps, err
 		}
 		defer eng.Stop()
 		srv.WithPrecompute(eng)
+		if pc.prefillAll {
+			if err := eng.Prefill(shape, pc.requests); err != nil {
+				return ps, err
+			}
+		}
 	}
 	cli, err := protocol.NewClient(rand.Reader)
 	if err != nil {
-		return res, err
+		return ps, err
 	}
 
 	ca, cb := wire.Pipe()
 	defer ca.Close()
 	defer cb.Close()
+	var tables atomic.Uint64
 	srvDone := make(chan error, 1)
 	go func() {
 		sess, err := srv.NewSession(ca, protocol.SessionConfig{})
@@ -155,50 +243,58 @@ func measureLatency(lc latencyConfig, warm bool) (latencyResult, error) {
 		}
 		defer sess.Close()
 		for {
-			if _, err := sess.Serve(req); err != nil {
+			resp, err := sess.Serve(req)
+			if err != nil {
 				if errors.Is(err, protocol.ErrSessionEnded) {
 					err = nil
 				}
 				srvDone <- err
 				return
 			}
+			tables.Add(resp.Stats.TablesGarbled)
 		}
 	}()
 	cs, err := cli.Dial(cb)
 	if err != nil {
-		return res, err
+		return ps, err
 	}
 
-	samples := make([]time.Duration, 0, lc.requests)
-	for i := 0; i < lc.requests; i++ {
-		if eng != nil {
+	var m0 runtime.MemStats
+	if pc.memstats {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+	}
+	samples := make([]time.Duration, 0, pc.requests)
+	for i := 0; i < pc.requests; i++ {
+		if eng != nil && !pc.prefillAll {
 			if err := eng.Prefill(shape, 1); err != nil {
-				return res, err
+				return ps, err
 			}
 		}
 		start := time.Now()
 		if _, err := cs.Do(y); err != nil {
-			return res, err
+			return ps, err
 		}
 		samples = append(samples, time.Since(start))
 	}
+	if pc.memstats {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		n := uint64(pc.requests)
+		ps.bytesPerOp = (m1.TotalAlloc - m0.TotalAlloc) / n
+		ps.allocsPerOp = (m1.Mallocs - m0.Mallocs) / n
+	}
 	if err := cs.Close(); err != nil {
-		return res, err
+		return ps, err
 	}
 	if err := <-srvDone; err != nil {
-		return res, err
+		return ps, err
 	}
 
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	var sum time.Duration
-	for _, d := range samples {
-		sum += d
-	}
-	res.P50Ms = ms(percentile(samples, 50))
-	res.P95Ms = ms(percentile(samples, 95))
-	res.P99Ms = ms(percentile(samples, 99))
-	res.MeanMs = ms(sum / time.Duration(len(samples)))
-	return res, nil
+	ps.samples = samples
+	ps.tables = tables.Load()
+	return ps, nil
 }
 
 // percentile reads the nearest-rank percentile from sorted samples.

@@ -8,18 +8,24 @@ import (
 	"time"
 )
 
+// testOutput returns an output plus the two capture buffers (data, msg).
+func testOutput(jsonOut bool) (*output, *bytes.Buffer, *bytes.Buffer) {
+	data, msg := &bytes.Buffer{}, &bytes.Buffer{}
+	return &output{json: jsonOut, data: data, msg: msg}, data, msg
+}
+
 // TestRunLatencyJSON runs the smallest real measurement through both
 // passes and checks the machine-readable artefact: two modes, sane
 // ordering of the percentiles, and a reported speedup.
 func TestRunLatencyJSON(t *testing.T) {
-	var out bytes.Buffer
-	lc := latencyConfig{rows: 2, cols: 2, width: 8, requests: 3, precompute: true, pool: 1, jsonOut: true}
-	if err := runLatency(lc, &out); err != nil {
+	out, data, msg := testOutput(true)
+	lc := latencyConfig{rows: 2, cols: 2, width: 8, requests: 3, precompute: true, pool: 1}
+	if err := runLatency(lc, out); err != nil {
 		t.Fatal(err)
 	}
 	var rep latencyReport
-	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
-		t.Fatalf("latency JSON did not parse: %v\n%s", err, out.String())
+	if err := json.Unmarshal(data.Bytes(), &rep); err != nil {
+		t.Fatalf("latency JSON did not parse: %v\n%s", err, data.String())
 	}
 	if len(rep.Results) != 2 || rep.Results[0].Mode != "inline" || rep.Results[1].Mode != "precomputed" {
 		t.Fatalf("results = %+v, want inline then precomputed", rep.Results)
@@ -35,47 +41,108 @@ func TestRunLatencyJSON(t *testing.T) {
 	if rep.SpeedupP50 <= 0 {
 		t.Fatalf("speedup = %v, want > 0", rep.SpeedupP50)
 	}
+	// The unified writer contract: the data stream is pure JSON,
+	// progress lives on the message stream.
+	if !json.Valid(data.Bytes()) {
+		t.Fatalf("data stream is not pure JSON:\n%s", data.String())
+	}
+	if !strings.Contains(msg.String(), "inline pass") {
+		t.Fatalf("progress missing from message stream:\n%s", msg.String())
+	}
 }
 
 func TestRunLatencyHumanOutput(t *testing.T) {
-	var out bytes.Buffer
+	out, data, msg := testOutput(false)
 	lc := latencyConfig{rows: 2, cols: 2, width: 8, requests: 2}
-	if err := runLatency(lc, &out); err != nil {
+	if err := runLatency(lc, out); err != nil {
 		t.Fatal(err)
 	}
-	s := out.String()
+	s := data.String()
 	if !strings.Contains(s, "p50") || !strings.Contains(s, "inline") {
 		t.Fatalf("human output missing table:\n%s", s)
 	}
 	if strings.Contains(s, "precomputed") {
 		t.Fatalf("precomputed pass ran without -precompute:\n%s", s)
 	}
+	// Progress never pollutes the artifact stream.
+	if strings.Contains(s, "pass (") {
+		t.Fatalf("progress leaked onto the data stream:\n%s", s)
+	}
+	if msg.Len() == 0 {
+		t.Fatal("no progress on the message stream")
+	}
 }
 
 func TestRunLatencyValidates(t *testing.T) {
-	var out bytes.Buffer
-	if err := runLatency(latencyConfig{rows: 0, cols: 2, width: 8, requests: 1}, &out); err == nil {
+	out, _, _ := testOutput(false)
+	if err := runLatency(latencyConfig{rows: 0, cols: 2, width: 8, requests: 1}, out); err == nil {
 		t.Fatal("zero rows accepted")
 	}
-	if err := runLatency(latencyConfig{rows: 2, cols: 2, width: 8, requests: 0}, &out); err == nil {
+	if err := runLatency(latencyConfig{rows: 2, cols: 2, width: 8, requests: 0}, out); err == nil {
 		t.Fatal("zero requests accepted")
 	}
-	if err := runLatency(latencyConfig{rows: 2, cols: 2, width: 7, requests: 1}, &out); err == nil {
+	if err := runLatency(latencyConfig{rows: 2, cols: 2, width: 7, requests: 1}, out); err == nil {
 		t.Fatal("bad width accepted")
 	}
 }
 
+// TestPercentileNearestRank pins the nearest-rank percentile math with
+// a table over known samples, including the n=1 and rank-equals-n
+// edge cases the -latency and -grid artifacts depend on.
 func TestPercentileNearestRank(t *testing.T) {
-	sorted := []time.Duration{10, 20, 30, 40}
 	for _, tc := range []struct {
-		p    int
-		want time.Duration
-	}{{50, 20}, {95, 40}, {99, 40}, {1, 10}} {
-		if got := percentile(sorted, tc.p); got != tc.want {
-			t.Fatalf("p%d = %v, want %v", tc.p, got, tc.want)
+		name   string
+		sorted []time.Duration
+		p      int
+		want   time.Duration
+	}{
+		{"empty", nil, 50, 0},
+		// n=1: every percentile is the single sample.
+		{"n=1 p1", []time.Duration{7}, 1, 7},
+		{"n=1 p50", []time.Duration{7}, 50, 7},
+		{"n=1 p99", []time.Duration{7}, 99, 7},
+		{"n=1 p100", []time.Duration{7}, 100, 7},
+		// n=4: ceil(p*n/100) ranks.
+		{"n=4 p1", []time.Duration{10, 20, 30, 40}, 1, 10},
+		{"n=4 p25", []time.Duration{10, 20, 30, 40}, 25, 10},
+		{"n=4 p50", []time.Duration{10, 20, 30, 40}, 50, 20},
+		{"n=4 p51", []time.Duration{10, 20, 30, 40}, 51, 30},
+		{"n=4 p75", []time.Duration{10, 20, 30, 40}, 75, 30},
+		{"n=4 p95", []time.Duration{10, 20, 30, 40}, 95, 40},
+		{"n=4 p99", []time.Duration{10, 20, 30, 40}, 99, 40},
+		// rank equals n exactly (p*n/100 integral at the top).
+		{"n=4 p100", []time.Duration{10, 20, 30, 40}, 100, 40},
+		{"n=100 p50", mkSamples(100), 50, 50},
+		{"n=100 p99", mkSamples(100), 99, 99},
+		{"n=100 p100", mkSamples(100), 100, 100},
+		// p=0 clamps to the first sample rather than indexing below it.
+		{"p0 clamps", []time.Duration{10, 20}, 0, 10},
+	} {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(p=%d) = %v, want %v", tc.name, tc.p, got, tc.want)
 		}
 	}
-	if got := percentile(nil, 50); got != 0 {
-		t.Fatalf("empty percentile = %v, want 0", got)
+}
+
+// mkSamples builds 1..n as durations.
+func mkSamples(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i + 1)
+	}
+	return out
+}
+
+func TestPassStatsMeanAndOnlineSeconds(t *testing.T) {
+	ps := passStats{samples: []time.Duration{time.Millisecond, 3 * time.Millisecond}}
+	if got := ps.mean(); got != 2*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := ps.onlineSeconds(); got != 0.004 {
+		t.Fatalf("onlineSeconds = %v", got)
+	}
+	var empty passStats
+	if empty.mean() != 0 || empty.onlineSeconds() != 0 {
+		t.Fatal("empty passStats not zero")
 	}
 }

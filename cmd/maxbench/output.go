@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// output is maxbench's one writer: machine-readable artifacts go to
+// the data stream (stdout) and human progress goes to the message
+// stream (stderr), so `maxbench -grid -json > BENCH_PR6.json` captures
+// a clean artifact while the terminal still shows the sweep advancing.
+// Before this split, -latency interleaved progress and JSON on stdout.
+type output struct {
+	// json selects the artifact format on the data stream.
+	json bool
+	// data receives the artifact (JSON or the human table).
+	data io.Writer
+	// msg receives progress lines, never artifact bytes.
+	msg io.Writer
+}
+
+// progressf writes one human progress line to the message stream.
+func (o *output) progressf(format string, a ...any) {
+	fmt.Fprintf(o.msg, format+"\n", a...)
+}
+
+// emitJSON writes v as the indented-JSON artifact.
+func (o *output) emitJSON(v any) error {
+	enc := json.NewEncoder(o.data)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -42,10 +42,19 @@
 //
 //	GET /metrics         Prometheus text exposition (garbling
 //	                     throughput, stall cycles, per-core counters,
-//	                     OT and session latency histograms, ...)
+//	                     OT and session latency histograms, plus
+//	                     runtime_* gauges: goroutines, heap occupancy,
+//	                     GC cycles and a GC pause histogram, sampled
+//	                     fresh at every scrape)
 //	GET /debug/sessions  recent session phase traces as JSON
 //	GET /healthz         ok | degraded (connections queueing) |
 //	                     overloaded (recently shed load; answers 503)
+//
+// Adding -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on the same address, so CPU, heap and block profiles
+// can be pulled from the live daemon:
+//
+//	go tool pprof http://127.0.0.1:7701/debug/pprof/profile?seconds=10
 //
 // On SIGINT/SIGTERM the daemon stops accepting, drains in-flight
 // sessions up to -drain-timeout, and flushes a final metrics snapshot
@@ -62,6 +71,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -108,6 +118,11 @@ type daemonConfig struct {
 	precompute       bool
 	precomputePool   int
 	precomputeShapes int
+	// pprof mounts net/http/pprof under /debug/pprof/ on the metrics
+	// address, so CPU/heap/block profiles can be pulled from a live
+	// daemon. Off by default: profiling endpoints can stall the world
+	// and belong behind an explicit operator decision.
+	pprof bool
 }
 
 func main() {
@@ -130,6 +145,7 @@ func main() {
 	flag.BoolVar(&dc.precompute, "precompute", false, "pre-garble MAC circuits in the background so requests serve from a warm pool")
 	flag.IntVar(&dc.precomputePool, "precompute-pool", 4, "precomputed entries kept per shape")
 	flag.IntVar(&dc.precomputeShapes, "precompute-shapes", 8, "distinct shapes pooled before LRU eviction")
+	flag.BoolVar(&dc.pprof, "pprof", false, "mount /debug/pprof/ on the metrics address (requires -metrics-addr)")
 	flag.Parse()
 
 	if err := run(dc); err != nil {
@@ -291,10 +307,21 @@ func run(dc daemonConfig) error {
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		httpSrv = &http.Server{Handler: o.Handler()}
+		// Runtime observability rides along with the metrics surface:
+		// every scrape samples goroutines, heap occupancy and GC
+		// pause/cycle deltas, so a perf regression caught by the
+		// benchgrid gate is explainable from /metrics alone.
+		o.EnableRuntimeMetrics()
+		httpSrv = &http.Server{Handler: metricsHandler(o, dc.pprof)}
 		go httpSrv.Serve(mln)
 		defer httpSrv.Close()
-		log.Printf("maxd: observability on http://%s (/metrics /debug/sessions /healthz)", mln.Addr())
+		surface := "/metrics /debug/sessions /healthz"
+		if dc.pprof {
+			surface += " /debug/pprof/"
+		}
+		log.Printf("maxd: observability on http://%s (%s)", mln.Addr(), surface)
+	} else if dc.pprof {
+		return fmt.Errorf("-pprof requires -metrics-addr")
 	}
 
 	// Graceful shutdown: a signal stops the accept loop; in-flight
@@ -527,6 +554,28 @@ func run(dc daemonConfig) error {
 	eng.Stop()
 	logFinalSnapshot(o)
 	return acceptErr
+}
+
+// metricsHandler assembles the daemon's HTTP observability surface:
+// the obs handler (/metrics, /debug/sessions, /healthz) plus, when
+// pprofOn, the net/http/pprof endpoints under /debug/pprof/ — CPU,
+// heap, goroutine, block and mutex profiles pulled from the live
+// daemon with the standard `go tool pprof` flow. The pprof routes are
+// mounted explicitly rather than via the package's DefaultServeMux
+// side effect, so disabling the flag really removes the surface.
+func metricsHandler(o *obs.Obs, pprofOn bool) http.Handler {
+	h := o.Handler()
+	if !pprofOn {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // logFinalSnapshot flushes the complete metrics state to the log so a

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -666,4 +667,98 @@ func (b *syncBuffer) String() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.String()
+}
+
+// TestMetricsHandlerPprofGating: the pprof surface exists only behind
+// the flag — a daemon without -pprof must 404 every /debug/pprof path.
+func TestMetricsHandlerPprofGating(t *testing.T) {
+	o := obs.New(0)
+	o.Metrics().Counter("gating_probe_total", "registered so /metrics has a body").Inc()
+	plain := httptest.NewServer(metricsHandler(o, false))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -pprof = %s, want 404", resp.Status)
+	}
+
+	profiled := httptest.NewServer(metricsHandler(o, true))
+	defer profiled.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap", "/metrics", "/healthz"} {
+		resp, err := http.Get(profiled.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s with -pprof = %s", path, resp.Status)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s returned an empty body", path)
+		}
+	}
+}
+
+// TestPprofRequiresMetricsAddr: the flag is meaningless without the
+// sidecar, so the daemon refuses the combination instead of silently
+// profiling nothing.
+func TestPprofRequiresMetricsAddr(t *testing.T) {
+	err := run(daemonConfig{listen: "127.0.0.1:0", width: 8, frac: 3, demoRows: 2, demoCols: 2, seed: 1, once: true, pprof: true})
+	if err == nil || !strings.Contains(err.Error(), "-metrics-addr") {
+		t.Fatalf("err = %v, want -pprof requires -metrics-addr", err)
+	}
+}
+
+// TestRuntimeMetricsAndPprofEndToEnd boots maxd with -metrics-addr and
+// -pprof and checks the acceptance surface: /metrics exposes the
+// runtime collector families and /debug/pprof/profile yields a usable
+// CPU profile capture from the live daemon.
+func TestRuntimeMetricsAndPprofEndToEnd(t *testing.T) {
+	addr, maddr := freePort(t), freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(daemonConfig{listen: addr, metricsAddr: maddr, pprof: true,
+			width: 8, frac: 3, demoRows: 2, demoCols: 2, seed: 7, once: true, drainTimeout: 5 * time.Second})
+	}()
+
+	metrics := httpGet(t, "http://"+maddr+"/metrics")
+	for _, want := range []string{
+		"runtime_goroutines ",
+		"runtime_heap_inuse_bytes ",
+		"runtime_gc_pause_seconds_bucket",
+		"runtime_gc_cycles_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A one-second CPU capture through the live daemon: the pprof proto
+	// payload is gzip-framed (0x1f 0x8b) and non-trivial.
+	profile := httpGet(t, "http://"+maddr+"/debug/pprof/profile?seconds=1")
+	if len(profile) < 2 || profile[0] != 0x1f || byte(profile[1]) != 0x8b {
+		t.Fatalf("profile capture not a gzip pprof payload (%d bytes)", len(profile))
+	}
+
+	f := fixed.Format{Width: 8, Frac: 3}
+	raw, err := f.EncodeVector([]float64{1.0, -1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialWire(t, addr)
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Run(conn, raw); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,7 +1,8 @@
 // Command maxtop is a live terminal view over a running maxd: it polls
 // the daemon's /metrics endpoint (see maxd -metrics-addr) and renders
-// session, garbling-throughput, memory-system and latency figures,
-// plus a per-core table/idle breakdown of the MAC unit.
+// session, garbling-throughput, memory-system, latency and Go-runtime
+// figures (goroutines, heap occupancy, GC pause p99), plus a per-core
+// table/idle breakdown of the MAC unit.
 //
 // Usage:
 //
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -25,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"maxelerator/internal/obs"
 	"maxelerator/internal/report"
 )
 
@@ -185,6 +188,48 @@ func splitLabels(s string) []string {
 	return out
 }
 
+// histQuantile reconstructs a quantile from a scraped histogram's
+// cumulative buckets (name_bucket{le="..."} samples). Returns false
+// when the histogram is absent or has no samples.
+func histQuantile(s *snapshot, name string, q float64) (float64, bool) {
+	type bucket struct {
+		upper float64
+		cum   uint64
+	}
+	var buckets []bucket
+	for _, sm := range s.samples {
+		if sm.name != name+"_bucket" {
+			continue
+		}
+		le := sm.label("le")
+		var upper float64
+		if le == "+Inf" {
+			upper = math.Inf(1)
+		} else {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			upper = v
+		}
+		buckets = append(buckets, bucket{upper, uint64(sm.value)})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].upper < buckets[j].upper })
+	uppers := make([]float64, len(buckets))
+	cum := make([]uint64, len(buckets))
+	for i, b := range buckets {
+		uppers[i] = b.upper
+		cum[i] = b.cum
+	}
+	if cum[len(cum)-1] == 0 {
+		return 0, false
+	}
+	return obs.BucketQuantile(uppers, cum, q), true
+}
+
 // scrape fetches and parses one /metrics exposition.
 func scrape(url string) (*snapshot, error) {
 	resp, err := http.Get(url)
@@ -251,6 +296,25 @@ func render(w io.Writer, url string, prev, cur *snapshot) {
 		}
 	}
 	fmt.Fprintln(w, wireLine)
+
+	// Runtime panel: only rendered once the daemon exposes the Go
+	// runtime collector (maxd always enables it with -metrics-addr, but
+	// older daemons and partial scrapes may lack it). The GC pause p99
+	// is reconstructed from the scraped histogram buckets with the same
+	// interpolation obs.Histogram.Quantile uses server-side.
+	if _, ok := cur.get("runtime_goroutines"); ok {
+		gcLine := fmt.Sprintf("runtime     goroutines %.0f   heap inuse %s   idle %s   gc cycles %.0f",
+			cur.val("runtime_goroutines"),
+			report.Bytes(uint64(cur.val("runtime_heap_inuse_bytes"))),
+			report.Bytes(uint64(cur.val("runtime_heap_idle_bytes"))),
+			cur.val("runtime_gc_cycles_total"))
+		if p99, ok := histQuantile(cur, "runtime_gc_pause_seconds", 0.99); ok {
+			gcLine += fmt.Sprintf("   gc pause p99 %s", report.Dur(time.Duration(p99*float64(time.Second))))
+		} else {
+			gcLine += "   gc pause p99 —"
+		}
+		fmt.Fprintln(w, gcLine)
+	}
 
 	lat := func(name string, pairs ...string) string {
 		c := cur.val(name+"_count", pairs...)

@@ -47,6 +47,17 @@ precompute_misses_total{shape="4x8/b16s/matvec/per-round"} 2
 precompute_pool_depth{shape="16x16/b16s/matvec/batched"} 3
 precompute_shapes 2
 precompute_evictions_total 1
+# TYPE runtime_goroutines gauge
+runtime_goroutines 12
+runtime_heap_inuse_bytes 3145728
+runtime_heap_idle_bytes 1048576
+runtime_gc_cycles_total 4
+# TYPE runtime_gc_pause_seconds histogram
+runtime_gc_pause_seconds_bucket{le="0.0001"} 8
+runtime_gc_pause_seconds_bucket{le="0.001"} 10
+runtime_gc_pause_seconds_bucket{le="+Inf"} 10
+runtime_gc_pause_seconds_sum 0.0008
+runtime_gc_pause_seconds_count 10
 `
 
 func TestParseMetrics(t *testing.T) {
@@ -109,6 +120,8 @@ func TestRenderFrame(t *testing.T) {
 		"ot_setup avg 5.00ms (n=4)",
 		"session avg 500.00ms (n=3)",
 		"precompute  hits 9   misses 3   hit ratio 75%   shapes 2   evictions 1",
+		"runtime     goroutines 12   heap inuse 3.0 MiB   idle 1.0 MiB   gc cycles 4",
+		"gc pause p99",
 		"per-shape",
 		"16x16/b16s/matvec/batched",
 		"4x8/b16s/matvec/per-round",
@@ -125,7 +138,8 @@ func TestRenderFrame(t *testing.T) {
 }
 
 // TestRenderFrameWithoutPrecompute: a daemon running without
-// -precompute must not grow a phantom panel.
+// -precompute (or without the runtime collector) must not grow
+// phantom panels.
 func TestRenderFrameWithoutPrecompute(t *testing.T) {
 	cur, err := parseMetrics(strings.NewReader("macs_total 10\n"))
 	if err != nil {
@@ -136,6 +150,54 @@ func TestRenderFrameWithoutPrecompute(t *testing.T) {
 	render(&sb, "u", nil, cur)
 	if strings.Contains(sb.String(), "precompute") {
 		t.Fatalf("precompute panel rendered with no precompute metrics:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "runtime") {
+		t.Fatalf("runtime panel rendered with no runtime metrics:\n%s", sb.String())
+	}
+}
+
+// TestHistQuantile pins the scraped-bucket quantile reconstruction the
+// runtime panel's GC pause p99 uses.
+func TestHistQuantile(t *testing.T) {
+	snap, err := parseMetrics(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 of 10 samples under 0.1ms, all 10 under 1ms: p50 interpolates
+	// inside the first bucket, p99 inside the second.
+	p50, ok := histQuantile(snap, "runtime_gc_pause_seconds", 0.5)
+	if !ok || p50 <= 0 || p50 > 0.0001 {
+		t.Fatalf("p50 = %v, %v", p50, ok)
+	}
+	p99, ok := histQuantile(snap, "runtime_gc_pause_seconds", 0.99)
+	if !ok || p99 <= 0.0001 || p99 > 0.001 {
+		t.Fatalf("p99 = %v, %v", p99, ok)
+	}
+	if _, ok := histQuantile(snap, "absent_seconds", 0.5); ok {
+		t.Fatal("absent histogram produced a quantile")
+	}
+	empty, err := parseMetrics(strings.NewReader("e_bucket{le=\"+Inf\"} 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := histQuantile(empty, "e", 0.5); ok {
+		t.Fatal("empty histogram produced a quantile")
+	}
+}
+
+// TestRenderRuntimePanelEmptyPauses: a daemon that has never GCed
+// still renders the panel, with the pause quantile dashed out.
+func TestRenderRuntimePanelEmptyPauses(t *testing.T) {
+	cur, err := parseMetrics(strings.NewReader(
+		"runtime_goroutines 5\nruntime_gc_pause_seconds_bucket{le=\"+Inf\"} 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.when = time.Unix(1000, 0)
+	var sb strings.Builder
+	render(&sb, "u", nil, cur)
+	if !strings.Contains(sb.String(), "gc pause p99 —") {
+		t.Fatalf("empty pause histogram not dashed:\n%s", sb.String())
 	}
 }
 

@@ -1,0 +1,194 @@
+package benchgrid
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cell builds a healthy baseline cell at the given grid point.
+func cell(ot string, rows, cols, width int, warm bool) Cell {
+	return Cell{
+		OT: ot, Rows: rows, Cols: cols, Width: width, Precompute: warm,
+		Requests: 20, P50Ms: 10, P95Ms: 12, P99Ms: 14, MeanMs: 10.5,
+		TablesPerSec: 5000, BytesPerOp: 1 << 20, AllocsPerOp: 1000,
+	}
+}
+
+func grid(cells ...Cell) *Grid {
+	g := New("test")
+	g.Cells = cells
+	return g
+}
+
+func TestNewStampsVersionAndEnv(t *testing.T) {
+	g := New("maxbench -grid")
+	if g.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version = %d", g.SchemaVersion)
+	}
+	e := g.Env
+	if e.GoVersion == "" || e.GOOS == "" || e.GOARCH == "" || e.NumCPU <= 0 || e.GOMAXPROCS <= 0 {
+		t.Fatalf("env not stamped: %+v", e)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := grid(cell("batched", 16, 16, 16, false), cell("batched", 16, 16, 16, true))
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 2 || got.Cells[0].Key() != g.Cells[0].Key() {
+		t.Fatalf("round trip lost cells: %+v", got.Cells)
+	}
+	if _, ok := got.Cell("ot=batched/16x16/b=16/precompute=true"); !ok {
+		t.Fatal("warm cell not found by key")
+	}
+}
+
+func TestDecodeRejectsUnknownFieldsAndBadVersions(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema_version":1,"cells":[],"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"schema_version":99,"cells":[{"ot":"batched","rows":1,"cols":1,"width":8,"requests":1}]}`)); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := grid().Validate(); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	dup := grid(cell("batched", 4, 4, 8, false), cell("batched", 4, 4, 8, false))
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate cells accepted: %v", err)
+	}
+	bad := cell("batched", 4, 4, 8, false)
+	bad.Requests = 0
+	if err := grid(bad).Validate(); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	unordered := cell("batched", 4, 4, 8, false)
+	unordered.P95Ms = unordered.P99Ms + 1
+	if err := grid(unordered).Validate(); err == nil {
+		t.Fatal("unordered percentiles accepted")
+	}
+	var nilGrid *Grid
+	if err := nilGrid.Validate(); err == nil {
+		t.Fatal("nil grid accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompareIdenticalGridsClean(t *testing.T) {
+	g := grid(cell("per-round", 4, 4, 8, false), cell("batched", 16, 16, 16, true))
+	if regs := Compare(g, g, DefaultTolerances()); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %v", regs)
+	}
+}
+
+func TestCompareFlagsSlowdown(t *testing.T) {
+	base := grid(cell("batched", 16, 16, 16, false))
+	slow := cell("batched", 16, 16, 16, false)
+	slow.P50Ms *= 2
+	slow.P95Ms *= 2
+	slow.P99Ms *= 2
+	slow.MeanMs *= 2
+	regs := Compare(base, grid(slow), DefaultTolerances())
+	if len(regs) != 4 {
+		t.Fatalf("regs = %v, want 4 latency breaches", regs)
+	}
+	if regs[0].Metric != "p50_ms" || regs[0].Limit >= regs[0].New {
+		t.Fatalf("first regression = %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "p50_ms") {
+		t.Fatalf("String() = %q", regs[0].String())
+	}
+}
+
+func TestCompareWithinToleranceClean(t *testing.T) {
+	base := grid(cell("batched", 16, 16, 16, false))
+	near := cell("batched", 16, 16, 16, false)
+	near.P50Ms *= 1.10 // under the 25% + 0.5ms default bound
+	near.TablesPerSec *= 0.90
+	near.BytesPerOp += near.BytesPerOp / 20 // +5%, under 10%
+	if regs := Compare(base, grid(near), DefaultTolerances()); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift regressed: %v", regs)
+	}
+}
+
+func TestCompareLatencySlackAbsorbsTinyCells(t *testing.T) {
+	fast := cell("batched", 2, 2, 8, false)
+	fast.P50Ms, fast.P95Ms, fast.P99Ms, fast.MeanMs = 0.1, 0.1, 0.1, 0.1
+	jitter := fast
+	jitter.P50Ms, jitter.P95Ms, jitter.P99Ms, jitter.MeanMs = 0.4, 0.4, 0.4, 0.4 // 4x, but under +0.5ms slack
+	if regs := Compare(grid(fast), grid(jitter), DefaultTolerances()); len(regs) != 0 {
+		t.Fatalf("sub-slack jitter regressed: %v", regs)
+	}
+}
+
+func TestCompareThroughputAndAllocs(t *testing.T) {
+	base := grid(cell("per-round", 4, 4, 8, true))
+	worse := cell("per-round", 4, 4, 8, true)
+	worse.TablesPerSec /= 2
+	worse.AllocsPerOp *= 2
+	regs := Compare(base, grid(worse), DefaultTolerances())
+	got := map[string]bool{}
+	for _, r := range regs {
+		got[r.Metric] = true
+	}
+	if !got["tables_per_sec"] || !got["allocs_per_op"] || len(regs) != 2 {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestCompareNegativeToleranceDisables(t *testing.T) {
+	base := grid(cell("batched", 16, 16, 16, false))
+	slow := cell("batched", 16, 16, 16, false)
+	slow.P50Ms *= 10
+	slow.P95Ms *= 10
+	slow.P99Ms *= 10
+	slow.MeanMs *= 10
+	tol := DefaultTolerances()
+	tol.Latency = -1
+	if regs := Compare(base, grid(slow), tol); len(regs) != 0 {
+		t.Fatalf("disabled latency family still regressed: %v", regs)
+	}
+}
+
+func TestCompareMissingCells(t *testing.T) {
+	base := grid(cell("per-round", 4, 4, 8, false), cell("batched", 16, 16, 16, false))
+	reduced := grid(cell("per-round", 4, 4, 8, false))
+	if regs := Compare(base, reduced, DefaultTolerances()); len(regs) != 0 {
+		t.Fatalf("reduced grid regressed without RequireAll: %v", regs)
+	}
+	tol := DefaultTolerances()
+	tol.RequireAll = true
+	regs := Compare(base, reduced, tol)
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("regs = %v, want one missing-cell regression", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("String() = %q", regs[0].String())
+	}
+	// Cells only in the new grid are growth, never a regression.
+	if regs := Compare(reduced, base, tol); len(regs) != 0 {
+		t.Fatalf("grown grid regressed: %v", regs)
+	}
+}
+
+func TestCompareNilGrids(t *testing.T) {
+	if regs := Compare(nil, grid(cell("batched", 4, 4, 8, false)), DefaultTolerances()); regs != nil {
+		t.Fatalf("nil base produced regressions: %v", regs)
+	}
+}

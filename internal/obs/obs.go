@@ -27,6 +27,10 @@ type Obs struct {
 	// health, when set, is consulted by /healthz; it returns one of
 	// the Health* states.
 	health atomic.Pointer[func() string]
+	// onScrape, when set, runs before every /metrics exposition —
+	// the hook pull-style collectors (the runtime collector) use to
+	// sample exactly as fresh as the scrape.
+	onScrape atomic.Pointer[func()]
 }
 
 // New creates a registry plus a tracer retaining traceCapacity recent
@@ -62,6 +66,40 @@ func (o *Obs) SetHealth(f func() string) {
 	o.health.Store(&f)
 }
 
+// OnScrape installs a function run synchronously before every
+// /metrics exposition; it must be safe for concurrent calls. Pull-style
+// collectors use it so gauges are sampled at scrape time instead of on
+// a background timer that may be seconds stale.
+func (o *Obs) OnScrape(f func()) {
+	if o == nil {
+		return
+	}
+	o.onScrape.Store(&f)
+}
+
+// EnableRuntimeMetrics registers the Go runtime collector on the
+// registry and wires it to collect on every scrape. It returns the
+// collector so callers may also Collect explicitly (tests, snapshot
+// paths). Safe to call on a nil Obs (returns a no-op collector).
+func (o *Obs) EnableRuntimeMetrics() *RuntimeCollector {
+	if o == nil {
+		return nil
+	}
+	rc := NewRuntimeCollector(o.reg)
+	o.OnScrape(rc.Collect)
+	return rc
+}
+
+// scraped runs the installed pre-scrape hook, if any.
+func (o *Obs) scraped() {
+	if o == nil {
+		return
+	}
+	if f := o.onScrape.Load(); f != nil && *f != nil {
+		(*f)()
+	}
+}
+
 // healthStatus evaluates the installed health function.
 func (o *Obs) healthStatus() string {
 	if o == nil {
@@ -82,6 +120,7 @@ func (o *Obs) healthStatus() string {
 func (o *Obs) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		o.scraped()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.Metrics().WritePrometheus(w)
 	})

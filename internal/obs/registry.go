@@ -151,6 +151,68 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the winning bucket, the
+// same estimate Prometheus's histogram_quantile computes server-side.
+// Samples beyond the last finite bound live in the implicit +Inf
+// bucket, so when the quantile lands there the estimate clamps to the
+// highest finite bound. Returns 0 on an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	uppers := make([]float64, 0, len(h.bounds)+1)
+	cum := make([]uint64, 0, len(h.bounds)+1)
+	var run uint64
+	for i, b := range h.bounds {
+		run += h.buckets[i].Load()
+		uppers = append(uppers, b)
+		cum = append(cum, run)
+	}
+	uppers = append(uppers, math.Inf(1))
+	cum = append(cum, h.Count())
+	return BucketQuantile(uppers, cum, q)
+}
+
+// BucketQuantile estimates the q-th quantile from cumulative histogram
+// buckets: uppers are ascending bucket upper bounds (the last may be
+// +Inf), cum the cumulative sample counts per bound (Prometheus
+// `le`-style, so cum[len-1] is the total). It is the shared math behind
+// Histogram.Quantile and consumers of a scraped text exposition (the
+// maxtop runtime panel), interpolating linearly inside the winning
+// bucket and clamping a +Inf winner to the highest finite bound.
+func BucketQuantile(uppers []float64, cum []uint64, q float64) float64 {
+	if len(uppers) == 0 || len(uppers) != len(cum) {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(total)
+	for i, ub := range uppers {
+		if float64(cum[i]) < rank {
+			continue
+		}
+		lower, prev := 0.0, uint64(0)
+		if i > 0 {
+			lower, prev = uppers[i-1], cum[i-1]
+		}
+		if math.IsInf(ub, 1) {
+			// The quantile lives above every finite bound; the honest
+			// best estimate the buckets support is that bound.
+			return lower
+		}
+		inBucket := cum[i] - prev
+		if inBucket == 0 {
+			return ub
+		}
+		return lower + (ub-lower)*(rank-float64(prev))/float64(inBucket)
+	}
+	return uppers[len(uppers)-1]
+}
+
 type metricKind int
 
 const (

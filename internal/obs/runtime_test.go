@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 4})
+	// 10 samples uniformly in (0,1], 10 in (1,2]: the median splits the
+	// two buckets and p75 lands mid-way through the second.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %v, want 1 (boundary of first bucket)", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p75 = %v, want 1.5 (mid second bucket)", got)
+	}
+	if got := h.Quantile(0.25); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p25 = %v, want 0.5 (mid first bucket)", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h.Quantile(2); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("q=2 clamped = %v, want 2", got)
+	}
+}
+
+func TestHistogramQuantileInfSafe(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inf_seconds", "", []float64{1, 2})
+	h.Observe(100) // lands only in +Inf
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf quantile = %v, want clamp to highest finite bound 2", got)
+	}
+}
+
+func TestHistogramQuantileEmptyAndNil(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("e_seconds", "", []float64{1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil quantile = %v", got)
+	}
+}
+
+func TestBucketQuantileTable(t *testing.T) {
+	uppers := []float64{0.1, 0.5, 1, math.Inf(1)}
+	for _, tc := range []struct {
+		name string
+		cum  []uint64
+		q    float64
+		want float64
+	}{
+		{"all in first", []uint64{10, 10, 10, 10}, 0.5, 0.05},
+		{"median spans", []uint64{5, 10, 10, 10}, 0.5, 0.1},
+		{"upper bucket", []uint64{0, 0, 10, 10}, 0.5, 0.75},
+		{"inf clamps", []uint64{0, 0, 0, 10}, 0.99, 1},
+		{"empty", []uint64{0, 0, 0, 0}, 0.5, 0},
+	} {
+		if got := BucketQuantile(uppers, tc.cum, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("%s: BucketQuantile = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if got := BucketQuantile(nil, nil, 0.5); got != 0 {
+		t.Fatalf("nil buckets = %v", got)
+	}
+	if got := BucketQuantile([]float64{1}, []uint64{1, 2}, 0.5); got != 0 {
+		t.Fatalf("mismatched lengths = %v", got)
+	}
+}
+
+// TestRuntimeCollectorObservesForcedGC is the satellite contract: a
+// forced GC between two collects must advance the cycle counter and
+// land at least one pause sample in the histogram.
+func TestRuntimeCollectorObservesForcedGC(t *testing.T) {
+	r := NewRegistry()
+	rc := NewRuntimeCollector(r)
+	rc.Collect()
+	cyclesBefore := r.Counter("runtime_gc_cycles_total", "").Value()
+	pausesBefore := r.Histogram("runtime_gc_pause_seconds", "", GCPauseBuckets).Count()
+
+	runtime.GC()
+	rc.Collect()
+
+	if got := r.Counter("runtime_gc_cycles_total", "").Value(); got <= cyclesBefore {
+		t.Fatalf("gc_cycles = %d, want > %d after forced GC", got, cyclesBefore)
+	}
+	if got := r.Histogram("runtime_gc_pause_seconds", "", GCPauseBuckets).Count(); got <= pausesBefore {
+		t.Fatalf("pause samples = %d, want > %d after forced GC", got, pausesBefore)
+	}
+	if got := r.Gauge("runtime_goroutines", "").Value(); got < 1 {
+		t.Fatalf("runtime_goroutines = %d", got)
+	}
+	if got := r.Gauge("runtime_heap_inuse_bytes", "").Value(); got <= 0 {
+		t.Fatalf("runtime_heap_inuse_bytes = %d", got)
+	}
+	if got := r.Histogram("runtime_sched_latency_seconds", "", SchedLatencyBuckets).Count(); got < 2 {
+		t.Fatalf("sched latency samples = %d, want one per collect", got)
+	}
+}
+
+// TestRuntimeCollectorIdempotentBetweenGCs: with no GC between
+// collects, cycles and pauses must not move (no double-counting off
+// the circular PauseNs buffer).
+func TestRuntimeCollectorIdempotentBetweenGCs(t *testing.T) {
+	r := NewRegistry()
+	rc := NewRuntimeCollector(r)
+	runtime.GC()
+	rc.Collect()
+	cycles := r.Counter("runtime_gc_cycles_total", "").Value()
+	pauses := r.Histogram("runtime_gc_pause_seconds", "", GCPauseBuckets).Count()
+	rc.Collect()
+	rc.Collect()
+	if got := r.Counter("runtime_gc_cycles_total", "").Value(); got != cycles {
+		t.Fatalf("gc_cycles drifted %d -> %d without a GC", cycles, got)
+	}
+	if got := r.Histogram("runtime_gc_pause_seconds", "", GCPauseBuckets).Count(); got != pauses {
+		t.Fatalf("pause samples drifted %d -> %d without a GC", pauses, got)
+	}
+}
+
+func TestRuntimeCollectorNilSafety(t *testing.T) {
+	var rc *RuntimeCollector
+	rc.Collect() // must not panic
+	NewRuntimeCollector(nil).Collect()
+	var o *Obs
+	if got := o.EnableRuntimeMetrics(); got != nil {
+		t.Fatalf("nil obs returned a collector: %v", got)
+	}
+	o.OnScrape(func() {})
+}
+
+// TestRuntimeMetricsOnScrape: enabling runtime metrics on an Obs makes
+// every /metrics scrape carry a fresh runtime sample.
+func TestRuntimeMetricsOnScrape(t *testing.T) {
+	o := New(0)
+	o.EnableRuntimeMetrics()
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"runtime_goroutines ",
+		"runtime_heap_inuse_bytes ",
+		"runtime_gc_pause_seconds_bucket",
+		"runtime_sched_latency_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, body)
+		}
+	}
+}
