@@ -153,7 +153,7 @@ func BenchmarkFig1EndToEnd(b *testing.B) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, srvErr = srv.ServeDotProduct(ca, x)
+			_, srvErr = srv.Serve(ca, protocol.Request{Matrix: [][]int64{x}})
 		}()
 		got, err := cli.Run(cb, y)
 		wg.Wait()
@@ -461,11 +461,11 @@ func BenchmarkPCIeBottleneck(b *testing.B) {
 func BenchmarkOTModes(b *testing.B) {
 	for _, mode := range []struct {
 		name string
-		opts protocol.Options
+		ot   protocol.OTMode
 	}{
-		{"per-round", protocol.Options{}},
-		{"batched", protocol.Options{BatchedOT: true}},
-		{"correlated", protocol.Options{CorrelatedOT: true}},
+		{"per-round", protocol.OTPerRound},
+		{"batched", protocol.OTBatched},
+		{"correlated", protocol.OTCorrelated},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			var traffic int64
@@ -485,7 +485,7 @@ func BenchmarkOTModes(b *testing.B) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					_, _, srvErr = srv.ServeMatVecOpts(ca, [][]int64{{1, 2, 3, 4}}, mode.opts)
+					_, srvErr = srv.Serve(ca, protocol.Request{Matrix: [][]int64{{1, 2, 3, 4}}, OT: mode.ot})
 				}()
 				if _, err := cli.Run(counted, []int64{1, 1, 1, 1}); err != nil {
 					b.Fatal(err)

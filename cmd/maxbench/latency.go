@@ -17,6 +17,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -35,6 +36,9 @@ type latencyConfig struct {
 	requests   int
 	precompute bool
 	pool       int
+	// addr switches the pass to a live server (maxd, or maxgw in front
+	// of a fleet) instead of the in-memory session; client side only.
+	addr string
 }
 
 // latencyResult is one measured pass; all times in milliseconds so the
@@ -63,6 +67,9 @@ func runLatency(lc latencyConfig, out *output) error {
 	}
 	if lc.requests <= 0 {
 		return fmt.Errorf("latency: requests must be positive (got %d)", lc.requests)
+	}
+	if lc.addr != "" {
+		return runRemoteLatency(lc, out)
 	}
 
 	rep := latencyReport{Rows: lc.rows, Cols: lc.cols, Width: lc.width}
@@ -99,6 +106,76 @@ func runLatency(lc latencyConfig, out *output) error {
 	if rep.SpeedupP50 > 0 {
 		fmt.Fprintf(w, "\nwarm-pool speedup (p50): %.2f×\n", rep.SpeedupP50)
 	}
+	return nil
+}
+
+// runRemoteLatency is -latency -addr: the same clocked request loop,
+// but against a live TCP endpoint — a single maxd, or a maxgw fleet
+// front door. The session opens with a shape-hint preface so a
+// gateway pins it to the backend whose pool is warm for the shape,
+// which makes this the fleet's end-to-end latency probe. The server
+// owns the matrix, so -rows and -cols must describe the model it
+// serves (maxd -rows/-cols); a mismatched -cols fails the request.
+// -precompute is meaningless here — a remote server manages its own
+// pools — and is rejected.
+func runRemoteLatency(lc latencyConfig, out *output) error {
+	if lc.precompute {
+		return fmt.Errorf("latency: -precompute measures the in-process engine; a server at -addr manages its own pools")
+	}
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		return err
+	}
+	cli.WithShapeHint(protocol.ShapeHint{
+		Rows: lc.rows, Cols: lc.cols, Width: lc.width, Signed: true,
+		Mode: "matvec", OT: protocol.OTPerRound.String(),
+	})
+	nc, err := net.Dial("tcp", lc.addr)
+	if err != nil {
+		return err
+	}
+	conn := wire.NewStreamConn(nc)
+	defer conn.Close()
+	out.progressf("latency: remote pass against %s (%d requests, %dx%d b=%d)...",
+		lc.addr, lc.requests, lc.rows, lc.cols, lc.width)
+	cs, err := cli.Dial(conn)
+	if err != nil {
+		return err
+	}
+	y := make([]int64, lc.cols)
+	for j := range y {
+		y[j] = int64(j%16 - 8)
+	}
+	samples := make([]time.Duration, 0, lc.requests)
+	for i := 0; i < lc.requests; i++ {
+		start := time.Now()
+		if _, err := cs.Do(y); err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		samples = append(samples, time.Since(start))
+	}
+	if err := cs.Close(); err != nil {
+		return err
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	rep := latencyReport{Rows: lc.rows, Cols: lc.cols, Width: lc.width}
+	res := latencyResult{Mode: "remote", Requests: lc.requests}
+	res.P50Ms = ms(percentile(samples, 50))
+	res.P95Ms = ms(percentile(samples, 95))
+	res.P99Ms = ms(percentile(samples, 99))
+	ps := passStats{samples: samples}
+	res.MeanMs = ms(ps.mean())
+	rep.Results = append(rep.Results, res)
+	if out.json {
+		return out.emitJSON(rep)
+	}
+	w := out.data
+	fmt.Fprintf(w, "Online request latency against %s, %d×%d matvec at b=%d (%d requests)\n\n",
+		lc.addr, lc.rows, lc.cols, lc.width, lc.requests)
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "mode", "p50", "p95", "p99", "mean")
+	fmt.Fprintf(w, "%-12s %9.1fms %9.1fms %9.1fms %9.1fms\n",
+		res.Mode, res.P50Ms, res.P95Ms, res.P99Ms, res.MeanMs)
 	return nil
 }
 

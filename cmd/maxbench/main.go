@@ -19,6 +19,13 @@
 //	maxbench -latency -rows 16 -cols 16 -b 16 -requests 30 -precompute
 //	maxbench -latency -precompute -json
 //
+// With -addr the latency pass runs against a live TCP endpoint — a
+// single maxd, or a maxgw fleet router — opening the session with a
+// shape-hint preface so the gateway pins it to the warm backend.
+// -rows/-cols must match the served model:
+//
+//	maxbench -latency -addr 127.0.0.1:7000 -rows 4 -cols 4 -b 16
+//
 // Grid mode runs the canonical benchmark sweep (OT mode × shape ×
 // bit-width × precompute on/off) and emits the versioned
 // internal/benchgrid JSON schema; compare mode diffs two grid files
@@ -53,6 +60,7 @@ func main() {
 	cols := flag.Int("cols", 16, "matrix columns for -latency")
 	requests := flag.Int("requests", 20, "requests per measured pass (-latency, -grid)")
 	precompute := flag.Bool("precompute", false, "also measure against a warm precompute pool (-latency)")
+	addr := flag.String("addr", "", "measure -latency against a live maxd or maxgw endpoint instead of in-memory")
 	pool := flag.Int("precompute-pool", 1, "precompute pool size per shape (-latency -precompute)")
 	jsonOut := flag.Bool("json", false, "emit the artifact as JSON on stdout (progress goes to stderr)")
 	grid := flag.Bool("grid", false, "run the canonical benchmark grid (OT × size × width × precompute)")
@@ -88,6 +96,9 @@ func main() {
 			fail(err)
 		}
 	case *grid:
+		if *addr != "" {
+			fail(fmt.Errorf("-addr is a -latency mode; the grid measures the in-process stack"))
+		}
 		gc := gridConfig{requests: *requests}
 		var err error
 		if gc.ots, err = parseOTModes(*gridOTs); err != nil {
@@ -104,11 +115,14 @@ func main() {
 		}
 	case *latency:
 		lc := latencyConfig{rows: *rows, cols: *cols, width: *width, requests: *requests,
-			precompute: *precompute, pool: *pool}
+			precompute: *precompute, pool: *pool, addr: *addr}
 		if err := runLatency(lc, out); err != nil {
 			fail(err)
 		}
 	default:
+		if *addr != "" {
+			fail(fmt.Errorf("-addr requires -latency"))
+		}
 		if err := run(*table, *figure, *study, *width, *fast, *rounds); err != nil {
 			fail(err)
 		}

@@ -26,6 +26,14 @@
 // reconnect resumes the batch at the failed vector (finished results
 // are never re-run); a request that exhausts its retries is reported
 // and the batch continues, with a nonzero exit at the end.
+//
+// When -addr points at a maxgw fleet router rather than a single maxd,
+// -hint-rows opens the session with a shape-hint preface (rows ×
+// vector-length at -b bits, -hint-ot mode) so the router pins the
+// session to the backend whose precompute pool is warm for that shape.
+// The hint is advisory routing metadata only — a directly-dialed maxd
+// skips it — and it is re-sent on every retry reconnect, so affinity
+// survives failover.
 package main
 
 import (
@@ -53,6 +61,8 @@ type cliConfig struct {
 	timeouts     protocol.Timeouts
 	retries      int
 	retryBackoff time.Duration
+	hintRows     int
+	hintOT       string
 }
 
 func main() {
@@ -66,6 +76,8 @@ func main() {
 	flag.DurationVar(&cc.timeouts.IO, "io-timeout", 2*time.Minute, "per-operation deadline for steady-state request I/O (0 = none)")
 	flag.IntVar(&cc.retries, "retries", 2, "extra attempts per request after a transient failure (0 = fail fast)")
 	flag.DurationVar(&cc.retryBackoff, "retry-backoff", 100*time.Millisecond, "base backoff before the first retry (doubles per retry, full jitter)")
+	flag.IntVar(&cc.hintRows, "hint-rows", 0, "open with a shape hint for a matrix of this many rows, so a maxgw router pins the session to its warm backend (0 = no hint)")
+	flag.StringVar(&cc.hintOT, "hint-ot", "per-round", "OT mode named in the shape hint (per-round or batched)")
 	flag.Parse()
 
 	if err := run(cc); err != nil {
@@ -142,6 +154,12 @@ func run(cc cliConfig) error {
 		return err
 	}
 	cli.WithTimeouts(cc.timeouts)
+	if cc.hintRows > 0 {
+		cli.WithShapeHint(protocol.ShapeHint{
+			Rows: cc.hintRows, Cols: len(raws[0]), Width: cc.width,
+			Signed: true, Mode: "matvec", OT: cc.hintOT,
+		})
+	}
 	// One session for the whole batch: handshake and OT setup are paid
 	// once, each vector is one multiplexed request with fresh labels.
 	// The ReDialer re-establishes the session on a transient failure

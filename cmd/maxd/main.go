@@ -50,6 +50,12 @@
 //	GET /healthz         ok | degraded (connections queueing) |
 //	                     overloaded (recently shed load; answers 503)
 //
+// Adding -advertise mounts /shapez on the same address: a JSON list of
+// the request shapes this daemon serves warm (the live precompute
+// pools with -precompute, the static model shape otherwise), which a
+// shape-aware gateway (cmd/maxgw) polls to route sessions toward warm
+// pools.
+//
 // Adding -pprof additionally mounts net/http/pprof under
 // /debug/pprof/ on the same address, so CPU, heap and block profiles
 // can be pulled from the live daemon:
@@ -76,6 +82,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -123,6 +130,12 @@ type daemonConfig struct {
 	// daemon. Off by default: profiling endpoints can stall the world
 	// and belong behind an explicit operator decision.
 	pprof bool
+	// advertise mounts /shapez on the metrics address: a JSON list of
+	// the request shapes this daemon can serve warm (the precompute
+	// pools when -precompute is on, the static model shape otherwise).
+	// A shape-aware gateway (cmd/maxgw) polls it to prefer warm
+	// backends.
+	advertise bool
 }
 
 func main() {
@@ -146,6 +159,7 @@ func main() {
 	flag.IntVar(&dc.precomputePool, "precompute-pool", 4, "precomputed entries kept per shape")
 	flag.IntVar(&dc.precomputeShapes, "precompute-shapes", 8, "distinct shapes pooled before LRU eviction")
 	flag.BoolVar(&dc.pprof, "pprof", false, "mount /debug/pprof/ on the metrics address (requires -metrics-addr)")
+	flag.BoolVar(&dc.advertise, "advertise", false, "mount /shapez shape hints on the metrics address (requires -metrics-addr)")
 	flag.Parse()
 
 	if err := run(dc); err != nil {
@@ -312,16 +326,27 @@ func run(dc daemonConfig) error {
 		// pause/cycle deltas, so a perf regression caught by the
 		// benchgrid gate is explainable from /metrics alone.
 		o.EnableRuntimeMetrics()
-		httpSrv = &http.Server{Handler: metricsHandler(o, dc.pprof)}
+		handler := metricsHandler(o, dc.pprof)
+		if dc.advertise {
+			handler = advertiseHandler(handler, func() []string {
+				return advertisedShapes(eng, len(raw), len(raw[0]), dc.width)
+			})
+		}
+		httpSrv = &http.Server{Handler: handler}
 		go httpSrv.Serve(mln)
 		defer httpSrv.Close()
 		surface := "/metrics /debug/sessions /healthz"
 		if dc.pprof {
 			surface += " /debug/pprof/"
 		}
+		if dc.advertise {
+			surface += " /shapez"
+		}
 		log.Printf("maxd: observability on http://%s (%s)", mln.Addr(), surface)
 	} else if dc.pprof {
 		return fmt.Errorf("-pprof requires -metrics-addr")
+	} else if dc.advertise {
+		return fmt.Errorf("-advertise requires -metrics-addr")
 	}
 
 	// Graceful shutdown: a signal stops the accept loop; in-flight
@@ -575,6 +600,39 @@ func metricsHandler(o *obs.Obs, pprofOn bool) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
 	mux.Handle("/", h)
+	return mux
+}
+
+// advertisedShapes renders the shape hints /shapez serves: the live
+// precompute pools when the engine runs (traffic-learned shapes
+// included), otherwise the static model shape in both poolable OT
+// modes.
+func advertisedShapes(eng *precompute.Engine, rows, cols, width int) []string {
+	var out []string
+	if eng != nil {
+		for s := range eng.Shapes() {
+			out = append(out, s.String())
+		}
+	} else {
+		for _, ot := range []string{"per-round", "batched"} {
+			out = append(out, precompute.Shape{
+				Rows: rows, Cols: cols, Width: width, Signed: true,
+				Mode: "matvec", OT: ot,
+			}.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// advertiseHandler mounts /shapez over the base observability surface.
+func advertiseHandler(base http.Handler, shapes func() []string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shapez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"shapes": shapes()})
+	})
+	mux.Handle("/", base)
 	return mux
 }
 

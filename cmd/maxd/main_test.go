@@ -671,6 +671,78 @@ func (b *syncBuffer) String() string {
 
 // TestMetricsHandlerPprofGating: the pprof surface exists only behind
 // the flag — a daemon without -pprof must 404 every /debug/pprof path.
+// TestAdvertiseShapezEndpoint: -advertise mounts /shapez on the
+// metrics address with the shapes the daemon serves warm — with
+// -precompute, the model shape pre-admitted in both poolable OT modes
+// at boot. This is the surface maxgw's prober folds into routing.
+func TestAdvertiseShapezEndpoint(t *testing.T) {
+	addr, maddr := freePort(t), freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(daemonConfig{listen: addr, metricsAddr: maddr, width: 8, frac: 3,
+			demoRows: 2, demoCols: 2, seed: 7, once: true, drainTimeout: 5 * time.Second,
+			precompute: true, precomputePool: 1, precomputeShapes: 4, advertise: true})
+	}()
+
+	body := httpGet(t, "http://"+maddr+"/shapez")
+	var payload struct {
+		Shapes []string `json:"shapes"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("parsing /shapez %q: %v", body, err)
+	}
+	for _, want := range []string{"2x2/b8s/matvec/per-round", "2x2/b8s/matvec/batched"} {
+		found := false
+		for _, s := range payload.Shapes {
+			found = found || s == want
+		}
+		if !found {
+			t.Fatalf("/shapez = %v, missing %q", payload.Shapes, want)
+		}
+	}
+	// /metrics still answers on the same address next to /shapez.
+	if !strings.Contains(httpGet(t, "http://"+maddr+"/metrics"), "precompute_pool_depth") {
+		t.Fatal("/metrics lost behind the advertise mux")
+	}
+
+	// Serve the one -once session so the daemon exits cleanly.
+	f := fixed.Format{Width: 8, Frac: 3}
+	raw, err := f.EncodeVector([]float64{1.0, -1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialWire(t, addr)
+	defer conn.Close()
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := cli.Dial(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Do(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvertiseRequiresMetricsAddr: /shapez lives on the metrics mux,
+// so -advertise without -metrics-addr is a config error, not a silent
+// no-op a gateway would probe forever.
+func TestAdvertiseRequiresMetricsAddr(t *testing.T) {
+	err := run(daemonConfig{listen: freePort(t), width: 8, frac: 3, demoRows: 2,
+		demoCols: 2, once: true, advertise: true})
+	if err == nil || !strings.Contains(err.Error(), "-metrics-addr") {
+		t.Fatalf("err = %v, want a -metrics-addr requirement", err)
+	}
+}
+
 func TestMetricsHandlerPprofGating(t *testing.T) {
 	o := obs.New(0)
 	o.Metrics().Counter("gating_probe_total", "registered so /metrics has a body").Inc()

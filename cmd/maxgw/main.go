@@ -1,0 +1,186 @@
+// Command maxgw is the garbler fleet's front door: a session-granular
+// L4 router that pins each client session to the maxd backend whose
+// precompute pool is warm for the session's request shape.
+//
+// Usage:
+//
+//	maxgw -listen :7000 -backends 10.0.0.1:7700,10.0.0.2:7700
+//	maxgw -listen :7000 \
+//	    -backends 10.0.0.1:7700=http://10.0.0.1:7701,10.0.0.2:7700=http://10.0.0.2:7701 \
+//	    -metrics-addr :7001
+//
+// Each -backends entry is ADDR or ADDR=HEALTHURL; with a health URL
+// the gateway polls HEALTHURL/healthz every -probe-interval and ejects
+// a backend from the routing ring after -eject-after consecutive
+// failures (readmitting on the first success), and polls
+// HEALTHURL/shapez (maxd -advertise) to prefer backends already
+// holding a warm pool for a session's exact shape.
+//
+// Routing is shape-affine: clients that open with a shape-hint preface
+// (protocol.Client.WithShapeHint; maxcli -hint) are consistently
+// hashed by their precompute shape key onto the backend ring, so
+// same-shape sessions always land together and precompute pools stay
+// warm. A backend above -load-factor times the fleet's mean in-flight
+// load yields to the next ring replica (bounded loads). Clients that
+// send no hint — every pre-gateway client — route to the least-loaded
+// healthy backend after a -peek-timeout wait.
+//
+// Failover is pre-handshake only: a backend that refuses the dial or
+// answers BUSY is abandoned before the client has seen a byte from it,
+// and the session transparently moves to the next ring replica (at
+// most -max-failovers moves). When every candidate fails, the gateway
+// sheds the session with its own BUSY frame, so clients' existing
+// retry taxonomy applies unchanged.
+//
+// With -metrics-addr the gateway exposes its own observability
+// surface: /metrics (gw_sessions_total{backend}, gw_failovers_total
+// {reason}, ring membership gauges), /healthz (ok with a full ring,
+// degraded with a partial one, overloaded with an empty one — answers
+// 503) and /fleetz (per-backend JSON: health, in-flight sessions,
+// advertised shapes) for maxtop's fleet panel.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"maxelerator/internal/gateway"
+	"maxelerator/internal/obs"
+)
+
+// gwConfig gathers every knob of one maxgw instance.
+type gwConfig struct {
+	listen        string
+	backends      string
+	metricsAddr   string
+	peekTimeout   time.Duration
+	probeInterval time.Duration
+	ejectAfter    int
+	maxFailovers  int
+	loadFactor    float64
+	vnodes        int
+}
+
+func main() {
+	var gc gwConfig
+	flag.StringVar(&gc.listen, "listen", "127.0.0.1:7000", "TCP listen address for client sessions")
+	flag.StringVar(&gc.backends, "backends", "", "comma-separated backends, each ADDR or ADDR=HEALTHURL")
+	flag.StringVar(&gc.metricsAddr, "metrics-addr", "", "HTTP address for /metrics, /healthz and /fleetz (empty disables)")
+	flag.DurationVar(&gc.peekTimeout, "peek-timeout", 75*time.Millisecond, "wait for a client's shape-hint preface before routing unhinted")
+	flag.DurationVar(&gc.probeInterval, "probe-interval", 2*time.Second, "backend health poll period")
+	flag.IntVar(&gc.ejectAfter, "eject-after", 3, "consecutive probe failures before a backend leaves the ring")
+	flag.IntVar(&gc.maxFailovers, "max-failovers", 2, "extra backends tried after the primary fails pre-handshake")
+	flag.Float64Var(&gc.loadFactor, "load-factor", 1.25, "bounded-load factor; a backend above this times the mean load yields (<=1 disables)")
+	flag.IntVar(&gc.vnodes, "vnodes", 0, "virtual nodes per backend on the hash ring (0 = default)")
+	flag.Parse()
+
+	if err := run(gc); err != nil {
+		fmt.Fprintln(os.Stderr, "maxgw:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBackends splits the -backends flag into gateway.Backend values.
+func parseBackends(spec string) ([]gateway.Backend, error) {
+	var out []gateway.Backend
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		addr, health, _ := strings.Cut(entry, "=")
+		if addr == "" {
+			return nil, fmt.Errorf("backend entry %q has an empty address", entry)
+		}
+		if health != "" && !strings.Contains(health, "://") {
+			health = "http://" + health
+		}
+		out = append(out, gateway.Backend{Addr: addr, HealthURL: strings.TrimRight(health, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-backends is required (comma-separated ADDR or ADDR=HEALTHURL)")
+	}
+	return out, nil
+}
+
+func run(gc gwConfig) error {
+	backends, err := parseBackends(gc.backends)
+	if err != nil {
+		return err
+	}
+	o := obs.New(0)
+	gw, err := gateway.New(gateway.Config{
+		Backends:      backends,
+		Vnodes:        gc.vnodes,
+		PeekTimeout:   gc.peekTimeout,
+		ProbeInterval: gc.probeInterval,
+		EjectAfter:    gc.ejectAfter,
+		MaxFailovers:  gc.maxFailovers,
+		LoadFactor:    gc.loadFactor,
+		Obs:           o,
+	})
+	if err != nil {
+		return err
+	}
+	gw.Start()
+	defer gw.Close()
+
+	ln, err := net.Listen("tcp", gc.listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	log.Printf("maxgw: routing %d backends on %s", len(backends), ln.Addr())
+
+	var httpSrv *http.Server
+	if gc.metricsAddr != "" {
+		mln, err := net.Listen("tcp", gc.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		o.EnableRuntimeMetrics()
+		httpSrv = &http.Server{Handler: fleetHandler(o, gw)}
+		go httpSrv.Serve(mln)
+		defer httpSrv.Close()
+		log.Printf("maxgw: observability on http://%s (/metrics /healthz /fleetz)", mln.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+
+	err = gw.Serve(ln)
+	if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+		log.Printf("maxgw: shutting down")
+		return nil
+	}
+	return err
+}
+
+// fleetHandler mounts /fleetz (the per-backend state snapshot) over
+// the standard obs surface.
+func fleetHandler(o *obs.Obs, gw *gateway.Gateway) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleetz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"backends": gw.Snapshot()})
+	})
+	mux.Handle("/", o.Handler())
+	return mux
+}

@@ -1,0 +1,402 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"maxelerator/internal/gateway"
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+	"maxelerator/internal/precompute"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+func TestParseBackends(t *testing.T) {
+	got, err := parseBackends("10.0.0.1:7700, 10.0.0.2:7700=http://10.0.0.2:7701,10.0.0.3:7700=10.0.0.3:7701/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []gateway.Backend{
+		{Addr: "10.0.0.1:7700"},
+		{Addr: "10.0.0.2:7700", HealthURL: "http://10.0.0.2:7701"},
+		{Addr: "10.0.0.3:7700", HealthURL: "http://10.0.0.3:7701"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d backends", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backend %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := parseBackends(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := parseBackends("=http://x"); err == nil {
+		t.Fatal("empty address accepted")
+	}
+}
+
+// testBackend is one in-process maxd-equivalent: a real protocol
+// server with a precompute engine behind a TCP listener, plus the
+// /healthz + /shapez surface the gateway probes.
+type testBackend struct {
+	matrix [][]int64
+	shape  precompute.Shape
+	o      *obs.Obs
+	srv    *protocol.Server
+	eng    *precompute.Engine
+	ln     net.Listener
+	hs     *httptest.Server
+	served atomic.Int64
+	busy   atomic.Bool
+	wg     sync.WaitGroup
+}
+
+func startBackend(t *testing.T) *testBackend {
+	t.Helper()
+	b := &testBackend{
+		matrix: [][]int64{{2, 3}},
+		shape:  precompute.Shape{Rows: 1, Cols: 2, Width: 8, Signed: true, Mode: "matvec", OT: "per-round"},
+		o:      obs.New(4),
+	}
+	simCfg := maxsim.Config{Width: 8, AccWidth: 24, Signed: true}
+	srv, err := protocol.NewServer(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := precompute.New(precompute.Config{Sim: simCfg, PoolSize: 2, MaxShapes: 4, Metrics: b.o.Metrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithObs(b.o).WithPrecompute(eng)
+	eng.Start()
+	b.srv, b.eng = srv, eng
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ln = ln
+	go b.acceptLoop()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shapez", func(w http.ResponseWriter, r *http.Request) {
+		var shapes []string
+		for s := range b.eng.Shapes() {
+			shapes = append(shapes, s.String())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"shapes": shapes})
+	})
+	mux.Handle("/", b.o.Handler())
+	b.hs = httptest.NewServer(mux)
+	t.Cleanup(func() {
+		b.ln.Close()
+		b.hs.Close()
+		b.wg.Wait()
+		b.eng.Stop()
+	})
+	return b
+}
+
+func (b *testBackend) acceptLoop() {
+	for {
+		c, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			conn := wire.NewStreamConn(c)
+			defer conn.Close()
+			if b.busy.Load() {
+				protocol.SendBusy(conn, 20*time.Millisecond)
+				return
+			}
+			if _, err := b.srv.Serve(conn, protocol.Request{Matrix: b.matrix}); err == nil {
+				b.served.Add(1)
+			}
+		}()
+	}
+}
+
+// addr is the backend's protocol address.
+func (b *testBackend) addr() string { return b.ln.Addr().String() }
+
+// kill closes the protocol listener (the health surface stays up, so
+// this models a crashed daemon the prober has not noticed yet — the
+// dial-failure failover path).
+func (b *testBackend) kill() { b.ln.Close() }
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startGateway boots maxgw's run() against the given backends and
+// returns its listen (and metrics) addresses. SIGTERM stops it.
+func startGateway(t *testing.T, metrics bool, backends ...*testBackend) (addr, maddr string, done chan error) {
+	t.Helper()
+	addr = freePort(t)
+	if metrics {
+		maddr = freePort(t)
+	}
+	var spec []string
+	for _, b := range backends {
+		spec = append(spec, b.addr()+"="+b.hs.URL)
+	}
+	done = make(chan error, 1)
+	go func() {
+		done <- run(gwConfig{
+			listen: addr, backends: strings.Join(spec, ","), metricsAddr: maddr,
+			peekTimeout: 100 * time.Millisecond, probeInterval: 150 * time.Millisecond,
+			ejectAfter: 2, maxFailovers: 2, loadFactor: 1.25,
+		})
+	}()
+	return addr, maddr, done
+}
+
+func dialWire(t *testing.T, addr string) wire.Conn {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return wire.NewStreamConn(c)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("gateway did not come up")
+	return nil
+}
+
+var e2eHint = protocol.ShapeHint{Rows: 1, Cols: 2, Width: 8, Signed: true, Mode: "matvec", OT: "per-round"}
+
+// runSession runs one hinted (or unhinted) request through the
+// gateway over real TCP and checks the result.
+func runSession(t *testing.T, gwAddr string, hint *protocol.ShapeHint) error {
+	t.Helper()
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hint != nil {
+		cli.WithShapeHint(*hint)
+	}
+	conn := dialWire(t, gwAddr)
+	defer conn.Close()
+	cs, err := cli.Dial(conn)
+	if err != nil {
+		return err
+	}
+	out, err := cs.Do([]int64{4, 5})
+	if err != nil {
+		return err
+	}
+	if err := cs.Close(); err != nil {
+		return err
+	}
+	if len(out) != 1 || out[0] != 2*4+3*5 {
+		t.Fatalf("result = %v, want [23]", out)
+	}
+	return nil
+}
+
+// stopGateway SIGTERMs the process (run's NotifyContext catches it)
+// and waits for a clean exit.
+func stopGateway(t *testing.T, done chan error) {
+	t.Helper()
+	proc, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gateway exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not shut down on SIGTERM")
+	}
+}
+
+// drainBackends waits until every in-flight backend session goroutine
+// finished, so served counters are final.
+func drainBackends(bs ...*testBackend) {
+	for _, b := range bs {
+		b.wg.Wait()
+	}
+}
+
+// TestE2ESameShapePinsAndHitsPool is the headline acceptance path:
+// maxgw in front of two live backends routes same-shape sessions to
+// the same backend, whose precompute pool — having learned the shape
+// from the first session — serves the second one warm.
+func TestE2ESameShapePinsAndHitsPool(t *testing.T) {
+	b0, b1 := startBackend(t), startBackend(t)
+	gwAddr, maddr, done := startGateway(t, true, b0, b1)
+	defer stopGateway(t, done)
+
+	if err := runSession(t, gwAddr, &e2eHint); err != nil {
+		t.Fatalf("session 1: %v", err)
+	}
+	drainBackends(b0, b1)
+	var owner, other *testBackend
+	switch {
+	case b0.served.Load() == 1 && b1.served.Load() == 0:
+		owner, other = b0, b1
+	case b1.served.Load() == 1 && b0.served.Load() == 0:
+		owner, other = b1, b0
+	default:
+		t.Fatalf("session 1 served %d/%d times across the fleet", b0.served.Load(), b1.served.Load())
+	}
+
+	// The first session taught the owner's engine the shape; wait for
+	// the background refill so session 2 is a guaranteed pool hit.
+	deadline := time.Now().Add(10 * time.Second)
+	for owner.eng.Depth(owner.shape) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("owner pool never warmed after learning the shape")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := runSession(t, gwAddr, &e2eHint); err != nil {
+		t.Fatalf("session 2: %v", err)
+	}
+	drainBackends(b0, b1)
+	if got := owner.served.Load(); got != 2 {
+		t.Fatalf("owner served %d sessions, want 2 (affinity broke)", got)
+	}
+	if got := other.served.Load(); got != 0 {
+		t.Fatalf("non-owner served %d sessions, want 0", got)
+	}
+	key := obs.L("shape", owner.shape.String())
+	if hits := owner.o.Metrics().Counter("precompute_hits_total", "", key).Value(); hits != 1 {
+		t.Fatalf("owner pool hits = %d, want 1 (second session must serve warm)", hits)
+	}
+
+	// The fleet surface reflects both backends, and within a probe
+	// interval the owner advertises the learned shape.
+	fleetDeadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + maddr + "/fleetz")
+		if err != nil {
+			if time.Now().After(fleetDeadline) {
+				t.Fatalf("/fleetz never answered: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		var fleet struct {
+			Backends []gateway.BackendStatus `json:"backends"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&fleet)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fleet.Backends) != 2 {
+			t.Fatalf("/fleetz lists %d backends", len(fleet.Backends))
+		}
+		advertised := false
+		for _, st := range fleet.Backends {
+			if st.Addr == owner.addr() {
+				for _, s := range st.Shapes {
+					advertised = advertised || s == owner.shape.String()
+				}
+			}
+		}
+		if advertised {
+			break
+		}
+		if time.Now().After(fleetDeadline) {
+			t.Fatal("owner's learned shape never surfaced on /fleetz")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestE2EFailoverOnBusyAndKilledBackend: the session's pinned backend
+// first sheds with BUSY, then is killed outright; both times the
+// gateway transparently lands the session on the surviving replica —
+// the client never sees either fault.
+func TestE2EFailoverOnBusyAndKilledBackend(t *testing.T) {
+	b0, b1 := startBackend(t), startBackend(t)
+	gwAddr, _, done := startGateway(t, false, b0, b1)
+	defer stopGateway(t, done)
+
+	if err := runSession(t, gwAddr, &e2eHint); err != nil {
+		t.Fatalf("session 1: %v", err)
+	}
+	drainBackends(b0, b1)
+	owner, other := b0, b1
+	if b1.served.Load() == 1 {
+		owner, other = b1, b0
+	}
+	if owner.served.Load() != 1 || other.served.Load() != 0 {
+		t.Fatalf("session 1 split %d/%d", b0.served.Load(), b1.served.Load())
+	}
+
+	// BUSY failover: the pinned backend rejects, the replica serves.
+	owner.busy.Store(true)
+	if err := runSession(t, gwAddr, &e2eHint); err != nil {
+		t.Fatalf("session during BUSY: %v", err)
+	}
+	drainBackends(b0, b1)
+	if got := other.served.Load(); got != 1 {
+		t.Fatalf("replica served %d during BUSY, want 1", got)
+	}
+	if got := owner.served.Load(); got != 1 {
+		t.Fatalf("busy owner served %d more sessions", got-1)
+	}
+
+	// Kill failover: the pinned backend's listener is gone (dial
+	// refused); the replica still serves, within the same dial.
+	owner.busy.Store(false)
+	owner.kill()
+	if err := runSession(t, gwAddr, &e2eHint); err != nil {
+		t.Fatalf("session after kill: %v", err)
+	}
+	drainBackends(b0, b1)
+	if got := other.served.Load(); got != 2 {
+		t.Fatalf("replica served %d after kill, want 2", got)
+	}
+}
+
+// TestE2EUnhintedClientServed pins gateway back-compat on the wire: a
+// client that never sends the preface still completes through maxgw.
+func TestE2EUnhintedClientServed(t *testing.T) {
+	b0, b1 := startBackend(t), startBackend(t)
+	gwAddr, _, done := startGateway(t, false, b0, b1)
+	defer stopGateway(t, done)
+
+	if err := runSession(t, gwAddr, nil); err != nil {
+		t.Fatal(err)
+	}
+	drainBackends(b0, b1)
+	if got := b0.served.Load() + b1.served.Load(); got != 1 {
+		t.Fatalf("fleet served %d sessions, want 1", got)
+	}
+}

@@ -12,10 +12,17 @@
 //
 // Rates (MAC/s, wire bytes/s) are derived from the deltas between two
 // consecutive scrapes, so the first frame of a watch shows totals only.
+//
+// Pointed at a maxgw metrics address instead of a maxd one, maxtop
+// renders the fleet panel: ring membership, session routing and
+// failover counts from the gw_* metric families, plus a per-backend
+// table (health, in-flight sessions, advertised shapes) scraped from
+// the gateway's /fleetz endpoint.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"maxelerator/internal/gateway"
 	"maxelerator/internal/obs"
 	"maxelerator/internal/report"
 )
@@ -248,9 +256,91 @@ func scrape(url string) (*snapshot, error) {
 	return snap, nil
 }
 
+// fetchFleet reads a maxgw /fleetz snapshot; any failure (endpoint
+// absent, daemon is a plain maxd) degrades to nil and the table is
+// simply not rendered.
+func fetchFleet(url string) []gateway.BackendStatus {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var fleet struct {
+		Backends []gateway.BackendStatus `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		return nil
+	}
+	return fleet.Backends
+}
+
+// renderFleet draws the maxgw panel: ring membership and routing
+// counters from the gw_* families, and the per-backend /fleetz table
+// when the snapshot came back.
+func renderFleet(w io.Writer, cur *snapshot, fleet []gateway.BackendStatus) {
+	total, ok := cur.get("gw_backends_total")
+	if !ok {
+		return
+	}
+	var failovers float64
+	var parts []string
+	for _, e := range cur.sumBy("gw_failovers_total", "reason") {
+		failovers += e.Value
+		parts = append(parts, fmt.Sprintf("%s %.0f", e.Label, e.Value))
+	}
+	line := fmt.Sprintf("fleet       backends %.0f/%.0f healthy   active %.0f   failovers %.0f   shed %.0f",
+		cur.val("gw_backends_healthy"), total, cur.val("gw_sessions_active"),
+		failovers, cur.val("gw_shed_total"))
+	if len(parts) > 0 {
+		line += " (" + strings.Join(parts, ", ") + ")"
+	}
+	fmt.Fprintln(w, line)
+
+	hinted := cur.val("gw_peeks_total", "result", "hint")
+	unhinted := cur.val("gw_peeks_total", "result", "none") + cur.val("gw_peeks_total", "result", "other")
+	fmt.Fprintf(w, "routing     hinted %.0f   unhinted %.0f   peek errors %.0f   membership changes %.0f\n",
+		hinted, unhinted, cur.val("gw_peek_errors_total"), sumAll(cur, "gw_membership_changes_total"))
+
+	if len(fleet) == 0 {
+		return
+	}
+	sessionsBy := map[string]float64{}
+	for _, e := range cur.sumBy("gw_sessions_total", "backend") {
+		sessionsBy[e.Label] = e.Value
+	}
+	t := report.NewTable("\nper-backend", "backend", "status", "active", "sessions", "warm shapes")
+	for _, b := range fleet {
+		status := b.Status
+		if !b.Healthy {
+			status += " (ejected)"
+		}
+		shapes := strings.Join(b.Shapes, " ")
+		if shapes == "" {
+			shapes = "—"
+		}
+		t.AddRow(b.Addr, status, fmt.Sprintf("%d", b.Active),
+			fmt.Sprintf("%.0f", sessionsBy[b.Addr]), shapes)
+	}
+	fmt.Fprint(w, t.String())
+}
+
+// sumAll sums every sample of a family across all label sets.
+func sumAll(s *snapshot, name string) float64 {
+	var v float64
+	for _, sm := range s.samples {
+		if sm.name == name {
+			v += sm.value
+		}
+	}
+	return v
+}
+
 // render draws one frame. prev may be nil (first frame: totals only,
-// no rates).
-func render(w io.Writer, url string, prev, cur *snapshot) {
+// no rates). fleet is the optional maxgw /fleetz snapshot.
+func render(w io.Writer, url string, prev, cur *snapshot, fleet []gateway.BackendStatus) {
 	fmt.Fprintf(w, "maxtop — %s — %s\n\n", url, cur.when.Format("15:04:05"))
 
 	errs := 0.0
@@ -379,6 +469,8 @@ func render(w io.Writer, url string, prev, cur *snapshot) {
 		fmt.Fprint(w, t.String())
 	}
 
+	renderFleet(w, cur, fleet)
+
 	cores := cur.sumBy("core_tables_total", "core")
 	if len(cores) > 0 {
 		idle := map[string]float64{}
@@ -406,10 +498,14 @@ func watch(w io.Writer, url string, interval time.Duration, n int, clear bool) e
 		if err != nil {
 			return err
 		}
+		var fleet []gateway.BackendStatus
+		if _, ok := cur.get("gw_backends_total"); ok {
+			fleet = fetchFleet(strings.TrimSuffix(url, "/metrics") + "/fleetz")
+		}
 		if clear {
 			fmt.Fprint(w, "\033[2J\033[H")
 		}
-		render(w, url, prev, cur)
+		render(w, url, prev, cur, fleet)
 		prev = cur
 	}
 	return nil

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"maxelerator/internal/gateway"
 )
 
 // exposition is a canned maxd /metrics scrape (the shapes maxtop must
@@ -108,7 +110,7 @@ func TestRenderFrame(t *testing.T) {
 	}
 	cur.when = time.Unix(1000, 0)
 	var sb strings.Builder
-	render(&sb, "http://x/metrics", nil, cur)
+	render(&sb, "http://x/metrics", nil, cur, nil)
 	out := sb.String()
 	for _, want := range []string{
 		"sessions    total 4   active 2   errors 1   connections 5",
@@ -147,7 +149,7 @@ func TestRenderFrameWithoutPrecompute(t *testing.T) {
 	}
 	cur.when = time.Unix(1000, 0)
 	var sb strings.Builder
-	render(&sb, "u", nil, cur)
+	render(&sb, "u", nil, cur, nil)
 	if strings.Contains(sb.String(), "precompute") {
 		t.Fatalf("precompute panel rendered with no precompute metrics:\n%s", sb.String())
 	}
@@ -195,7 +197,7 @@ func TestRenderRuntimePanelEmptyPauses(t *testing.T) {
 	}
 	cur.when = time.Unix(1000, 0)
 	var sb strings.Builder
-	render(&sb, "u", nil, cur)
+	render(&sb, "u", nil, cur, nil)
 	if !strings.Contains(sb.String(), "gc pause p99 —") {
 		t.Fatalf("empty pause histogram not dashed:\n%s", sb.String())
 	}
@@ -207,7 +209,7 @@ func TestRenderRates(t *testing.T) {
 	prev.when = time.Unix(1000, 0)
 	cur.when = time.Unix(1002, 0)
 	var sb strings.Builder
-	render(&sb, "u", prev, cur)
+	render(&sb, "u", prev, cur, nil)
 	out := sb.String()
 	if !strings.Contains(out, "rate 100.0 MAC/s") {
 		t.Fatalf("MAC rate missing:\n%s", out)
@@ -232,6 +234,88 @@ func TestWatchAgainstFakeDaemon(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "rate 0.0 MAC/s") {
 		t.Fatalf("second frame lacks rate:\n%s", sb.String())
+	}
+}
+
+// gwExposition is a canned maxgw scrape: the fleet panel's families.
+const gwExposition = `gw_backends_total 3
+gw_backends_healthy 2
+gw_sessions_active 1
+gw_sessions_total{backend="10.0.0.1:7700"} 5
+gw_sessions_total{backend="10.0.0.2:7700"} 2
+gw_failovers_total{reason="busy"} 2
+gw_failovers_total{reason="dial"} 1
+gw_shed_total 1
+gw_peeks_total{result="hint"} 6
+gw_peeks_total{result="none"} 1
+gw_peek_errors_total 0
+gw_membership_changes_total{backend="10.0.0.3:7700",change="eject"} 1
+`
+
+func TestRenderFleetPanel(t *testing.T) {
+	cur, err := parseMetrics(strings.NewReader(gwExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.when = time.Unix(1000, 0)
+	fleet := []gateway.BackendStatus{
+		{Addr: "10.0.0.1:7700", Healthy: true, Status: "ok", Active: 1, Sessions: 5,
+			Shapes: []string{"4x4/b16s/matvec/per-round"}},
+		{Addr: "10.0.0.2:7700", Healthy: true, Status: "ok", Sessions: 2},
+		{Addr: "10.0.0.3:7700", Healthy: false, Status: "unreachable"},
+	}
+	var sb strings.Builder
+	render(&sb, "u", nil, cur, fleet)
+	out := sb.String()
+	for _, want := range []string{
+		"fleet       backends 2/3 healthy   active 1   failovers 3   shed 1 (busy 2, dial 1)",
+		"routing     hinted 6   unhinted 1   peek errors 0   membership changes 1",
+		"per-backend",
+		"4x4/b16s/matvec/per-round",
+		"unreachable (ejected)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderNoFleetPanel: a plain maxd scrape must not grow the fleet
+// panel.
+func TestRenderNoFleetPanel(t *testing.T) {
+	cur, err := parseMetrics(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.when = time.Unix(1000, 0)
+	var sb strings.Builder
+	render(&sb, "u", nil, cur, nil)
+	if strings.Contains(sb.String(), "fleet") {
+		t.Fatalf("fleet panel rendered from a maxd scrape:\n%s", sb.String())
+	}
+}
+
+// TestWatchFetchesFleetz: a maxgw-shaped daemon gets its /fleetz
+// scraped and the backend table rendered.
+func TestWatchFetchesFleetz(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(gwExposition))
+	})
+	mux.HandleFunc("/fleetz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"backends":[{"addr":"10.0.0.1:7700","healthy":true,"status":"ok","sessions_total":5}]}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	var sb strings.Builder
+	if err := watch(&sb, srv.URL+"/metrics", time.Millisecond, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "per-backend") {
+		t.Fatalf("fleet table missing:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "10.0.0.1:7700") {
+		t.Fatalf("backend row missing:\n%s", sb.String())
 	}
 }
 

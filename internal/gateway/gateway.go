@@ -1,0 +1,465 @@
+// Package gateway is the garbler fleet's front door: a session-granular
+// router that pins each client session to the backend whose precompute
+// pool is warm for the session's request shape.
+//
+// The protocol is server-first (the garbler speaks hello before the
+// client sends anything), so a passive proxy cannot learn the shape
+// from traffic it forwards. Instead, hinted clients open with a
+// shape-hint preface frame (protocol.ShapeHint); the gateway peeks it
+// under a short deadline, hashes the shape key onto a consistent-hash
+// ring of healthy backends, and relays frames for the rest of the
+// session. Unhinted (and legacy) clients send nothing first — the peek
+// times out and the session routes to the least-loaded healthy
+// backend instead.
+//
+// Failover is pre-handshake only, which makes it provably
+// single-serve: a backend is abandoned only when dialing it fails or
+// its first frame is a BUSY rejection — in both cases the client has
+// not yet seen one byte from that backend and no request state exists
+// anywhere, so trying the next ring replica can never double-serve a
+// request. Once a backend's hello is forwarded the session is
+// committed and any later fault surfaces to the client's own retry
+// layer (internal/protocol/retry), which replays safely by the
+// fresh-labels-per-garbling argument.
+package gateway
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"maxelerator/internal/obs"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+// Config shapes one Gateway.
+type Config struct {
+	// Backends is the fleet (at least one).
+	Backends []Backend
+	// Vnodes is the ring's virtual-node count per backend
+	// (DefaultVnodes if 0).
+	Vnodes int
+	// PeekTimeout bounds the wait for a client's optional shape-hint
+	// preface; on expiry the session routes unhinted. Default 75ms.
+	PeekTimeout time.Duration
+	// HelloTimeout bounds the wait for a dialed backend's first frame
+	// (its hello or a BUSY rejection). Default 3s.
+	HelloTimeout time.Duration
+	// DialTimeout bounds each backend dial. Default 2s.
+	DialTimeout time.Duration
+	// MaxFailovers caps how many additional backends a session tries
+	// after its primary fails pre-handshake. Default 2.
+	MaxFailovers int
+	// LoadFactor is the bounded-load factor c: a backend already
+	// carrying more than c times the fleet's mean in-flight load is
+	// skipped on the first routing pass (consistent hashing with
+	// bounded loads). Default 1.25; values <= 1 disable the bound.
+	LoadFactor float64
+	// ProbeInterval is the health-poll period. Default 2s.
+	ProbeInterval time.Duration
+	// EjectAfter is how many consecutive probe failures remove a
+	// backend from the ring (one success readmits). Default 3.
+	EjectAfter int
+	// RetryAfter is the backoff hint sent with the gateway's own BUSY
+	// rejection when every candidate failed. Default 200ms.
+	RetryAfter time.Duration
+	// Obs receives the gateway's metrics and health; nil disables
+	// observability (the repo-wide nil-Obs contract).
+	Obs *obs.Obs
+	// Dial opens a protocol connection to a backend Addr. Nil uses TCP
+	// (net.DialTimeout wrapped in wire.NewStreamConn); tests inject
+	// in-memory pipes.
+	Dial func(addr string) (wire.Conn, error)
+	// Probe asks a backend for health and advertised shapes. Nil uses
+	// the HTTP prober against Backend.HealthURL.
+	Probe ProbeFunc
+}
+
+// withDefaults resolves the zero fields.
+func (c Config) withDefaults() Config {
+	if c.PeekTimeout <= 0 {
+		c.PeekTimeout = 75 * time.Millisecond
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = 3 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.MaxFailovers <= 0 {
+		c.MaxFailovers = 2
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 1.25
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 200 * time.Millisecond
+	}
+	if c.Dial == nil {
+		dialTimeout := c.DialTimeout
+		c.Dial = func(addr string) (wire.Conn, error) {
+			nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+			if err != nil {
+				return nil, err
+			}
+			return wire.NewStreamConn(nc), nil
+		}
+	}
+	if c.Probe == nil {
+		c.Probe = httpProbe(&http.Client{Timeout: c.HelloTimeout})
+	}
+	return c
+}
+
+// Gateway routes client sessions across a garbler fleet. Create with
+// New, optionally Start the health prober, feed it connections via
+// Serve or HandleConn, and Close to stop.
+type Gateway struct {
+	cfg    Config
+	ring   *Ring
+	states []*backendState // config order; membership lives on the ring
+	byAddr map[string]*backendState
+	reg    *obs.Registry
+
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// New builds a gateway over the configured fleet. Every backend starts
+// healthy and on the ring (optimistic: the prober corrects within one
+// interval, and a dead backend fails fast at dial time anyway).
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:    cfg,
+		ring:   NewRing(cfg.Vnodes),
+		byAddr: make(map[string]*backendState, len(cfg.Backends)),
+		reg:    cfg.Obs.Metrics(),
+		stop:   make(chan struct{}),
+	}
+	for _, b := range cfg.Backends {
+		if b.Addr == "" {
+			return nil, fmt.Errorf("gateway: backend with empty address")
+		}
+		if _, dup := g.byAddr[b.Addr]; dup {
+			return nil, fmt.Errorf("gateway: duplicate backend %q", b.Addr)
+		}
+		st := &backendState{Backend: b, healthy: true, status: obs.HealthOK}
+		g.states = append(g.states, st)
+		g.byAddr[b.Addr] = st
+		g.ring.Add(b.Addr)
+	}
+	cfg.Obs.SetHealth(g.healthVerdict)
+	g.publishRingState()
+	return g, nil
+}
+
+// Start launches the background health prober.
+func (g *Gateway) Start() {
+	g.wg.Add(1)
+	go g.probeLoop()
+}
+
+// Close stops the prober. In-flight sessions drain on their own
+// connections; the caller closes its listener separately.
+func (g *Gateway) Close() {
+	g.stopped.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// Serve accepts connections from l and routes each on its own
+// goroutine, until Accept fails (closing the listener is the shutdown
+// signal).
+func (g *Gateway) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go g.HandleConn(wire.NewStreamConn(nc))
+	}
+}
+
+// HandleConn routes one client session end to end: peek, pick, relay.
+// It closes conn before returning. Exported so tests and single-binary
+// deployments can feed in-memory pipes.
+func (g *Gateway) HandleConn(conn wire.Conn) {
+	defer conn.Close()
+	active := g.reg.Gauge("gw_sessions_active", "client sessions currently relayed")
+	active.Add(1)
+	defer active.Add(-1)
+
+	pending, hint, hinted, err := g.peek(conn)
+	if err != nil {
+		// The client vanished before routing began; nothing to count
+		// against any backend.
+		g.reg.Counter("gw_peek_errors_total", "client connections lost during the routing peek").Inc()
+		return
+	}
+	result := "none"
+	if hinted {
+		result = "hint"
+	} else if pending != nil {
+		result = "other"
+	}
+	g.reg.Counter("gw_peeks_total", "routing-peek outcomes", obs.L("result", result)).Inc()
+
+	candidates := g.route(hint, hinted)
+	if len(candidates) == 0 {
+		g.shed(conn, nil)
+		return
+	}
+	attempts := g.cfg.MaxFailovers + 1
+	if attempts > len(candidates) {
+		attempts = len(candidates)
+	}
+	var lastBusy *protocol.BusyError
+	for i := 0; i < attempts; i++ {
+		b := candidates[i]
+		backendConn, first, busy, err := g.connect(b, pending)
+		switch {
+		case err != nil:
+			reason := "dial"
+			if wire.IsTimeout(err) {
+				reason = "timeout"
+			}
+			g.reg.Counter("gw_failovers_total", "pre-handshake backend failovers",
+				obs.L("reason", reason)).Inc()
+			continue
+		case busy != nil:
+			lastBusy = busy
+			g.reg.Counter("gw_failovers_total", "pre-handshake backend failovers",
+				obs.L("reason", "busy")).Inc()
+			continue
+		}
+		g.relay(conn, backendConn, b, first)
+		return
+	}
+	g.shed(conn, lastBusy)
+}
+
+// peek waits up to PeekTimeout for the client's optional first frame.
+// It returns the consumed frame (to forward verbatim), the decoded
+// hint when the frame was one, and a non-nil error only when the
+// client is gone. A timeout is the normal unhinted case. Connections
+// that cannot carry deadlines skip the peek entirely — blocking
+// forever on a client that is itself waiting for the server hello
+// would deadlock.
+func (g *Gateway) peek(conn wire.Conn) (pending []byte, hint protocol.ShapeHint, hinted bool, err error) {
+	dc, ok := wire.AsDeadline(conn)
+	if !ok {
+		return nil, protocol.ShapeHint{}, false, nil
+	}
+	dc.SetDeadline(time.Now().Add(g.cfg.PeekTimeout))
+	frame, rerr := conn.RecvMsg()
+	dc.SetDeadline(time.Time{})
+	switch {
+	case rerr == nil:
+		hint, hinted = protocol.PeekShapeHint(frame)
+		return frame, hint, hinted, nil
+	case wire.IsTimeout(rerr):
+		return nil, protocol.ShapeHint{}, false, nil
+	default:
+		return nil, protocol.ShapeHint{}, false, rerr
+	}
+}
+
+// route orders the healthy backends for one session. Hinted sessions
+// get ring order for their shape key, advertised exact-shape matches
+// first and over-bound backends last (consistent hashing with bounded
+// loads: a backend above LoadFactor times the mean in-flight load
+// yields to the next replica, trading a cold pool for tail latency).
+// Unhinted sessions get least-loaded order.
+func (g *Gateway) route(hint protocol.ShapeHint, hinted bool) []*backendState {
+	healthy := make([]*backendState, 0, len(g.states))
+	for _, b := range g.states {
+		if up, _ := b.snapshotHealth(); up {
+			healthy = append(healthy, b)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil
+	}
+	if !hinted {
+		sort.SliceStable(healthy, func(i, j int) bool {
+			li, lj := healthy[i].active.Load(), healthy[j].active.Load()
+			if li != lj {
+				return li < lj
+			}
+			return healthy[i].Addr < healthy[j].Addr
+		})
+		return healthy
+	}
+	key := hint.Key()
+	ordered := make([]*backendState, 0, len(healthy))
+	for _, addr := range g.ring.Lookup(key, 0) {
+		if b, ok := g.byAddr[addr]; ok {
+			ordered = append(ordered, b)
+		}
+	}
+	// Warm pools first: a backend advertising the exact shape beats
+	// ring position (ring order breaks ties, so steady state stays
+	// consistent — the ring primary is the one that learned the shape).
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].advertises(key) && !ordered[j].advertises(key)
+	})
+	// Bounded load: push over-bound backends to the back rather than
+	// dropping them — a hot backend is still better than shedding.
+	if bound := g.loadBound(len(ordered)); bound > 0 {
+		sort.SliceStable(ordered, func(i, j int) bool {
+			return ordered[i].active.Load() <= bound && ordered[j].active.Load() > bound
+		})
+	}
+	return ordered
+}
+
+// loadBound computes the bounded-load ceiling: LoadFactor times the
+// mean in-flight load over n healthy backends, rounded up. Zero means
+// the bound is disabled.
+func (g *Gateway) loadBound(n int) int64 {
+	if g.cfg.LoadFactor <= 1 || n == 0 {
+		return 0
+	}
+	var total int64
+	for _, b := range g.states {
+		total += b.active.Load()
+	}
+	mean := float64(total+1) / float64(n)
+	return int64(g.cfg.LoadFactor * mean)
+}
+
+// connect dials one backend, forwards the client's pending preface
+// frame (if any), and reads the backend's first frame. A BUSY first
+// frame or any error abandons the backend with nothing committed —
+// the failover-safe window.
+func (g *Gateway) connect(b *backendState, pending []byte) (wire.Conn, []byte, *protocol.BusyError, error) {
+	conn, err := g.cfg.Dial(b.Addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if pending != nil {
+		if err := conn.SendMsg(pending); err != nil {
+			conn.Close()
+			return nil, nil, nil, err
+		}
+	}
+	if dc, ok := wire.AsDeadline(conn); ok {
+		dc.SetDeadline(time.Now().Add(g.cfg.HelloTimeout))
+		defer dc.SetDeadline(time.Time{})
+	}
+	first, err := conn.RecvMsg()
+	if err != nil {
+		conn.Close()
+		return nil, nil, nil, err
+	}
+	if busy, ok := protocol.PeekBusy(first); ok {
+		conn.Close()
+		return nil, nil, busy, nil
+	}
+	return conn, first, nil, nil
+}
+
+// relay commits the session to backend b: deliver the backend's first
+// frame to the client, then pump frames both directions until either
+// side ends. From here on every fault belongs to the endpoints — the
+// gateway never retries a committed session (see the package comment
+// for why that is the single-serve guarantee).
+func (g *Gateway) relay(client, backend wire.Conn, b *backendState, first []byte) {
+	defer backend.Close()
+	b.sessions.Add(1)
+	b.active.Add(1)
+	defer b.active.Add(-1)
+	g.reg.Counter("gw_sessions_total", "client sessions committed to a backend",
+		obs.L("backend", b.Addr)).Inc()
+	perBackend := g.reg.Gauge("gw_backend_sessions", "sessions in flight per backend",
+		obs.L("backend", b.Addr))
+	perBackend.Add(1)
+	defer perBackend.Add(-1)
+
+	if err := client.SendMsg(first); err != nil {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	pump := func(dst, src wire.Conn) {
+		defer wg.Done()
+		for {
+			msg, err := src.RecvMsg()
+			if err != nil {
+				// Session over (orderly close or fault): tear down both
+				// sides so the peer pump unblocks too.
+				client.Close()
+				backend.Close()
+				return
+			}
+			if err := dst.SendMsg(msg); err != nil {
+				client.Close()
+				backend.Close()
+				return
+			}
+		}
+	}
+	go pump(client, backend)
+	go pump(backend, client)
+	wg.Wait()
+}
+
+// shed rejects the session the same way an overloaded backend would:
+// a BUSY frame carrying a retry hint (the largest backend hint seen,
+// floored at the configured RetryAfter), so hinted and unhinted
+// clients alike land in their existing retry taxonomy.
+func (g *Gateway) shed(conn wire.Conn, lastBusy *protocol.BusyError) {
+	retryAfter := g.cfg.RetryAfter
+	if lastBusy != nil && lastBusy.RetryAfter > retryAfter {
+		retryAfter = lastBusy.RetryAfter
+	}
+	g.reg.Counter("gw_shed_total", "sessions rejected after exhausting candidates").Inc()
+	protocol.SendBusy(conn, retryAfter)
+}
+
+// BackendStatus is one row of Snapshot: the operator view of a
+// backend.
+type BackendStatus struct {
+	Addr     string   `json:"addr"`
+	Healthy  bool     `json:"healthy"`
+	Status   string   `json:"status"`
+	Active   int64    `json:"active_sessions"`
+	Sessions int64    `json:"sessions_total"`
+	Shapes   []string `json:"advertised_shapes,omitempty"`
+}
+
+// Snapshot reports the fleet state in config order — the payload of
+// maxgw's /fleetz endpoint and maxtop's fleet panel.
+func (g *Gateway) Snapshot() []BackendStatus {
+	out := make([]BackendStatus, 0, len(g.states))
+	for _, b := range g.states {
+		b.mu.Lock()
+		shapes := make([]string, 0, len(b.shapes))
+		for s := range b.shapes {
+			shapes = append(shapes, s)
+		}
+		st := BackendStatus{
+			Addr: b.Addr, Healthy: b.healthy, Status: b.status,
+			Active: b.active.Load(), Sessions: b.sessions.Load(),
+		}
+		b.mu.Unlock()
+		sort.Strings(shapes)
+		st.Shapes = shapes
+		out = append(out, st)
+	}
+	return out
+}

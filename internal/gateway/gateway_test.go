@@ -1,0 +1,481 @@
+package gateway
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/protocol/retry"
+	"maxelerator/internal/wire"
+	"maxelerator/internal/wire/faultconn"
+)
+
+// fakeBackend is one in-process garbler daemon: every dialed
+// connection gets a real protocol.Server session (or a scripted BUSY /
+// dial refusal / injected fault), so gateway tests exercise the same
+// frames production does.
+type fakeBackend struct {
+	name string
+	srv  *protocol.Server
+
+	mu     sync.Mutex
+	served int // sessions that completed a real serve
+	busy   int // connections to reject with BUSY before serving again
+	down   bool
+	fault  *faultconn.Options // wraps the gateway-side conn when set
+	status string             // probe verdict
+	shapes []string           // advertised pool shapes
+	wg     sync.WaitGroup
+}
+
+var testMatrix = [][]int64{{2, 3}}
+
+func newFakeBackend(t *testing.T, name string) *fakeBackend {
+	t.Helper()
+	srv, err := protocol.NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeBackend{name: name, srv: srv, status: obs.HealthOK}
+}
+
+func (fb *fakeBackend) dial() (wire.Conn, error) {
+	fb.mu.Lock()
+	if fb.down {
+		fb.mu.Unlock()
+		return nil, fmt.Errorf("dial %s: %w", fb.name, wire.ErrClosed)
+	}
+	busy := fb.busy > 0
+	if busy {
+		fb.busy--
+	}
+	fault := fb.fault
+	fb.mu.Unlock()
+	gwSide, beSide := wire.Pipe()
+	fb.wg.Add(1)
+	go func() {
+		defer fb.wg.Done()
+		defer beSide.Close()
+		if busy {
+			protocol.SendBusy(beSide, 5*time.Millisecond)
+			return
+		}
+		if _, err := fb.srv.Serve(beSide, protocol.Request{Matrix: testMatrix}); err == nil {
+			fb.mu.Lock()
+			fb.served++
+			fb.mu.Unlock()
+		}
+	}()
+	if fault != nil {
+		return faultconn.New(gwSide, *fault), nil
+	}
+	return gwSide, nil
+}
+
+func (fb *fakeBackend) servedCount() int {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.served
+}
+
+// fleet wires N fake backends behind one gateway with injected dial
+// and probe functions.
+type fleet struct {
+	backends map[string]*fakeBackend
+	gw       *Gateway
+	obs      *obs.Obs
+}
+
+func newFleet(t *testing.T, n int, mutate func(*Config)) *fleet {
+	t.Helper()
+	f := &fleet{backends: make(map[string]*fakeBackend), obs: obs.New(8)}
+	var cfg Config
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("backend-%d", i)
+		f.backends[name] = newFakeBackend(t, name)
+		cfg.Backends = append(cfg.Backends, Backend{Addr: name, HealthURL: "probe://" + name})
+	}
+	cfg.Obs = f.obs
+	cfg.PeekTimeout = 50 * time.Millisecond
+	cfg.EjectAfter = 2
+	cfg.RetryAfter = 10 * time.Millisecond
+	cfg.Dial = func(addr string) (wire.Conn, error) {
+		fb, ok := f.backends[addr]
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q", addr)
+		}
+		return fb.dial()
+	}
+	cfg.Probe = func(b Backend) (string, []string, error) {
+		fb := f.backends[b.Addr]
+		fb.mu.Lock()
+		defer fb.mu.Unlock()
+		if fb.down {
+			return "", nil, fmt.Errorf("probe %s: unreachable", b.Addr)
+		}
+		return fb.status, fb.shapes, nil
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.gw = gw
+	t.Cleanup(func() {
+		gw.Close()
+		for _, fb := range f.backends {
+			fb.wg.Wait()
+		}
+	})
+	return f
+}
+
+// drain waits out every backend goroutine, so served counters are
+// final before assertions.
+func (f *fleet) drain() {
+	for _, fb := range f.backends {
+		fb.wg.Wait()
+	}
+}
+
+// totalServed sums completed serves across the fleet.
+func (f *fleet) totalServed() int {
+	total := 0
+	for _, fb := range f.backends {
+		total += fb.servedCount()
+	}
+	return total
+}
+
+var testHint = protocol.ShapeHint{Rows: 1, Cols: 2, Width: 8, Signed: true, Mode: "matvec", OT: "per-round"}
+
+// runSession dials the gateway with an optional shape hint and runs
+// one request end to end, returning the Dial error verbatim (BUSY
+// shedding surfaces there).
+func runSession(t *testing.T, g *Gateway, hint *protocol.ShapeHint) ([]int64, error) {
+	t.Helper()
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hint != nil {
+		cli.WithShapeHint(*hint)
+	}
+	gwSide, cliSide := wire.Pipe()
+	defer cliSide.Close()
+	go g.HandleConn(gwSide)
+	cs, err := cli.Dial(cliSide)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cs.Do([]int64{4, 5})
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func wantResult(t *testing.T, out []int64) {
+	t.Helper()
+	if len(out) != 1 || out[0] != 2*4+3*5 {
+		t.Fatalf("result = %v, want [23]", out)
+	}
+}
+
+// TestSameShapeSessionsPinToOneBackend is the affinity contract: every
+// session hinting the same shape lands on the same backend — across
+// reconnects — so that backend's precompute pool is the only one that
+// has to learn the shape.
+func TestSameShapeSessionsPinToOneBackend(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	const sessions = 3
+	for i := 0; i < sessions; i++ {
+		out, err := runSession(t, f.gw, &testHint)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		wantResult(t, out)
+	}
+	f.drain()
+	owner := f.gw.ring.Lookup(testHint.Key(), 1)[0]
+	for name, fb := range f.backends {
+		want := 0
+		if name == owner {
+			want = sessions
+		}
+		if got := fb.servedCount(); got != want {
+			t.Fatalf("%s served %d sessions, want %d (ring owner %s)", name, got, want, owner)
+		}
+	}
+	if got := f.obs.Metrics().Counter("gw_sessions_total", "", obs.L("backend", owner)).Value(); got != sessions {
+		t.Fatalf("gw_sessions_total{%s} = %d", owner, got)
+	}
+}
+
+// TestUnhintedSessionRoutesAndServes pins backward compatibility: a
+// client that never sends the preface (every pre-gateway client) still
+// gets served — the peek times out and the session routes by load.
+func TestUnhintedSessionRoutesAndServes(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	out, err := runSession(t, f.gw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResult(t, out)
+	f.drain()
+	if got := f.totalServed(); got != 1 {
+		t.Fatalf("fleet served %d sessions, want 1", got)
+	}
+	if got := f.obs.Metrics().Counter("gw_peeks_total", "", obs.L("result", "none")).Value(); got != 1 {
+		t.Fatalf("gw_peeks_total{none} = %d", got)
+	}
+}
+
+// TestBusyFailoverNeverDoubleServes is the chaos test for the
+// single-serve guarantee: the ring primary rejects with BUSY and the
+// second replica's connection dies on its first frame (faultconn), yet
+// the session lands exactly once — on the third replica — and the
+// client sees one clean result.
+func TestBusyFailoverNeverDoubleServes(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	order := f.gw.ring.Lookup(testHint.Key(), 0)
+	f.backends[order[0]].busy = 1
+	f.backends[order[1]].fault = &faultconn.Options{ErrOnRecv: 1}
+
+	out, err := runSession(t, f.gw, &testHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResult(t, out)
+	f.drain()
+	if got := f.totalServed(); got != 1 {
+		t.Fatalf("fleet served %d sessions, want exactly 1", got)
+	}
+	if got := f.backends[order[2]].servedCount(); got != 1 {
+		t.Fatalf("third replica served %d, want 1", got)
+	}
+	reg := f.obs.Metrics()
+	if got := reg.Counter("gw_failovers_total", "", obs.L("reason", "busy")).Value(); got != 1 {
+		t.Fatalf("gw_failovers_total{busy} = %d", got)
+	}
+	if got := reg.Counter("gw_failovers_total", "", obs.L("reason", "dial")).Value(); got != 1 {
+		t.Fatalf("gw_failovers_total{dial} = %d", got)
+	}
+}
+
+// TestDeadBackendFailsOver covers the kill case: the primary's dial
+// refuses outright and the session transparently lands on the next
+// replica.
+func TestDeadBackendFailsOver(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	order := f.gw.ring.Lookup(testHint.Key(), 0)
+	f.backends[order[0]].down = true
+
+	out, err := runSession(t, f.gw, &testHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResult(t, out)
+	f.drain()
+	if got := f.backends[order[1]].servedCount(); got != 1 {
+		t.Fatalf("replica served %d, want 1", got)
+	}
+}
+
+// TestAllBusySheds pins the exhaustion path: when every candidate
+// rejects, the gateway sends its own BUSY so the client's existing
+// retry taxonomy applies — the error must classify exactly like a
+// single overloaded server's.
+func TestAllBusySheds(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	for _, fb := range f.backends {
+		fb.busy = 10
+	}
+	_, err := runSession(t, f.gw, &testHint)
+	var be *protocol.BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected BusyError, got %v", err)
+	}
+	if be.RetryAfter <= 0 {
+		t.Fatalf("shed without a retry hint: %+v", be)
+	}
+	f.drain()
+	if got := f.totalServed(); got != 0 {
+		t.Fatalf("fleet served %d sessions while shedding", got)
+	}
+	if got := f.obs.Metrics().Counter("gw_shed_total", "").Value(); got != 1 {
+		t.Fatalf("gw_shed_total = %d", got)
+	}
+}
+
+// TestProbeEjectsAndReadmits drives the health-driven membership
+// machine: consecutive failed probes remove a backend from the ring
+// (sessions reroute), one healthy probe restores it.
+func TestProbeEjectsAndReadmits(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	order := f.gw.ring.Lookup(testHint.Key(), 0)
+	primary := f.backends[order[0]]
+
+	primary.mu.Lock()
+	primary.status = obs.HealthOverloaded
+	primary.mu.Unlock()
+	f.gw.ProbeNow()
+	if !f.gw.ring.Has(order[0]) {
+		t.Fatal("one failed probe ejected the backend (EjectAfter is 2)")
+	}
+	f.gw.ProbeNow()
+	if f.gw.ring.Has(order[0]) {
+		t.Fatal("backend not ejected after EjectAfter consecutive failures")
+	}
+	if got := f.gw.healthVerdict(); got != obs.HealthDegraded {
+		t.Fatalf("gateway health = %q with a partial fleet", got)
+	}
+
+	out, err := runSession(t, f.gw, &testHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResult(t, out)
+	f.drain()
+	if got := primary.servedCount(); got != 0 {
+		t.Fatalf("ejected backend served %d sessions", got)
+	}
+
+	primary.mu.Lock()
+	primary.status = obs.HealthOK
+	primary.mu.Unlock()
+	f.gw.ProbeNow()
+	if !f.gw.ring.Has(order[0]) {
+		t.Fatal("healthy probe did not readmit the backend")
+	}
+	if got := f.gw.healthVerdict(); got != obs.HealthOK {
+		t.Fatalf("gateway health = %q with a full fleet", got)
+	}
+}
+
+// TestAdvertisedShapePreferred: a backend that announces a warm pool
+// for the exact shape outranks ring position, so a fleet whose pools
+// already learned the traffic keeps serving it warm.
+func TestAdvertisedShapePreferred(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	order := f.gw.ring.Lookup(testHint.Key(), 0)
+	warm := f.backends[order[2]] // last in ring order
+	warm.mu.Lock()
+	warm.shapes = []string{testHint.Key()}
+	warm.mu.Unlock()
+	f.gw.ProbeNow()
+
+	candidates := f.gw.route(testHint, true)
+	if len(candidates) != 3 {
+		t.Fatalf("%d candidates", len(candidates))
+	}
+	if candidates[0].Addr != order[2] {
+		t.Fatalf("first candidate %s, want advertising backend %s", candidates[0].Addr, order[2])
+	}
+	snap := f.gw.Snapshot()
+	var found bool
+	for _, st := range snap {
+		if st.Addr == order[2] {
+			found = len(st.Shapes) == 1 && st.Shapes[0] == testHint.Key()
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot does not show the advertised shape: %+v", snap)
+	}
+}
+
+// TestUnhintedRouteIsLeastLoaded unit-tests the load ordering the
+// unhinted path uses.
+func TestUnhintedRouteIsLeastLoaded(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	f.gw.byAddr["backend-0"].active.Store(5)
+	f.gw.byAddr["backend-1"].active.Store(1)
+	f.gw.byAddr["backend-2"].active.Store(3)
+	got := f.gw.route(protocol.ShapeHint{}, false)
+	want := []string{"backend-1", "backend-2", "backend-0"}
+	for i := range want {
+		if got[i].Addr != want[i] {
+			t.Fatalf("position %d: %s, want %s", i, got[i].Addr, want[i])
+		}
+	}
+}
+
+// TestBoundedLoadYieldsHotPrimary: a primary far above the bounded-load
+// ceiling yields to the next replica even for its own shapes.
+func TestBoundedLoadYieldsHotPrimary(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	order := f.gw.ring.Lookup(testHint.Key(), 0)
+	f.gw.byAddr[order[0]].active.Store(100)
+	got := f.gw.route(testHint, true)
+	if got[0].Addr == order[0] {
+		t.Fatalf("overloaded primary %s still first", order[0])
+	}
+	if got[len(got)-1].Addr != order[0] {
+		t.Fatalf("overloaded primary not demoted to last: %s", got[len(got)-1].Addr)
+	}
+}
+
+// TestClientGoneDuringPeek: a client that connects and immediately
+// vanishes must not consume a backend.
+func TestClientGoneDuringPeek(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	gwSide, cliSide := wire.Pipe()
+	cliSide.Close()
+	f.gw.HandleConn(gwSide) // synchronous: returns once the peek fails
+	f.drain()
+	if got := f.totalServed(); got != 0 {
+		t.Fatalf("fleet served %d sessions for a vanished client", got)
+	}
+	if got := f.obs.Metrics().Counter("gw_peek_errors_total", "").Value(); got != 1 {
+		t.Fatalf("gw_peek_errors_total = %d", got)
+	}
+}
+
+// TestRetryLayerRidesFailover: the client-side ReDialer composes with
+// the gateway — a BUSY-shedding fleet that recovers between attempts
+// is healed by the existing retry taxonomy without the client
+// distinguishing gateway BUSY from backend BUSY.
+func TestRetryLayerRidesFailover(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	for _, fb := range f.backends {
+		fb.busy = 2 // both replicas reject the first two session attempts
+	}
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.WithShapeHint(testHint)
+	rd, err := retry.NewReDialer(cli, func() (wire.Conn, error) {
+		gwSide, cliSide := wire.Pipe()
+		go f.gw.HandleConn(gwSide)
+		return cliSide, nil
+	}, retry.Policy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rd.Do([]int64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResult(t, out)
+	// Close before draining: the backend's Serve returns (and counts the
+	// session) only after the end-of-session marker the Close sends.
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.drain()
+	if got := f.totalServed(); got != 1 {
+		t.Fatalf("fleet served %d sessions, want 1", got)
+	}
+}

@@ -1,0 +1,243 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxelerator/internal/obs"
+)
+
+// Backend names one garbler daemon the gateway can route to.
+type Backend struct {
+	// Addr is the protocol listen address sessions are proxied to.
+	Addr string
+	// HealthURL is the base of the daemon's debug surface (its
+	// -metrics-addr), e.g. "http://10.0.0.7:9090": the prober GETs
+	// <HealthURL>/healthz for liveness and <HealthURL>/shapez for the
+	// advertised precompute shapes. Empty disables probing — the
+	// backend is assumed healthy forever.
+	HealthURL string
+}
+
+// backendState is the gateway's live view of one backend: health
+// (prober-driven), advertised shapes, and in-flight session count
+// (bounded-load input).
+type backendState struct {
+	Backend
+
+	mu      sync.Mutex
+	healthy bool
+	status  string // last probe verdict: ok | degraded | overloaded | unreachable
+	fails   int    // consecutive probe failures
+	shapes  map[string]struct{}
+
+	active   atomic.Int64 // sessions currently relayed to this backend
+	sessions atomic.Int64 // sessions ever committed to this backend
+}
+
+// setShapes replaces the advertised-shape set.
+func (b *backendState) setShapes(shapes []string) {
+	set := make(map[string]struct{}, len(shapes))
+	for _, s := range shapes {
+		set[s] = struct{}{}
+	}
+	b.mu.Lock()
+	b.shapes = set
+	b.mu.Unlock()
+}
+
+// advertises reports whether the backend's daemon announced a warm
+// pool for the shape key.
+func (b *backendState) advertises(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.shapes[key]
+	return ok
+}
+
+// snapshotHealth reads the probe-owned fields consistently.
+func (b *backendState) snapshotHealth() (healthy bool, status string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy, b.status
+}
+
+// ProbeFunc asks one backend for its health verdict and advertised
+// shapes. Implementations return the health string (obs.HealthOK,
+// obs.HealthDegraded or obs.HealthOverloaded) or an error when the
+// backend is unreachable. Tests inject deterministic probes; the
+// default is httpProbe.
+type ProbeFunc func(b Backend) (status string, shapes []string, err error)
+
+// httpProbe is the production probe: GET <HealthURL>/healthz (the body
+// is the verdict; a 503 carries "overloaded") and GET
+// <HealthURL>/shapez for the advertised shape list. A missing /shapez
+// (older daemons without -advertise) is not an error — the backend
+// just advertises nothing.
+func httpProbe(client *http.Client) ProbeFunc {
+	return func(b Backend) (string, []string, error) {
+		resp, err := client.Get(b.HealthURL + "/healthz")
+		if err != nil {
+			return "", nil, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+		resp.Body.Close()
+		if err != nil {
+			return "", nil, err
+		}
+		status := strings.TrimSpace(string(body))
+		switch status {
+		case obs.HealthOK, obs.HealthDegraded, obs.HealthOverloaded:
+		default:
+			return "", nil, fmt.Errorf("gateway: unrecognized health verdict %q", status)
+		}
+		return status, fetchShapes(client, b.HealthURL), nil
+	}
+}
+
+// fetchShapes GETs the advertised shape list, tolerating every
+// failure: shape advertisement is an optimization hint, never a
+// health signal.
+func fetchShapes(client *http.Client, base string) []string {
+	resp, err := client.Get(base + "/shapez")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var payload struct {
+		Shapes []string `json:"shapes"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&payload); err != nil {
+		return nil
+	}
+	return payload.Shapes
+}
+
+// probeLoop polls every backend at the configured interval until the
+// gateway closes. The first pass runs immediately so a fresh gateway
+// converges on real health within one interval, not two.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	g.ProbeNow()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow runs one synchronous probe pass over every backend,
+// applying the eject/readmit policy:
+//
+//   - ok and degraded verdicts count as healthy (a degraded daemon is
+//     queueing, not rejecting — still better than shedding the
+//     session here);
+//   - overloaded verdicts and unreachable backends count as failures;
+//     EjectAfter consecutive failures remove the backend from the
+//     ring, one success readmits it.
+//
+// Exported so tests (and operators via a future admin surface) can
+// force convergence without waiting out the interval.
+func (g *Gateway) ProbeNow() {
+	for _, b := range g.states {
+		if b.HealthURL == "" || g.cfg.Probe == nil {
+			continue
+		}
+		status, shapes, err := g.cfg.Probe(b.Backend)
+		failed := err != nil || status == obs.HealthOverloaded
+		b.mu.Lock()
+		if err != nil {
+			b.status = "unreachable"
+		} else {
+			b.status = status
+		}
+		if failed {
+			b.fails++
+		} else {
+			b.fails = 0
+			b.shapes = toSet(shapes)
+		}
+		eject := b.healthy && b.fails >= g.cfg.EjectAfter
+		readmit := !b.healthy && !failed
+		if eject {
+			b.healthy = false
+		}
+		if readmit {
+			b.healthy = true
+		}
+		b.mu.Unlock()
+		switch {
+		case eject:
+			g.ring.Remove(b.Addr)
+			g.reg.Counter("gw_membership_changes_total",
+				"backend ring ejections and readmissions",
+				obs.L("backend", b.Addr), obs.L("change", "eject")).Inc()
+		case readmit:
+			g.ring.Add(b.Addr)
+			g.reg.Counter("gw_membership_changes_total",
+				"backend ring ejections and readmissions",
+				obs.L("backend", b.Addr), obs.L("change", "readmit")).Inc()
+		}
+	}
+	g.publishRingState()
+}
+
+func toSet(ss []string) map[string]struct{} {
+	set := make(map[string]struct{}, len(ss))
+	for _, s := range ss {
+		set[s] = struct{}{}
+	}
+	return set
+}
+
+// publishRingState refreshes the membership gauges after a probe pass
+// or a routing-time transition.
+func (g *Gateway) publishRingState() {
+	healthy := 0
+	for _, b := range g.states {
+		up, _ := b.snapshotHealth()
+		var v int64
+		if up {
+			v = 1
+			healthy++
+		}
+		g.reg.Gauge("gw_backend_up", "backend ring membership (1 = routable)",
+			obs.L("backend", b.Addr)).Set(v)
+	}
+	g.reg.Gauge("gw_backends_healthy", "backends currently on the ring").Set(int64(healthy))
+	g.reg.Gauge("gw_backends_total", "backends configured").Set(int64(len(g.states)))
+}
+
+// healthVerdict is the gateway's own /healthz: routable fleet → ok,
+// partial fleet → degraded, empty ring → overloaded (the gateway is
+// about to shed every session, which is what overloaded means).
+func (g *Gateway) healthVerdict() string {
+	healthy := 0
+	for _, b := range g.states {
+		if up, _ := b.snapshotHealth(); up {
+			healthy++
+		}
+	}
+	switch {
+	case healthy == 0:
+		return obs.HealthOverloaded
+	case healthy < len(g.states):
+		return obs.HealthDegraded
+	default:
+		return obs.HealthOK
+	}
+}

@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over backend names with virtual
+// nodes. Sessions hash their precompute shape key onto the ring, so a
+// given shape always lands on the same backend while it stays healthy —
+// that backend's pre-garbled pool is the warm one — and membership
+// changes only remap the shapes that hashed near the departed member,
+// not the whole fleet.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[string]struct{}
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// DefaultVnodes is the virtual-node count per member when NewRing is
+// given zero: enough replicas that an 8-backend fleet balances within
+// a few tens of percent, small enough that rebuilds stay trivial.
+const DefaultVnodes = 128
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (DefaultVnodes if <= 0).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// ringHash is FNV-1a 64 through a splitmix64 finalizer: stable across
+// processes (routing must agree between gateway restarts) and cheap
+// enough to hash per session. The finalizer matters — raw FNV of short
+// near-identical strings ("backend-3#17") clusters on the ring badly
+// enough to triple one member's share of the keyspace.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		h := ringHash(member + "#" + itoa(i))
+		r.points = append(r.points, ringPoint{hash: h, member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove ejects a member (idempotent).
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports membership.
+func (r *Ring) Has(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[member]
+	return ok
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the members in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns up to n distinct members in ring order starting at
+// key's position: index 0 is the primary, the rest are the failover
+// replicas a session tries in order. n <= 0 means every member.
+func (r *Ring) Lookup(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.member]; dup {
+			continue
+		}
+		seen[p.member] = struct{}{}
+		out = append(out, p.member)
+	}
+	return out
+}
+
+// itoa is strconv.Itoa for the small non-negative vnode indices,
+// inlined to keep the hash input construction allocation-free on the
+// common path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -356,6 +356,24 @@ func (e *Engine) Take(s Shape) *Entry {
 	return ent
 }
 
+// Shapes snapshots the admitted shapes and their ready depths — the
+// advertisement payload a daemon exposes (via /shapez) so a
+// shape-aware gateway can route sessions toward warm pools. Admitted
+// shapes with empty pools are included: admission means the refill
+// workers are already building them.
+func (e *Engine) Shapes() map[Shape]int {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[Shape]int, len(e.pools))
+	for s, p := range e.pools {
+		out[s] = len(p.entries)
+	}
+	return out
+}
+
 // Depth reports the ready entries for a shape (0 for absent shapes).
 func (e *Engine) Depth(s Shape) int {
 	if e == nil {

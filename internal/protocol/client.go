@@ -3,11 +3,11 @@ package protocol
 // The evaluator endpoint. Dial opens a multiplexed session (versioned
 // handshake + one OT setup); Do runs one request; Close ends the
 // request loop. Run and RunSerial are the one-shot conveniences the
-// pre-v2 API exposed, now thin wrappers over a single-request session.
+// pre-v2 API exposed — deprecated thin wrappers over a single-request
+// session, slated for removal one PR after their marking.
 
 import (
 	"fmt"
-	"time"
 
 	"maxelerator/internal/circuit"
 	"maxelerator/internal/gc"
@@ -25,6 +25,9 @@ type Client struct {
 	// timeouts are the per-operation I/O budgets applied to every
 	// session this client dials.
 	timeouts Timeouts
+	// hint, when non-nil, is sent as the first frame of every dialed
+	// session so a shape-aware gateway can route before the handshake.
+	hint *ShapeHint
 }
 
 type randReader interface{ Read([]byte) (int, error) }
@@ -44,6 +47,16 @@ func NewClient(rnd randReader) (*Client, error) {
 // zero value leaves operations unbounded. Returns c for chaining.
 func (c *Client) WithTimeouts(t Timeouts) *Client {
 	c.timeouts = t
+	return c
+}
+
+// WithShapeHint makes every dialed session open with a shape-hint
+// preface frame: a shape-aware gateway (cmd/maxgw) peeks it to pin the
+// session to the backend whose precompute pool is warm for that shape,
+// while a directly-dialed server skips the frame during its handshake —
+// so the hint is safe to set unconditionally. Returns c for chaining.
+func (c *Client) WithShapeHint(h ShapeHint) *Client {
+	c.hint = &h
 	return c
 }
 
@@ -75,6 +88,14 @@ func (c *Client) Dial(conn wire.Conn) (*ClientSession, error) {
 	// costs the evaluator one phase budget, not a hung Dial.
 	tc := newTimedConn(conn, nil)
 	tc.enterPhase(phaseHandshake, c.timeouts.Handshake)
+	// The routing preface goes out before anything is read: the server
+	// speaks first in v2, so this frame is the only thing a gateway can
+	// classify before committing the session to a backend.
+	if c.hint != nil {
+		if err := SendShapeHint(tc, *c.hint); err != nil {
+			return nil, fmt.Errorf("protocol: sending shape hint: %w", err)
+		}
+	}
 	first, err := tc.RecvMsg()
 	if err != nil {
 		return nil, fmt.Errorf("protocol: reading handshake: %w", err)
@@ -85,7 +106,7 @@ func (c *Client) Dial(conn wire.Conn) (*ClientSession, error) {
 	// Busy false, so the probe never misfires.
 	var busy msgBusy
 	if err := decodeGob(first, &busy); err == nil && busy.Busy {
-		return nil, &BusyError{RetryAfter: time.Duration(busy.RetryAfterMillis) * time.Millisecond}
+		return nil, &BusyError{RetryAfter: busyRetryAfter(busy)}
 	}
 	var h hello
 	if err := decodeGob(first, &h); err != nil {
@@ -339,7 +360,11 @@ func (cs *ClientSession) evalSerial(hdr reqHeader, y []int64) ([]int64, error) {
 
 // Run executes the evaluator side of a single-request session with the
 // client vector y and returns the decoded outputs (one per server
-// matrix row).
+// matrix row). It is exactly Dial + Do + Close over one connection.
+//
+// Deprecated: since PR 7 — use Dial, Do and Close directly (they
+// amortize the handshake and OT setup over many requests and expose
+// the session for retry layers). Slated for removal next PR.
 func (c *Client) Run(conn wire.Conn, y []int64) ([]int64, error) {
 	cs, err := c.Dial(conn)
 	if err != nil {
@@ -358,6 +383,9 @@ func (c *Client) Run(conn wire.Conn, y []int64) ([]int64, error) {
 // RunSerial executes the evaluator side of a serial-mode
 // single-request session. The server announces the mode, so this is
 // Run specialized to the one-row result.
+//
+// Deprecated: since PR 7 — use Dial and Do; a serial session returns a
+// one-element result. Slated for removal next PR.
 func (c *Client) RunSerial(conn wire.Conn, y []int64) (int64, error) {
 	out, err := c.Run(conn, y)
 	if err != nil {

@@ -422,7 +422,7 @@ func TestGarblePoolMetrics(t *testing.T) {
 
 // disconnectMidRounds opens a request like a real client, then drops
 // the connection before evaluating, and returns the server error.
-func disconnectMidRounds(t *testing.T, opts Options) error {
+func disconnectMidRounds(t *testing.T, mode OTMode) error {
 	t.Helper()
 	srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
 	if err != nil {
@@ -438,7 +438,7 @@ func disconnectMidRounds(t *testing.T, opts Options) error {
 
 	srvDone := make(chan error, 1)
 	go func() {
-		_, _, err := srv.ServeMatVecOpts(a, [][]int64{{1, 2, 3, 4}, {5, 6, 7, 8}}, opts)
+		_, err := srv.Serve(a, Request{Matrix: [][]int64{{1, 2, 3, 4}, {5, 6, 7, 8}}, OT: mode})
 		srvDone <- err
 	}()
 
@@ -468,7 +468,7 @@ func disconnectMidRounds(t *testing.T, opts Options) error {
 }
 
 func TestClientDisconnectMidRoundsBatched(t *testing.T) {
-	err := disconnectMidRounds(t, Options{BatchedOT: true})
+	err := disconnectMidRounds(t, OTBatched)
 	if err == nil {
 		t.Fatal("server reported success after client disconnect")
 	}
@@ -478,7 +478,7 @@ func TestClientDisconnectMidRoundsBatched(t *testing.T) {
 }
 
 func TestClientDisconnectMidRoundsCorrelated(t *testing.T) {
-	err := disconnectMidRounds(t, Options{CorrelatedOT: true})
+	err := disconnectMidRounds(t, OTCorrelated)
 	if err == nil {
 		t.Fatal("server reported success after client disconnect")
 	}
@@ -488,7 +488,7 @@ func TestClientDisconnectMidRoundsCorrelated(t *testing.T) {
 }
 
 func TestClientDisconnectMidRoundsPerRound(t *testing.T) {
-	err := disconnectMidRounds(t, Options{})
+	err := disconnectMidRounds(t, OTPerRound)
 	if err == nil {
 		t.Fatal("server reported success after client disconnect")
 	}
@@ -607,7 +607,11 @@ func TestDeprecatedWrappersStillServe(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		out, _, srvErr = srv.ServeDotProduct(a, []int64{2, -3})
+		var resp *Response
+		resp, srvErr = srv.Serve(a, Request{Matrix: [][]int64{{2, -3}}})
+		if srvErr == nil {
+			out = resp.Values[0]
+		}
 	}()
 	got, err := cli.Run(b, []int64{4, 5})
 	wg.Wait()
@@ -625,9 +629,6 @@ func TestOTModeValidation(t *testing.T) {
 		if err := m.validate(); err != nil {
 			t.Fatalf("%s rejected: %v", m, err)
 		}
-	}
-	if err := otConflict.validate(); err == nil {
-		t.Fatal("conflicting OT modes accepted")
 	}
 	if err := OTMode(42).validate(); err == nil {
 		t.Fatal("unknown OT mode accepted")

@@ -13,7 +13,7 @@ import (
 
 // runObservedSession runs one matvec session against an instrumented
 // server and returns the hub for inspection.
-func runObservedSession(t *testing.T, opts Options) *obs.Obs {
+func runObservedSession(t *testing.T, mode OTMode) *obs.Obs {
 	t.Helper()
 	o := obs.New(8)
 	cfg := maxsim.Config{Width: 8, AccWidth: 24, Signed: true}
@@ -37,7 +37,7 @@ func runObservedSession(t *testing.T, opts Options) *obs.Obs {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, _, srvErr = srv.ServeMatVecOpts(a, A, opts)
+		_, srvErr = srv.Serve(a, Request{Matrix: A, OT: mode})
 	}()
 	if _, err := cli.Run(b, y); err != nil {
 		t.Fatal(err)
@@ -50,7 +50,7 @@ func runObservedSession(t *testing.T, opts Options) *obs.Obs {
 }
 
 func TestSessionMetricsRecorded(t *testing.T) {
-	o := runObservedSession(t, Options{})
+	o := runObservedSession(t, OTPerRound)
 	reg := o.Metrics()
 	if got := reg.Counter("sessions_total", "", obs.L("kind", "matvec")).Value(); got != 1 {
 		t.Fatalf("sessions_total = %d", got)
@@ -91,7 +91,7 @@ func TestSessionMetricsRecorded(t *testing.T) {
 }
 
 func TestSessionTraceSpans(t *testing.T) {
-	o := runObservedSession(t, Options{})
+	o := runObservedSession(t, OTPerRound)
 	snaps := o.Traces().Recent(0)
 	if len(snaps) != 1 {
 		t.Fatalf("%d traces", len(snaps))
@@ -129,7 +129,7 @@ func TestSessionTraceSpans(t *testing.T) {
 }
 
 func TestCorrelatedSessionObserved(t *testing.T) {
-	o := runObservedSession(t, Options{CorrelatedOT: true})
+	o := runObservedSession(t, OTCorrelated)
 	if got := o.Metrics().Counter("macs_total", "").Value(); got != 6 {
 		t.Fatalf("macs_total = %d (correlated path must publish stats)", got)
 	}
@@ -164,7 +164,7 @@ func TestSerialSessionObserved(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, _, srvErr = srv.ServeDotProductSerial(a, []int64{3, 5})
+		_, srvErr = srv.Serve(a, Request{Matrix: [][]int64{{3, 5}}, Mode: ModeSerial})
 	}()
 	if _, err := cli.RunSerial(b, []int64{2, 4}); err != nil {
 		t.Fatal(err)
@@ -191,7 +191,7 @@ func TestFailedSessionCountsError(t *testing.T) {
 	a, b := wire.Pipe()
 	defer a.Close()
 	// Empty matrix fails validation inside the session wrapper.
-	if _, _, err := srv.ServeMatVec(a, nil); err == nil {
+	if _, err := srv.Serve(a, Request{}); err == nil {
 		t.Fatal("empty matrix accepted")
 	}
 	b.Close()

@@ -35,6 +35,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"maxelerator/internal/gc"
@@ -110,10 +111,6 @@ const (
 	// (free-XOR pairs differ by Δ), one correction ciphertext per wire
 	// instead of two, halving label-transfer traffic.
 	OTCorrelated
-
-	// otConflict marks the invalid Options combination (both batched
-	// and correlated requested); it never crosses the wire.
-	otConflict OTMode = -1
 )
 
 // String names the mode for logs and errors.
@@ -125,21 +122,17 @@ func (m OTMode) String() string {
 		return "batched"
 	case OTCorrelated:
 		return "correlated"
-	case otConflict:
-		return "conflict"
 	default:
 		return fmt.Sprintf("OTMode(%d)", int(m))
 	}
 }
 
 // validate is the single place an OT mode is checked, for requests
-// built directly and for the deprecated bool pair alike.
+// built locally and for modes announced on the wire alike.
 func (m OTMode) validate() error {
 	switch m {
 	case OTPerRound, OTBatched, OTCorrelated:
 		return nil
-	case otConflict:
-		return fmt.Errorf("protocol: batched and correlated OT are mutually exclusive")
 	default:
 		return fmt.Errorf("protocol: unknown OT mode %d", int(m))
 	}
@@ -194,6 +187,11 @@ type msgBusy struct {
 // surfaces the frame as a BusyError from Dial.
 func SendBusy(conn wire.Conn, retryAfter time.Duration) error {
 	return sendGob(conn, msgBusy{Busy: true, RetryAfterMillis: retryAfter.Milliseconds()})
+}
+
+// busyRetryAfter converts the wire hint back to a duration.
+func busyRetryAfter(m msgBusy) time.Duration {
+	return time.Duration(m.RetryAfterMillis) * time.Millisecond
 }
 
 // errFrame rides the round stream (tagged roundTagError) to tell the
@@ -357,6 +355,20 @@ type Server struct {
 	// matvec requests first try a pre-garbled pool entry and only fall
 	// back to inline garbling on a miss.
 	pre *precompute.Engine
+	// started flips when the first session begins; the With* option
+	// setters consult it to enforce configure-before-serve (mutating a
+	// server already shared with session goroutines is a data race).
+	started atomic.Bool
+}
+
+// mustNotHaveServed panics when an option setter runs after the first
+// session started: the With* methods mutate state every session reads
+// unsynchronized, so late configuration is a bug, not a request. The
+// panic names the offender so the fix is one stack frame away.
+func (s *Server) mustNotHaveServed(method string) {
+	if s.started.Load() {
+		panic(fmt.Sprintf("protocol: Server.%s called after a session was served; configure the server before Serve/NewSession", method))
+	}
 }
 
 // NewServer builds a server around an accelerator configuration.
@@ -374,8 +386,10 @@ func NewServer(cfg maxsim.Config) (*Server, error) {
 // WithObs attaches an observability hub: every session is counted,
 // phase-traced (handshake → ot_setup → rounds → decode) and timed, and
 // the per-session simulators record their hardware accounting into the
-// hub's registry. Call before serving; returns s for chaining.
+// hub's registry. Call before serving (panics after the first session);
+// returns s for chaining.
 func (s *Server) WithObs(o *obs.Obs) *Server {
+	s.mustNotHaveServed("WithObs")
 	s.obs = o
 	s.cfg.Metrics = o.Metrics()
 	return s
@@ -387,8 +401,10 @@ func (s *Server) WithObs(o *obs.Obs) *Server {
 // OT, table streaming and decode, skipping garbling entirely — and
 // falls back to inline garbling on a miss, with identical wire format
 // either way. Misses teach the engine the shape, so steady traffic
-// converges to pool hits. Call before serving; returns s for chaining.
+// converges to pool hits. Call before serving (panics after the first
+// session); returns s for chaining.
 func (s *Server) WithPrecompute(eng *precompute.Engine) *Server {
+	s.mustNotHaveServed("WithPrecompute")
 	s.pre = eng
 	return s
 }
@@ -409,8 +425,10 @@ func (s *Server) shapeOf(req Request) precompute.Shape {
 // session this server runs: Handshake bounds each wire operation of
 // the connection-setup phases, IO each steady-state one. The zero
 // value leaves operations unbounded (the pre-timeout behaviour). Call
-// before serving; returns s for chaining.
+// before serving (panics after the first session); returns s for
+// chaining.
 func (s *Server) WithTimeouts(t Timeouts) *Server {
+	s.mustNotHaveServed("WithTimeouts")
 	s.timeouts = t
 	return s
 }
@@ -419,8 +437,8 @@ func (s *Server) WithTimeouts(t Timeouts) *Server {
 type Stats = maxsim.Stats
 
 // Request describes one computation to serve: the unified entry point
-// replacing the ServeDotProduct/ServeMatVec/ServeMatVecOpts/
-// ServeDotProductSerial split.
+// for every datapath and OT mode (the v1 per-mode Serve* helpers were
+// removed in the v2 API cleanup; see the README migration note).
 type Request struct {
 	// Matrix is the garbler's private input: each row is one
 	// sequential MAC chain over the client's vector. A plain dot
@@ -520,88 +538,6 @@ func (s *Server) Serve(conn wire.Conn, req Request) (resp *Response, err error) 
 	return resp, nil
 }
 
-// Options refine a served session.
-//
-// Deprecated: Options is the v1 knob set, retained so existing callers
-// compile. Build a Request instead; the mutually-exclusive BatchedOT/
-// CorrelatedOT pair is superseded by the OTMode enum.
-type Options struct {
-	// BatchedOT transfers every round's labels in one OT-extension
-	// batch instead of one batch per round (see OTBatched).
-	BatchedOT bool
-	// CorrelatedOT uses correlated OT for the label transfers (see
-	// OTCorrelated). Mutually exclusive with BatchedOT.
-	CorrelatedOT bool
-	// GarbleWorkers sizes the row-garbling worker pool (see
-	// Request.GarbleWorkers).
-	GarbleWorkers int
-	// Trace is a caller-opened session trace (see Request.Trace).
-	Trace *obs.SessionTrace
-}
-
-// request converts the deprecated knob set; the invalid bool pair maps
-// to otConflict so OTMode.validate reports it in the one place.
-func (o Options) request(A [][]int64) Request {
-	req := Request{Matrix: A, GarbleWorkers: o.GarbleWorkers, Trace: o.Trace}
-	switch {
-	case o.BatchedOT && o.CorrelatedOT:
-		req.OT = otConflict
-	case o.BatchedOT:
-		req.OT = OTBatched
-	case o.CorrelatedOT:
-		req.OT = OTCorrelated
-	}
-	return req
-}
-
-// ServeDotProduct runs one dot-product session over conn with the
-// server-held vector x. It returns the client-reported result and the
-// accelerator statistics.
-//
-// Deprecated: use Serve with a one-row Request.
-func (s *Server) ServeDotProduct(conn wire.Conn, x []int64) (int64, Stats, error) {
-	resp, err := s.Serve(conn, Request{Matrix: [][]int64{x}})
-	if err != nil {
-		return 0, Stats{}, err
-	}
-	return resp.Values[0], resp.Stats, nil
-}
-
-// ServeMatVec runs a matrix-vector session: each row of A is one
-// sequential MAC chain over the client's vector.
-//
-// Deprecated: use Serve.
-func (s *Server) ServeMatVec(conn wire.Conn, A [][]int64) ([]int64, Stats, error) {
-	resp, err := s.Serve(conn, Request{Matrix: A})
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	return resp.Values, resp.Stats, nil
-}
-
-// ServeMatVecOpts is ServeMatVec with explicit options.
-//
-// Deprecated: use Serve.
-func (s *Server) ServeMatVecOpts(conn wire.Conn, A [][]int64, opts Options) ([]int64, Stats, error) {
-	resp, err := s.Serve(conn, opts.request(A))
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	return resp.Values, resp.Stats, nil
-}
-
-// ServeDotProductSerial runs one serial-mode dot-product session with
-// the server-held vector x.
-//
-// Deprecated: use Serve with Mode: ModeSerial.
-func (s *Server) ServeDotProductSerial(conn wire.Conn, x []int64) (int64, Stats, error) {
-	resp, err := s.Serve(conn, Request{Matrix: [][]int64{x}, Mode: ModeSerial})
-	if err != nil {
-		return 0, Stats{}, err
-	}
-	return resp.Values[0], resp.Stats, nil
-}
-
 // addStats accumulates one run's accounting into the request aggregate
 // (the fields the matvec paths sum; utilization stays schedule-derived).
 func addStats(agg *Stats, st *Stats) {
@@ -649,6 +585,7 @@ type session struct {
 }
 
 func (s *Server) beginSession(kind string, conn wire.Conn, tr *obs.SessionTrace) *session {
+	s.started.Store(true)
 	reg := s.obs.Metrics()
 	if tr == nil {
 		tr = s.obs.Traces().StartSession(kind, wire.PeerAddr(conn))

@@ -12,6 +12,16 @@ import (
 	"maxelerator/internal/wire"
 )
 
+// serveValues runs one request through the unified Serve API and
+// splits the response the way the retired per-mode helpers used to.
+func serveValues(srv *Server, conn wire.Conn, req Request) ([]int64, Stats, error) {
+	resp, err := srv.Serve(conn, req)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return resp.Values, resp.Stats, nil
+}
+
 // runSession wires a server and client over an in-memory pipe.
 func runSession(t *testing.T, cfg maxsim.Config, A [][]int64, y []int64) (serverOut []int64, clientOut []int64, st Stats) {
 	t.Helper()
@@ -32,7 +42,7 @@ func runSession(t *testing.T, cfg maxsim.Config, A [][]int64, y []int64) (server
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		serverOut, st, srvErr = srv.ServeMatVec(a, A)
+		serverOut, st, srvErr = serveValues(srv, a, Request{Matrix: A})
 	}()
 	clientOut, err = cli.Run(b, y)
 	wg.Wait()
@@ -140,7 +150,11 @@ func TestSessionOverTCP(t *testing.T) {
 		}
 		conn := wire.NewStreamConn(c)
 		defer conn.Close()
-		srvOut, _, srvErr = srv.ServeDotProduct(conn, x)
+		var vals []int64
+		vals, _, srvErr = serveValues(srv, conn, Request{Matrix: [][]int64{x}})
+		if srvErr == nil {
+			srvOut = vals[0]
+		}
 	}()
 
 	nc, err := net.Dial("tcp", ln.Addr().String())
@@ -182,7 +196,7 @@ func TestVectorLengthMismatchRejected(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		srv.ServeDotProduct(a, []int64{1, 2, 3})
+		srv.Serve(a, Request{Matrix: [][]int64{{1, 2, 3}}})
 	}()
 	if _, err := cli.Run(b, []int64{1}); err == nil {
 		t.Fatal("length mismatch accepted by client")
@@ -207,7 +221,7 @@ func TestClientRejectsOutOfRangeInput(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		srv.ServeDotProduct(a, []int64{1})
+		srv.Serve(a, Request{Matrix: [][]int64{{1}}})
 	}()
 	if _, err := cli.Run(b, []int64{500}); err == nil {
 		t.Fatal("out-of-range client value accepted")
@@ -223,10 +237,10 @@ func TestServerValidation(t *testing.T) {
 	}
 	a, _ := wire.Pipe()
 	defer a.Close()
-	if _, _, err := srv.ServeMatVec(a, nil); err == nil {
+	if _, err := srv.Serve(a, Request{}); err == nil {
 		t.Fatal("empty matrix accepted")
 	}
-	if _, _, err := srv.ServeMatVec(a, [][]int64{{1, 2}, {3}}); err == nil {
+	if _, err := srv.Serve(a, Request{Matrix: [][]int64{{1, 2}, {3}}}); err == nil {
 		t.Fatal("ragged matrix accepted")
 	}
 }
@@ -271,7 +285,7 @@ func TestBatchedOTSession(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		srvOut, _, srvErr = srv.ServeMatVecOpts(a, A, Options{BatchedOT: true})
+		srvOut, _, srvErr = serveValues(srv, a, Request{Matrix: A, OT: OTBatched})
 	}()
 	got, err := cli.Run(b, y)
 	wg.Wait()
@@ -291,7 +305,7 @@ func TestBatchedOTSession(t *testing.T) {
 func TestBatchedOTUsesFewerMessages(t *testing.T) {
 	// The §3 tradeoff: batching collapses the per-round OT exchanges
 	// into one, at the cost of client label memory.
-	run := func(batched bool) int64 {
+	run := func(mode OTMode) int64 {
 		srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
 		if err != nil {
 			t.Fatal(err)
@@ -308,7 +322,7 @@ func TestBatchedOTUsesFewerMessages(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			srv.ServeMatVecOpts(a, [][]int64{{1, 2, 3, 4, 5, 6}}, Options{BatchedOT: batched})
+			srv.Serve(a, Request{Matrix: [][]int64{{1, 2, 3, 4, 5, 6}}, OT: mode})
 		}()
 		if _, err := cli.Run(cb, []int64{1, 1, 1, 1, 1, 1}); err != nil {
 			t.Fatal(err)
@@ -317,8 +331,8 @@ func TestBatchedOTUsesFewerMessages(t *testing.T) {
 		_, _, sentMsgs, recvMsgs := cb.Totals()
 		return sentMsgs + recvMsgs
 	}
-	perRound := run(false)
-	batched := run(true)
+	perRound := run(OTPerRound)
+	batched := run(OTBatched)
 	if batched >= perRound {
 		t.Fatalf("batched OT used %d messages, per-round %d", batched, perRound)
 	}
@@ -346,7 +360,7 @@ func TestCorrelatedOTSession(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		srvOut, _, srvErr = srv.ServeMatVecOpts(a, A, Options{CorrelatedOT: true})
+		srvOut, _, srvErr = serveValues(srv, a, Request{Matrix: A, OT: OTCorrelated})
 	}()
 	got, err := cli.Run(b, y)
 	wg.Wait()
@@ -365,7 +379,7 @@ func TestCorrelatedOTSession(t *testing.T) {
 
 func TestCorrelatedOTHalvesLabelTraffic(t *testing.T) {
 	// One correction ciphertext per wire instead of two OT ciphertexts.
-	run := func(opts Options) int64 {
+	run := func(mode OTMode) int64 {
 		srv, err := NewServer(maxsim.Config{Width: 8, AccWidth: 24, Signed: true})
 		if err != nil {
 			t.Fatal(err)
@@ -382,7 +396,7 @@ func TestCorrelatedOTHalvesLabelTraffic(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			srv.ServeMatVecOpts(ca, [][]int64{{1, 2, 3, 4, 5, 6, 7, 8}}, opts)
+			srv.Serve(ca, Request{Matrix: [][]int64{{1, 2, 3, 4, 5, 6, 7, 8}}, OT: mode})
 		}()
 		if _, err := cli.Run(b, []int64{1, 1, 1, 1, 1, 1, 1, 1}); err != nil {
 			t.Fatal(err)
@@ -391,22 +405,22 @@ func TestCorrelatedOTHalvesLabelTraffic(t *testing.T) {
 		sent, _, _, _ := ca.Totals()
 		return sent
 	}
-	plain := run(Options{})
-	correlated := run(Options{CorrelatedOT: true})
+	plain := run(OTPerRound)
+	correlated := run(OTCorrelated)
 	if correlated >= plain {
 		t.Fatalf("correlated OT sent %d bytes, plain %d", correlated, plain)
 	}
 }
 
-func TestMutuallyExclusiveOTModes(t *testing.T) {
+func TestUnknownOTModeRejected(t *testing.T) {
 	srv, err := NewServer(maxsim.Config{Width: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	a, _ := wire.Pipe()
 	defer a.Close()
-	if _, _, err := srv.ServeMatVecOpts(a, [][]int64{{1}}, Options{BatchedOT: true, CorrelatedOT: true}); err == nil {
-		t.Fatal("conflicting OT modes accepted")
+	if _, err := srv.Serve(a, Request{Matrix: [][]int64{{1}}, OT: OTMode(99)}); err == nil {
+		t.Fatal("unknown OT mode accepted")
 	}
 }
 
@@ -430,7 +444,7 @@ func TestConcurrentSessions(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			defer ca.Close()
-			if _, _, err := srv.ServeDotProduct(ca, x); err != nil {
+			if _, err := srv.Serve(ca, Request{Matrix: [][]int64{x}}); err != nil {
 				errs <- err
 			}
 		}()
@@ -486,7 +500,11 @@ func TestSerialModeSession(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			srvOut, st, srvErr = srv.ServeDotProductSerial(a, x)
+			var vals []int64
+			vals, st, srvErr = serveValues(srv, a, Request{Matrix: [][]int64{x}, Mode: ModeSerial})
+			if srvErr == nil {
+				srvOut = vals[0]
+			}
 		}()
 		got, err := cli.RunSerial(b, y)
 		wg.Wait()
@@ -516,7 +534,7 @@ func TestSerialModeValidationErrors(t *testing.T) {
 	a, b := wire.Pipe()
 	defer a.Close()
 	defer b.Close()
-	if _, _, err := srv.ServeDotProductSerial(a, nil); err == nil {
+	if _, err := srv.Serve(a, Request{Matrix: [][]int64{nil}, Mode: ModeSerial}); err == nil {
 		t.Fatal("empty vector accepted")
 	}
 	cli, err := NewClient(rand.Reader)
@@ -527,7 +545,7 @@ func TestSerialModeValidationErrors(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		srv.ServeDotProductSerial(a, []int64{1, 2})
+		srv.Serve(a, Request{Matrix: [][]int64{{1, 2}}, Mode: ModeSerial})
 	}()
 	if _, err := cli.RunSerial(b, []int64{1}); err == nil {
 		t.Fatal("length mismatch accepted")

@@ -100,7 +100,23 @@ func (s *Server) startSession(ctx context.Context, conn wire.Conn, ss *session, 
 		return nil, err
 	}
 	var ack helloAck
-	err = recvGob(tc, &ack)
+	err = func() error {
+		frame, err := tc.RecvMsg()
+		if err != nil {
+			return err
+		}
+		// A hinted client's first frame is its routing preface, sent for
+		// the benefit of a gateway that may or may not be in the path.
+		// Dialed directly, the server just skips it: probe the frame as a
+		// hint (the Hint discriminator stays false on a genuine helloAck)
+		// and read the ack from the next frame.
+		if _, isHint := PeekShapeHint(frame); isHint {
+			if frame, err = tc.RecvMsg(); err != nil {
+				return err
+			}
+		}
+		return decodeGob(frame, &ack)
+	}()
 	hs.End()
 	switch {
 	case err != nil && (errors.Is(err, ErrPhaseTimeout) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
