@@ -35,6 +35,23 @@ import (
 // BenchmarkTable1ResourceUsage regenerates Table 1: the fabric cost of
 // one MAC unit per bit-width, reported as custom metrics next to the
 // model-evaluation time.
+// clientRun is one Dial + Do + Close over a fresh connection — the
+// single-request convenience the protocol package used to export.
+func clientRun(c *protocol.Client, conn wire.Conn, y []int64) ([]int64, error) {
+	cs, err := c.Dial(conn)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cs.Do(y)
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func BenchmarkTable1ResourceUsage(b *testing.B) {
 	for _, width := range paper.Widths {
 		b.Run(fmt.Sprintf("b=%d", width), func(b *testing.B) {
@@ -155,7 +172,7 @@ func BenchmarkFig1EndToEnd(b *testing.B) {
 			defer wg.Done()
 			_, srvErr = srv.Serve(ca, protocol.Request{Matrix: [][]int64{x}})
 		}()
-		got, err := cli.Run(cb, y)
+		got, err := clientRun(cli, cb, y)
 		wg.Wait()
 		if err != nil || srvErr != nil {
 			b.Fatal(err, srvErr)
@@ -487,7 +504,7 @@ func BenchmarkOTModes(b *testing.B) {
 					defer wg.Done()
 					_, srvErr = srv.Serve(ca, protocol.Request{Matrix: [][]int64{{1, 2, 3, 4}}, OT: mode.ot})
 				}()
-				if _, err := cli.Run(counted, []int64{1, 1, 1, 1}); err != nil {
+				if _, err := clientRun(cli, counted, []int64{1, 1, 1, 1}); err != nil {
 					b.Fatal(err)
 				}
 				wg.Wait()
@@ -648,7 +665,7 @@ func BenchmarkParallelGarbling(b *testing.B) {
 					defer wg.Done()
 					_, srvErr = srv.Serve(ca, req)
 				}()
-				_, err := cli.Run(cb, y)
+				_, err := clientRun(cli, cb, y)
 				wg.Wait()
 				if err != nil || srvErr != nil {
 					b.Fatal(err, srvErr)
@@ -691,7 +708,7 @@ func BenchmarkMultiplexedSession(b *testing.B) {
 					defer wg.Done()
 					_, srvErr = srv.Serve(ca, protocol.Request{Matrix: A})
 				}()
-				if _, err := cli.Run(cb, y); err != nil || srvErr != nil {
+				if _, err := clientRun(cli, cb, y); err != nil || srvErr != nil {
 					b.Fatal(err, srvErr)
 				}
 				wg.Wait()

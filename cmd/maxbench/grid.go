@@ -146,6 +146,16 @@ func runGrid(gc gridConfig, out *output) error {
 					if secs := ps.onlineSeconds(); secs > 0 {
 						cell.TablesPerSec = float64(ps.tables) / secs
 					}
+					// A warm cell must hit the pool on every clocked request;
+					// any miss means part of the loop ran inline, so the
+					// cell's numbers describe a mixed regime. Flag it rather
+					// than publish a throughput figure the serving mode
+					// didn't produce.
+					if warm && ps.poolMisses > 0 {
+						cell.Degraded = true
+						out.progressf("grid: cell ot=%s %dx%d b=%d marked degraded: pool hit %d/%d requests",
+							ot, size[0], size[1], width, ps.poolHits, gc.requests)
+					}
 					grid.Cells = append(grid.Cells, cell)
 				}
 			}
@@ -164,9 +174,13 @@ func runGrid(gc gridConfig, out *output) error {
 	fmt.Fprintf(w, "%-11s %-8s %4s %5s %10s %10s %10s %12s %12s %10s\n",
 		"ot", "size", "b", "warm", "p50", "p95", "p99", "tables/s", "bytes/op", "allocs/op")
 	for _, c := range grid.Cells {
-		fmt.Fprintf(w, "%-11s %-8s %4d %5t %9.1fms %9.1fms %9.1fms %12.0f %12d %10d\n",
+		mark := ""
+		if c.Degraded {
+			mark = "  DEGRADED"
+		}
+		fmt.Fprintf(w, "%-11s %-8s %4d %5t %9.1fms %9.1fms %9.1fms %12.0f %12d %10d%s\n",
 			c.OT, fmt.Sprintf("%dx%d", c.Rows, c.Cols), c.Width, c.Precompute,
-			c.P50Ms, c.P95Ms, c.P99Ms, c.TablesPerSec, c.BytesPerOp, c.AllocsPerOp)
+			c.P50Ms, c.P95Ms, c.P99Ms, c.TablesPerSec, c.BytesPerOp, c.AllocsPerOp, mark)
 	}
 	return nil
 }

@@ -229,6 +229,10 @@ type passStats struct {
 	// tables is the garbled-table count the server reported across the
 	// clocked requests.
 	tables uint64
+	// poolHits and poolMisses are the engine's Take outcomes across the
+	// clocked loop only (snapshotted per pass, so one cell's fallback
+	// can't leak into another). Zero on inline passes.
+	poolHits, poolMisses uint64
 	// bytesPerOp and allocsPerOp are MemStats deltas over the clocked
 	// loop divided by requests (zero unless memstats was set).
 	bytesPerOp  uint64
@@ -341,6 +345,11 @@ func measurePass(pc passConfig) (passStats, error) {
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
 	}
+	// Snapshot the pool counters at the clocked loop's boundaries: the
+	// delta is this cell's own hit/miss record, so a warm cell that ran
+	// dry mid-loop is detectable (and flagged degraded) instead of its
+	// inline fallbacks silently polluting the throughput number.
+	hits0, misses0 := eng.PoolStats()
 	samples := make([]time.Duration, 0, pc.requests)
 	for i := 0; i < pc.requests; i++ {
 		if eng != nil && !pc.prefillAll {
@@ -367,6 +376,9 @@ func measurePass(pc passConfig) (passStats, error) {
 	if err := <-srvDone; err != nil {
 		return ps, err
 	}
+
+	hits1, misses1 := eng.PoolStats()
+	ps.poolHits, ps.poolMisses = hits1-hits0, misses1-misses0
 
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	ps.samples = samples

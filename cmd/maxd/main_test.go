@@ -25,6 +25,23 @@ import (
 	"maxelerator/internal/wire"
 )
 
+// clientRun is one Dial + Do + Close over a fresh connection — the
+// single-request convenience the protocol package used to export.
+func clientRun(c *protocol.Client, conn wire.Conn, y []int64) ([]int64, error) {
+	cs, err := c.Dial(conn)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cs.Do(y)
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func TestLoadModel(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "m.json")
 	if err := os.WriteFile(path, []byte("[[1, 2], [3, 4]]"), 0o600); err != nil {
@@ -190,7 +207,7 @@ func TestServeOneSessionEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := cli.Run(conn, raw)
+	out, err := clientRun(cli, conn, raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +252,7 @@ func TestMetricsSurfaceUpBeforeSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.Run(conn, raw); err != nil {
+	if _, err := clientRun(cli, conn, raw); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
@@ -265,7 +282,7 @@ func TestMetricsCountersMoveAndSpansRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.Run(conn, raw); err != nil {
+	if _, err := clientRun(cli, conn, raw); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
@@ -411,7 +428,7 @@ func TestHandshakeTimeoutFreesSessionSlot(t *testing.T) {
 	}
 	ch := make(chan res, 1)
 	go func() {
-		out, err := cli.Run(conn, raw)
+		out, err := clientRun(cli, conn, raw)
 		ch <- res{out, err}
 	}()
 	select {
@@ -627,7 +644,7 @@ func TestPrecomputeWarmPoolServesAndDrainsOnShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.Run(conn, raw); err != nil {
+	if _, err := clientRun(cli, conn, raw); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
@@ -826,7 +843,7 @@ func TestRuntimeMetricsAndPprofEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.Run(conn, raw); err != nil {
+	if _, err := clientRun(cli, conn, raw); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()

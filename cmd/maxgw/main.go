@@ -70,6 +70,7 @@ type gwConfig struct {
 	maxFailovers  int
 	loadFactor    float64
 	vnodes        int
+	drainTimeout  time.Duration
 }
 
 func main() {
@@ -83,6 +84,7 @@ func main() {
 	flag.IntVar(&gc.maxFailovers, "max-failovers", 2, "extra backends tried after the primary fails pre-handshake")
 	flag.Float64Var(&gc.loadFactor, "load-factor", 1.25, "bounded-load factor; a backend above this times the mean load yields (<=1 disables)")
 	flag.IntVar(&gc.vnodes, "vnodes", 0, "virtual nodes per backend on the hash ring (0 = default)")
+	flag.DurationVar(&gc.drainTimeout, "drain-timeout", 10*time.Second, "how long shutdown waits for relayed sessions before closing them")
 	flag.Parse()
 
 	if err := run(gc); err != nil {
@@ -165,6 +167,19 @@ func run(gc gwConfig) error {
 
 	err = gw.Serve(ln)
 	if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+		// Mirror maxd's shutdown: the listener is already closed, so no
+		// new session can arrive; relayed sessions get the drain window
+		// to finish on their own, then a hard close with a short grace.
+		log.Printf("maxgw: signal received, draining relayed sessions (deadline %s)", gc.drainTimeout)
+		if gw.Drain(gc.drainTimeout) {
+			log.Printf("maxgw: shutting down")
+			return nil
+		}
+		log.Printf("maxgw: drain deadline %s expired, closing relayed sessions", gc.drainTimeout)
+		gw.KillSessions()
+		if !gw.Drain(5 * time.Second) {
+			log.Printf("maxgw: sessions still in flight after close, exiting anyway")
+		}
 		log.Printf("maxgw: shutting down")
 		return nil
 	}

@@ -198,7 +198,9 @@ func splitLabels(s string) []string {
 
 // histQuantile reconstructs a quantile from a scraped histogram's
 // cumulative buckets (name_bucket{le="..."} samples). Returns false
-// when the histogram is absent or has no samples.
+// when the histogram is absent, has no samples, or the quantile lands
+// in the +Inf bucket — in all three cases the buckets support no
+// honest finite estimate, so callers render a dash.
 func histQuantile(s *snapshot, name string, q float64) (float64, bool) {
 	type bucket struct {
 		upper float64
@@ -232,10 +234,7 @@ func histQuantile(s *snapshot, name string, q float64) (float64, bool) {
 		uppers[i] = b.upper
 		cum[i] = b.cum
 	}
-	if cum[len(cum)-1] == 0 {
-		return 0, false
-	}
-	return obs.BucketQuantile(uppers, cum, q), true
+	return obs.BucketQuantileOK(uppers, cum, q)
 }
 
 // scrape fetches and parses one /metrics exposition.

@@ -185,6 +185,16 @@ func TestHistQuantile(t *testing.T) {
 	if _, ok := histQuantile(empty, "e", 0.5); ok {
 		t.Fatal("empty histogram produced a quantile")
 	}
+	// All mass above the last finite bound: the reconstruction can only
+	// clamp, which is a floor rather than an estimate — must report !ok.
+	overflow, err := parseMetrics(strings.NewReader(
+		"o_bucket{le=\"0.001\"} 0\no_bucket{le=\"+Inf\"} 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := histQuantile(overflow, "o", 0.99); ok {
+		t.Fatalf("+Inf-winner histogram produced a quantile (%v)", v)
+	}
 }
 
 // TestRenderRuntimePanelEmptyPauses: a daemon that has never GCed
@@ -200,6 +210,26 @@ func TestRenderRuntimePanelEmptyPauses(t *testing.T) {
 	render(&sb, "u", nil, cur, nil)
 	if !strings.Contains(sb.String(), "gc pause p99 —") {
 		t.Fatalf("empty pause histogram not dashed:\n%s", sb.String())
+	}
+}
+
+// TestRenderRuntimePanelOverflowPauses: every recorded pause landed in
+// the +Inf bucket, so no finite p99 exists — the panel must dash the
+// quantile rather than render the clamped finite bound as if it were a
+// measured pause.
+func TestRenderRuntimePanelOverflowPauses(t *testing.T) {
+	cur, err := parseMetrics(strings.NewReader(
+		"runtime_goroutines 5\n" +
+			"runtime_gc_pause_seconds_bucket{le=\"0.0001\"} 0\n" +
+			"runtime_gc_pause_seconds_bucket{le=\"+Inf\"} 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.when = time.Unix(1000, 0)
+	var sb strings.Builder
+	render(&sb, "u", nil, cur, nil)
+	if !strings.Contains(sb.String(), "gc pause p99 —") {
+		t.Fatalf("+Inf-winner pause histogram not dashed:\n%s", sb.String())
 	}
 }
 

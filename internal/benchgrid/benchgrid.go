@@ -77,6 +77,11 @@ type Cell struct {
 	// machine-independent to first order.
 	BytesPerOp  uint64 `json:"bytes_per_op"`
 	AllocsPerOp uint64 `json:"allocs_per_op"`
+	// Degraded marks a cell whose measurement did not run under its
+	// nominal serving mode — a precompute cell whose pool missed
+	// mid-run and fell back to inline garbling. Its numbers describe a
+	// mixed regime, so Compare skips the cell rather than gating on it.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Key identifies a cell's grid point — the match key Compare joins on.
@@ -253,6 +258,12 @@ func Compare(base, cur *Grid, tol Tolerances) []Regression {
 			if tol.RequireAll {
 				regs = append(regs, Regression{Key: k, Metric: "missing"})
 			}
+			continue
+		}
+		// A degraded measurement (either side) describes a mixed serving
+		// regime; diffing it against a clean one would flag phantom
+		// regressions — or hide real ones.
+		if o.Degraded || n.Degraded {
 			continue
 		}
 		higher := func(metric string, oldV, newV, frac, slack float64) {

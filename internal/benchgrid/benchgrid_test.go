@@ -192,3 +192,40 @@ func TestCompareNilGrids(t *testing.T) {
 		t.Fatalf("nil base produced regressions: %v", regs)
 	}
 }
+
+// TestCompareSkipsDegradedCells: a degraded cell measured a mixed
+// serving regime, so its numbers gate nothing — in either direction.
+func TestCompareSkipsDegradedCells(t *testing.T) {
+	clean := cell("batched", 16, 16, 16, true)
+	awful := cell("batched", 16, 16, 16, true)
+	awful.Degraded = true
+	awful.P50Ms *= 10
+	awful.P95Ms *= 10
+	awful.P99Ms *= 10
+	awful.MeanMs *= 10
+	awful.TablesPerSec /= 10
+	if regs := Compare(grid(clean), grid(awful), DefaultTolerances()); len(regs) != 0 {
+		t.Fatalf("degraded new cell gated: %v", regs)
+	}
+	if regs := Compare(grid(awful), grid(clean), DefaultTolerances()); len(regs) != 0 {
+		t.Fatalf("degraded baseline cell gated: %v", regs)
+	}
+}
+
+// TestDegradedSurvivesRoundTrip: the flag is part of the committed
+// artifact, not a transient of the measuring process.
+func TestDegradedSurvivesRoundTrip(t *testing.T) {
+	bad := cell("per-round", 4, 4, 8, true)
+	bad.Degraded = true
+	var buf bytes.Buffer
+	if err := grid(bad, cell("per-round", 4, 4, 8, false)).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cells[0].Degraded || got.Cells[1].Degraded {
+		t.Fatalf("degraded flags lost: %+v", got.Cells)
+	}
+}

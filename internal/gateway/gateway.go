@@ -134,6 +134,13 @@ type Gateway struct {
 	stop    chan struct{}
 	stopped sync.Once
 	wg      sync.WaitGroup
+
+	// Drain support: every relayed client connection is tracked so a
+	// shutdown can first wait for sessions to finish on their own, then
+	// escalate to closing them.
+	connMu sync.Mutex
+	conns  map[wire.Conn]struct{}
+	sessWG sync.WaitGroup
 }
 
 // New builds a gateway over the configured fleet. Every backend starts
@@ -150,6 +157,7 @@ func New(cfg Config) (*Gateway, error) {
 		byAddr: make(map[string]*backendState, len(cfg.Backends)),
 		reg:    cfg.Obs.Metrics(),
 		stop:   make(chan struct{}),
+		conns:  make(map[wire.Conn]struct{}),
 	}
 	for _, b := range cfg.Backends {
 		if b.Addr == "" {
@@ -181,6 +189,43 @@ func (g *Gateway) Close() {
 	g.wg.Wait()
 }
 
+// Drain waits up to timeout for every in-flight relayed session to
+// finish on its own, reporting whether the gateway emptied in time.
+// The caller must have stopped feeding connections first (closed its
+// listener). While waiting — and after an expired deadline — the
+// gw_draining gauge reads 1, so fleet dashboards can tell a draining
+// gateway from a serving one; it drops back to 0 once the gateway is
+// empty. On expiry the caller escalates with KillSessions and calls
+// Drain again for the hard-close grace period, mirroring maxd's
+// drain/escalate shutdown.
+func (g *Gateway) Drain(timeout time.Duration) bool {
+	draining := g.reg.Gauge("gw_draining", "1 while the gateway is draining in-flight sessions")
+	draining.Set(1)
+	done := make(chan struct{})
+	go func() {
+		g.sessWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		draining.Set(0)
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// KillSessions force-closes every tracked client connection. The relay
+// pumps see the close as a terminal receive error and tear down their
+// backend side, so a follow-up Drain observes the sessions unwind.
+func (g *Gateway) KillSessions() {
+	g.connMu.Lock()
+	defer g.connMu.Unlock()
+	for c := range g.conns {
+		c.Close()
+	}
+}
+
 // Serve accepts connections from l and routes each on its own
 // goroutine, until Accept fails (closing the listener is the shutdown
 // signal).
@@ -199,6 +244,16 @@ func (g *Gateway) Serve(l net.Listener) error {
 // deployments can feed in-memory pipes.
 func (g *Gateway) HandleConn(conn wire.Conn) {
 	defer conn.Close()
+	g.sessWG.Add(1)
+	defer g.sessWG.Done()
+	g.connMu.Lock()
+	g.conns[conn] = struct{}{}
+	g.connMu.Unlock()
+	defer func() {
+		g.connMu.Lock()
+		delete(g.conns, conn)
+		g.connMu.Unlock()
+	}()
 	active := g.reg.Gauge("gw_sessions_active", "client sessions currently relayed")
 	active.Add(1)
 	defer active.Add(-1)

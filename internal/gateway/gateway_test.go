@@ -479,3 +479,62 @@ func TestRetryLayerRidesFailover(t *testing.T) {
 		t.Fatalf("fleet served %d sessions, want 1", got)
 	}
 }
+
+// TestDrainCleanWhenSessionsFinish: with every relayed session already
+// over, Drain reports clean within the deadline and the draining gauge
+// ends at zero.
+func TestDrainCleanWhenSessionsFinish(t *testing.T) {
+	f := newFleet(t, 1, nil)
+	out, err := runSession(t, f.gw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResult(t, out)
+	if !f.gw.Drain(5 * time.Second) {
+		t.Fatal("gateway did not drain after its only session finished")
+	}
+	reg := f.obs.Metrics()
+	if got := reg.Gauge("gw_draining", "").Value(); got != 0 {
+		t.Fatalf("gw_draining = %d after a clean drain, want 0", got)
+	}
+}
+
+// TestDrainDeadlineEscalatesToClose mirrors maxd's shutdown sequence
+// from the gateway side: an idle-but-open session holds the drain past
+// its deadline (gauge at 1), KillSessions force-closes it, and the
+// follow-up drain observes the relay unwind.
+func TestDrainDeadlineEscalatesToClose(t *testing.T) {
+	f := newFleet(t, 1, nil)
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwSide, cliSide := wire.Pipe()
+	defer cliSide.Close()
+	go f.gw.HandleConn(gwSide)
+	// A completed Dial proves the session is committed and relaying;
+	// the client then goes idle without closing, so it can never drain
+	// on its own.
+	if _, err := cli.Dial(cliSide); err != nil {
+		t.Fatal(err)
+	}
+
+	if f.gw.Drain(50 * time.Millisecond) {
+		t.Fatal("gateway drained with a session still open")
+	}
+	reg := f.obs.Metrics()
+	if got := reg.Gauge("gw_draining", "").Value(); got != 1 {
+		t.Fatalf("gw_draining = %d past the drain deadline, want 1", got)
+	}
+
+	f.gw.KillSessions()
+	if !f.gw.Drain(5 * time.Second) {
+		t.Fatal("hard close did not unwind the relayed session")
+	}
+	if got := reg.Gauge("gw_draining", "").Value(); got != 0 {
+		t.Fatalf("gw_draining = %d after escalation drained, want 0", got)
+	}
+	if got := reg.Gauge("gw_sessions_active", "").Value(); got != 0 {
+		t.Fatalf("gw_sessions_active = %d after escalation drained, want 0", got)
+	}
+}

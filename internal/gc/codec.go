@@ -28,12 +28,14 @@ const codecVersion = 1
 // maxCodecItems bounds per-field counts against corrupt headers.
 const maxCodecItems = 1 << 24
 
-// MarshalMaterial serialises m in the versioned binary layout.
-func MarshalMaterial(m *Material) ([]byte, error) {
+// MaterialSize reports the exact encoded length of m, or an error if a
+// table is not representable. Callers sizing reusable buffers (the wire
+// arena) use it to append without reallocation.
+func MaterialSize(m *Material) (int, error) {
 	size := 1 + 8 + 4
 	for _, t := range m.Tables {
 		if len(t) > 255 {
-			return nil, fmt.Errorf("gc: table with %d rows not representable", len(t))
+			return 0, fmt.Errorf("gc: table with %d rows not representable", len(t))
 		}
 		size += 1 + len(t)*label.Size
 	}
@@ -41,8 +43,29 @@ func MarshalMaterial(m *Material) ([]byte, error) {
 	size += 2 * label.Size
 	size += 4 + (len(m.OutputPerm)+7)/8
 	size += 4 + len(m.StateInActive)*label.Size
+	return size, nil
+}
 
-	out := make([]byte, 0, size)
+// MarshalMaterial serialises m in the versioned binary layout.
+func MarshalMaterial(m *Material) ([]byte, error) {
+	size, err := MaterialSize(m)
+	if err != nil {
+		return nil, err
+	}
+	return AppendMaterial(make([]byte, 0, size), m)
+}
+
+// AppendMaterial appends m's versioned binary encoding to dst and
+// returns the extended slice. The bytes produced are identical to
+// MarshalMaterial's; the split lets the serve path scatter-gather
+// material into a pooled wire buffer without a per-table allocation.
+func AppendMaterial(dst []byte, m *Material) ([]byte, error) {
+	for _, t := range m.Tables {
+		if len(t) > 255 {
+			return nil, fmt.Errorf("gc: table with %d rows not representable", len(t))
+		}
+	}
+	out := dst
 	out = append(out, codecVersion)
 	out = binary.LittleEndian.AppendUint64(out, m.TweakBase)
 

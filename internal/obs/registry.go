@@ -178,16 +178,28 @@ func (h *Histogram) Quantile(q float64) float64 {
 // buckets: uppers are ascending bucket upper bounds (the last may be
 // +Inf), cum the cumulative sample counts per bound (Prometheus
 // `le`-style, so cum[len-1] is the total). It is the shared math behind
-// Histogram.Quantile and consumers of a scraped text exposition (the
-// maxtop runtime panel), interpolating linearly inside the winning
-// bucket and clamping a +Inf winner to the highest finite bound.
+// Histogram.Quantile and consumers of a scraped text exposition,
+// interpolating linearly inside the winning bucket and clamping a +Inf
+// winner to the highest finite bound.
 func BucketQuantile(uppers []float64, cum []uint64, q float64) float64 {
+	v, _ := BucketQuantileOK(uppers, cum, q)
+	return v
+}
+
+// BucketQuantileOK is BucketQuantile with an honesty bit: ok is false
+// when the buckets support no estimate at all — an empty histogram, or
+// a quantile that lands in the +Inf bucket, where the returned clamp
+// (the highest finite bound, 0 if there is none) is a floor rather
+// than an estimate. Renderers that would otherwise print the clamp as
+// if it were measured (maxtop's GC pause p99 once showed a fabricated
+// finite pause this way) should show a dash when ok is false.
+func BucketQuantileOK(uppers []float64, cum []uint64, q float64) (v float64, ok bool) {
 	if len(uppers) == 0 || len(uppers) != len(cum) {
-		return 0
+		return 0, false
 	}
 	total := cum[len(cum)-1]
 	if total == 0 {
-		return 0
+		return 0, false
 	}
 	q = math.Max(0, math.Min(1, q))
 	rank := q * float64(total)
@@ -200,17 +212,18 @@ func BucketQuantile(uppers []float64, cum []uint64, q float64) float64 {
 			lower, prev = uppers[i-1], cum[i-1]
 		}
 		if math.IsInf(ub, 1) {
-			// The quantile lives above every finite bound; the honest
-			// best estimate the buckets support is that bound.
-			return lower
+			// The quantile lives above every finite bound; the clamp is
+			// the best floor the buckets support, but it is not an
+			// estimate — report it as such.
+			return lower, false
 		}
 		inBucket := cum[i] - prev
 		if inBucket == 0 {
-			return ub
+			return ub, true
 		}
-		return lower + (ub-lower)*(rank-float64(prev))/float64(inBucket)
+		return lower + (ub-lower)*(rank-float64(prev))/float64(inBucket), true
 	}
-	return uppers[len(uppers)-1]
+	return uppers[len(uppers)-1], true
 }
 
 type metricKind int

@@ -80,6 +80,39 @@ func TestBucketQuantileTable(t *testing.T) {
 	}
 }
 
+// TestBucketQuantileOK pins the honesty bit: the +Inf-winner clamp and
+// the empty histogram are floors, not estimates, and must report !ok so
+// renderers dash them out instead of printing a fabricated number.
+func TestBucketQuantileOK(t *testing.T) {
+	uppers := []float64{0.1, 0.5, 1, math.Inf(1)}
+	for _, tc := range []struct {
+		name   string
+		cum    []uint64
+		q      float64
+		want   float64
+		wantOK bool
+	}{
+		{"interpolates", []uint64{5, 10, 10, 10}, 0.5, 0.1, true},
+		{"inf winner reports not-ok", []uint64{0, 0, 0, 10}, 0.99, 1, false},
+		{"mass split, quantile above finite", []uint64{5, 5, 5, 10}, 0.99, 1, false},
+		{"empty", []uint64{0, 0, 0, 0}, 0.5, 0, false},
+	} {
+		got, ok := BucketQuantileOK(uppers, tc.cum, tc.q)
+		if math.Abs(got-tc.want) > 1e-9 || ok != tc.wantOK {
+			t.Fatalf("%s: BucketQuantileOK = (%v, %v), want (%v, %v)",
+				tc.name, got, ok, tc.want, tc.wantOK)
+		}
+	}
+	// Only a +Inf bucket and it holds samples: there is no finite bound
+	// to clamp to at all.
+	if got, ok := BucketQuantileOK([]float64{math.Inf(1)}, []uint64{3}, 0.99); got != 0 || ok {
+		t.Fatalf("inf-only = (%v, %v), want (0, false)", got, ok)
+	}
+	if _, ok := BucketQuantileOK(nil, nil, 0.5); ok {
+		t.Fatal("nil buckets reported ok")
+	}
+}
+
 // TestRuntimeCollectorObservesForcedGC is the satellite contract: a
 // forced GC between two collects must advance the cycle counter and
 // land at least one pause sample in the histogram.

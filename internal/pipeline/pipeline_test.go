@@ -1,0 +1,233 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamInOrder checks every yielded item reaches the consumer in
+// yield order.
+func TestStreamInOrder(t *testing.T) {
+	var got []int
+	err := Stream(context.Background(), 4,
+		func(yield func(int) bool) error {
+			for i := 0; i < 100; i++ {
+				if !yield(i) {
+					return errors.New("aborted")
+				}
+			}
+			return nil
+		},
+		func(v int) error {
+			got = append(got, v)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("consumed %d items, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestStreamBoundedBuffering proves the producer cannot run more than
+// depth+1 items ahead of the consumer — the O(chunk) claim.
+func TestStreamBoundedBuffering(t *testing.T) {
+	const depth = 2
+	var produced, consumed atomic.Int64
+	var worst int64
+	err := Stream(context.Background(), depth,
+		func(yield func(int) bool) error {
+			for i := 0; i < 50; i++ {
+				produced.Add(1)
+				if !yield(i) {
+					return errors.New("aborted")
+				}
+			}
+			return nil
+		},
+		func(v int) error {
+			// The producer may be at most depth (channel) + 1 (blocked
+			// in yield) + 1 (counted before yield) ahead of us.
+			if lead := produced.Load() - consumed.Load(); lead > worst {
+				worst = lead
+			}
+			consumed.Add(1)
+			time.Sleep(time.Millisecond) // let the producer sprint ahead
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if worst > depth+2 {
+		t.Fatalf("producer ran %d items ahead, want <= %d", worst, depth+2)
+	}
+}
+
+// TestStreamConsumerError checks a consumer failure cancels the
+// producer promptly and is the error Stream returns.
+func TestStreamConsumerError(t *testing.T) {
+	sentinel := errors.New("wire broke")
+	producerDone := make(chan struct{})
+	err := Stream(context.Background(), 1,
+		func(yield func(int) bool) error {
+			defer close(producerDone)
+			for i := 0; ; i++ {
+				if !yield(i) {
+					return errors.New("aborted")
+				}
+			}
+		},
+		func(v int) error {
+			if v == 3 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Stream = %v, want %v", err, sentinel)
+	}
+	select {
+	case <-producerDone:
+	default:
+		t.Fatal("producer still running after Stream returned")
+	}
+}
+
+// TestStreamProducerError checks a producer failure reaches the caller
+// after in-flight items are consumed.
+func TestStreamProducerError(t *testing.T) {
+	sentinel := errors.New("garble failed")
+	var got []int
+	err := Stream(context.Background(), 4,
+		func(yield func(int) bool) error {
+			yield(1)
+			yield(2)
+			return sentinel
+		},
+		func(v int) error {
+			got = append(got, v)
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Stream = %v, want %v", err, sentinel)
+	}
+	if len(got) != 2 {
+		t.Fatalf("consumed %d items before the failure surfaced, want 2", len(got))
+	}
+}
+
+// TestStreamProducerPanic checks a producer panic is contained and
+// surfaced as *PanicError with a stack.
+func TestStreamProducerPanic(t *testing.T) {
+	err := Stream(context.Background(), 1,
+		func(yield func(int) bool) error {
+			yield(1)
+			panic("boom")
+		},
+		func(v int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Stream = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value = %v, want boom", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "pipeline") {
+		t.Fatalf("stack missing producer frames:\n%s", pe.Stack)
+	}
+}
+
+// TestStreamConsumerPanicReapsProducer checks a consumer panic still
+// propagates — the protocol layer's containment relies on that — but
+// not before the producer goroutine is cancelled and reaped.
+func TestStreamConsumerPanicReapsProducer(t *testing.T) {
+	producerDone := make(chan struct{})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("consumer panic did not propagate")
+		}
+		select {
+		case <-producerDone:
+		default:
+			t.Fatal("producer leaked past the consumer panic")
+		}
+	}()
+	_ = Stream(context.Background(), 1,
+		func(yield func(int) bool) error {
+			defer close(producerDone)
+			for i := 0; ; i++ {
+				if !yield(i) {
+					return errors.New("aborted")
+				}
+			}
+		},
+		func(v int) error { panic("consumer boom") })
+}
+
+// TestStreamContextCancel checks cancellation unblocks a producer
+// stuck on a full channel and a consumer-side Stream call, returning
+// the context error.
+func TestStreamContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := Stream(ctx, 1,
+		func(yield func(int) bool) error {
+			for i := 0; ; i++ {
+				if !yield(i) {
+					return ctx.Err()
+				}
+			}
+		},
+		func(v int) error {
+			<-ctx.Done() // a consumer wedged until cancellation
+			return ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamNoGoroutineLeak runs the abort paths many times and checks
+// the goroutine count returns to baseline.
+func TestStreamNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	sentinel := errors.New("abort")
+	for i := 0; i < 200; i++ {
+		_ = Stream(context.Background(), 2,
+			func(yield func(int) bool) error {
+				for j := 0; ; j++ {
+					if !yield(j) {
+						return errors.New("aborted")
+					}
+				}
+			},
+			func(v int) error {
+				if v == 1 {
+					return sentinel
+				}
+				return nil
+			})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}

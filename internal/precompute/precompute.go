@@ -183,6 +183,12 @@ type Engine struct {
 	tick    uint64
 	stopped bool
 
+	// hitCount and missCount mirror the per-shape obs counters at
+	// engine granularity, independent of whether Metrics is attached —
+	// benchmark harnesses read them to prove a "warm" pass really
+	// served every request from the pool.
+	hitCount, missCount atomic.Uint64
+
 	seedMu sync.Mutex // SeedSource is not required to be concurrency-safe
 
 	wake chan struct{}
@@ -345,6 +351,7 @@ func (e *Engine) Take(s Shape) *Entry {
 	p := e.pools[s]
 	if len(p.entries) == 0 {
 		p.misses.Inc()
+		e.missCount.Add(1)
 		e.kick()
 		return nil
 	}
@@ -352,8 +359,20 @@ func (e *Engine) Take(s Shape) *Entry {
 	p.entries = p.entries[:len(p.entries)-1]
 	p.depth.Set(int64(len(p.entries)))
 	p.hits.Inc()
+	e.hitCount.Add(1)
 	e.kick()
 	return ent
+}
+
+// PoolStats snapshots the engine-wide Take outcomes: how many requests
+// were served from a pool and how many fell back to inline garbling.
+// Unlike the per-shape obs counters these survive a nil Metrics config,
+// so benchmarks can assert a warm pass hit on every request.
+func (e *Engine) PoolStats() (hits, misses uint64) {
+	if e == nil {
+		return 0, 0
+	}
+	return e.hitCount.Load(), e.missCount.Load()
 }
 
 // Shapes snapshots the admitted shapes and their ready depths — the

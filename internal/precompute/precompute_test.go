@@ -299,3 +299,28 @@ func TestShapeString(t *testing.T) {
 		t.Fatalf("shape string %q, want %q", got, want)
 	}
 }
+
+// TestPoolStatsCountsTakeOutcomes: the engine-local hit/miss snapshot
+// works without any Metrics attached — the property maxbench's grid
+// degradation check depends on.
+func TestPoolStatsCountsTakeOutcomes(t *testing.T) {
+	e := testEngine(t, Config{}) // no Metrics: obs counters are no-ops
+	s := testShape(1, 2)
+	if ent := e.Take(s); ent != nil {
+		t.Fatal("cold pool returned an entry")
+	}
+	if err := e.Prefill(s, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ent := e.Take(s); ent == nil {
+		t.Fatal("warm pool missed")
+	}
+	hits, misses := e.PoolStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("PoolStats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+	var nilEngine *Engine
+	if h, m := nilEngine.PoolStats(); h != 0 || m != 0 {
+		t.Fatalf("nil engine PoolStats = %d, %d", h, m)
+	}
+}

@@ -358,41 +358,3 @@ func (cs *ClientSession) evalSerial(hdr reqHeader, y []int64) ([]int64, error) {
 	return []int64{out}, nil
 }
 
-// Run executes the evaluator side of a single-request session with the
-// client vector y and returns the decoded outputs (one per server
-// matrix row). It is exactly Dial + Do + Close over one connection.
-//
-// Deprecated: since PR 7 — use Dial, Do and Close directly (they
-// amortize the handshake and OT setup over many requests and expose
-// the session for retry layers). Slated for removal next PR.
-func (c *Client) Run(conn wire.Conn, y []int64) ([]int64, error) {
-	cs, err := c.Dial(conn)
-	if err != nil {
-		return nil, err
-	}
-	out, err := cs.Do(y)
-	if err != nil {
-		return nil, err
-	}
-	if err := cs.Close(); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// RunSerial executes the evaluator side of a serial-mode
-// single-request session. The server announces the mode, so this is
-// Run specialized to the one-row result.
-//
-// Deprecated: since PR 7 — use Dial and Do; a serial session returns a
-// one-element result. Slated for removal next PR.
-func (c *Client) RunSerial(conn wire.Conn, y []int64) (int64, error) {
-	out, err := c.Run(conn, y)
-	if err != nil {
-		return 0, err
-	}
-	if len(out) != 1 {
-		return 0, fmt.Errorf("protocol: serial session returned %d values, want 1", len(out))
-	}
-	return out[0], nil
-}

@@ -422,7 +422,7 @@ func TestPoolMetricsFailedRowsAndInlineGauge(t *testing.T) {
 	}()
 	clientDone := make(chan error, 1)
 	go func() {
-		_, err := cli.Run(b, []int64{1, 1})
+		_, err := clientRun(cli, b, []int64{1, 1})
 		clientDone <- err
 	}()
 	if serr := <-srvDone; serr == nil {
@@ -447,7 +447,7 @@ func TestPoolMetricsFailedRowsAndInlineGauge(t *testing.T) {
 		_, err := srv.Serve(a2, Request{Matrix: good, GarbleWorkers: 3})
 		srvDone <- err
 	}()
-	if _, err := cli.Run(b2, []int64{1, 1}); err != nil {
+	if _, err := clientRun(cli, b2, []int64{1, 1}); err != nil {
 		t.Fatal(err)
 	}
 	if serr := <-srvDone; serr != nil {
@@ -469,7 +469,7 @@ func TestPoolMetricsFailedRowsAndInlineGauge(t *testing.T) {
 		_, err := srv.Serve(a3, Request{Matrix: good, GarbleWorkers: 1})
 		srvDone <- err
 	}()
-	if _, err := cli.Run(b3, []int64{1, 1}); err != nil {
+	if _, err := clientRun(cli, b3, []int64{1, 1}); err != nil {
 		t.Fatal(err)
 	}
 	if serr := <-srvDone; serr != nil {

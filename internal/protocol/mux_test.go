@@ -353,7 +353,7 @@ func TestParallelGarblingMatchesSequential(t *testing.T) {
 			defer wg.Done()
 			resp, srvErr = srv.Serve(a, Request{Matrix: A, GarbleWorkers: workers})
 		}()
-		out, err := cli.Run(b, y)
+		out, err := clientRun(cli, b, y)
 		wg.Wait()
 		a.Close()
 		b.Close()
@@ -395,7 +395,7 @@ func TestGarblePoolMetrics(t *testing.T) {
 		defer wg.Done()
 		_, srvErr = srv.Serve(a, Request{Matrix: A, GarbleWorkers: 4})
 	}()
-	if _, err := cli.Run(b, []int64{1, 1}); err != nil {
+	if _, err := clientRun(cli, b, []int64{1, 1}); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -520,7 +520,7 @@ func TestClientRejectsUnversionedServer(t *testing.T) {
 	if err := sendGob(a, v1Hello{Width: 8, AccWidth: 24, Scheme: "half-gates", Rows: 1, Cols: 2}); err != nil {
 		t.Fatal(err)
 	}
-	_, err = cli.Run(b, []int64{1, 2})
+	_, err = clientRun(cli, b, []int64{1, 2})
 	if !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("client error = %v, want ErrVersionMismatch", err)
 	}
@@ -613,7 +613,7 @@ func TestDeprecatedWrappersStillServe(t *testing.T) {
 			out = resp.Values[0]
 		}
 	}()
-	got, err := cli.Run(b, []int64{4, 5})
+	got, err := clientRun(cli, b, []int64{4, 5})
 	wg.Wait()
 	if err != nil || srvErr != nil {
 		t.Fatal(err, srvErr)

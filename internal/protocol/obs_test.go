@@ -39,7 +39,7 @@ func runObservedSession(t *testing.T, mode OTMode) *obs.Obs {
 		defer wg.Done()
 		_, srvErr = srv.Serve(a, Request{Matrix: A, OT: mode})
 	}()
-	if _, err := cli.Run(b, y); err != nil {
+	if _, err := clientRun(cli, b, y); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -166,7 +166,7 @@ func TestSerialSessionObserved(t *testing.T) {
 		defer wg.Done()
 		_, srvErr = srv.Serve(a, Request{Matrix: [][]int64{{3, 5}}, Mode: ModeSerial})
 	}()
-	if _, err := cli.RunSerial(b, []int64{2, 4}); err != nil {
+	if _, err := clientRunSerial(cli, b, []int64{2, 4}); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()

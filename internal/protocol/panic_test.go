@@ -97,7 +97,7 @@ func TestWorkerPanicIsolatedToRequest(t *testing.T) {
 		_, err := srv.Serve(a2, req)
 		srvDone <- err
 	}()
-	out, err := cli.Run(b2, []int64{5, 6})
+	out, err := clientRun(cli, b2, []int64{5, 6})
 	if err != nil {
 		t.Fatalf("server unusable after a recovered panic: %v", err)
 	}
@@ -137,7 +137,7 @@ func TestInlinePanicIsolated(t *testing.T) {
 		_, err := srv.Serve(a, Request{Matrix: [][]int64{{1, 2}}, GarbleWorkers: 1})
 		srvDone <- err
 	}()
-	_, derr := cli.Run(b, []int64{5, 6})
+	_, derr := clientRun(cli, b, []int64{5, 6})
 	if !errors.Is(derr, ErrInternal) {
 		t.Fatalf("client error = %v, want ErrInternal", derr)
 	}

@@ -102,9 +102,19 @@ func (sess *ServerSession) garbleRows(ctx context.Context, A [][]int64, workers 
 		sims[w] = sim
 	}
 
-	// jobs is pre-filled and closed; done is buffered to n so workers
-	// never block on a stalled consumer. stop makes workers drain the
-	// queue without garbling once any side has failed.
+	// jobs is pre-filled and closed; done is buffered to n (cheap
+	// struct slots) so workers never block on a stalled consumer. stop
+	// makes workers quit without garbling once any side has failed.
+	//
+	// tickets is the admission window: a worker takes a ticket BEFORE
+	// pulling a row index and the reorder stage returns it when that
+	// row is emitted downstream, so rows garbled-but-not-yet-streamed
+	// are bounded by the window — pool memory is O(workers + pipeDepth),
+	// not O(rows), however slow the wire is. Acquiring before pulling
+	// keeps the in-flight rows a contiguous index block starting at
+	// `next`, so the reorder stage can always emit and recycle a
+	// ticket; acquiring after pulling could strand row `next` behind
+	// the window and deadlock.
 	jobs := make(chan int, n)
 	for i := 0; i < n; i++ {
 		jobs <- i
@@ -112,16 +122,31 @@ func (sess *ServerSession) garbleRows(ctx context.Context, A [][]int64, workers 
 	close(jobs)
 	queue.Add(int64(n))
 	done := make(chan garbleResult, n)
+	window := workers + pipeDepth
+	tickets := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tickets <- struct{}{}
+	}
+	stopCh := make(chan struct{})
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(sim *maxsim.Simulator) {
 			defer wg.Done()
-			for i := range jobs {
+			for {
+				select {
+				case <-stopCh:
+					return
+				case <-tickets:
+				}
+				i, ok := <-jobs
+				if !ok {
+					return
+				}
 				queue.Add(-1)
 				if stop.Load() || ctx.Err() != nil {
-					continue
+					return
 				}
 				busy.Add(1)
 				t0 := time.Now()
@@ -142,7 +167,11 @@ func (sess *ServerSession) garbleRows(ctx context.Context, A [][]int64, workers 
 	}
 	defer func() {
 		stop.Store(true)
+		close(stopCh) // wake workers blocked on the admission window
 		wg.Wait()
+		for range jobs {
+			queue.Add(-1) // rows never pulled; zero the depth gauge
+		}
 	}()
 
 	// Reorder stage: workers finish rows in any order; emit strictly
@@ -172,6 +201,7 @@ func (sess *ServerSession) garbleRows(ctx context.Context, A [][]int64, workers 
 				return err
 			}
 			next++
+			tickets <- struct{}{} // row left the pool: reopen the window
 		}
 	}
 	if next != n {

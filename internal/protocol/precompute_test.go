@@ -54,7 +54,7 @@ func serveOnce(t *testing.T, srv *Server, req Request, y []int64) []int64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := cli.Run(cb, y)
+	out, err := clientRun(cli, cb, y)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestPrecomputeMissFallsBackBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := cli.Run(cb, y)
+		out, err := clientRun(cli, cb, y)
 		if err != nil {
 			t.Fatal(err)
 		}

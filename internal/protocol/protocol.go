@@ -355,6 +355,9 @@ type Server struct {
 	// matvec requests first try a pre-garbled pool entry and only fall
 	// back to inline garbling on a miss.
 	pre *precompute.Engine
+	// arena pools the frame-assembly buffers of the streaming serve
+	// path, shared by every session (sync.Pool underneath).
+	arena *wire.Arena
 	// started flips when the first session begins; the With* option
 	// setters consult it to enforce configure-before-serve (mutating a
 	// server already shared with session goroutines is a data race).
@@ -380,7 +383,7 @@ func NewServer(cfg maxsim.Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: sim.Config()}, nil
+	return &Server{cfg: sim.Config(), arena: wire.NewArena()}, nil
 }
 
 // WithObs attaches an observability hub: every session is counted,

@@ -22,6 +22,36 @@ func serveValues(srv *Server, conn wire.Conn, req Request) ([]int64, Stats, erro
 	return resp.Values, resp.Stats, nil
 }
 
+// clientRun is the retired Client.Run convenience kept test-side: one
+// Dial + Do + Close over a fresh connection.
+func clientRun(c *Client, conn wire.Conn, y []int64) ([]int64, error) {
+	cs, err := c.Dial(conn)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cs.Do(y)
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// clientRunSerial is clientRun specialized to a serial-mode session's
+// one-row result.
+func clientRunSerial(c *Client, conn wire.Conn, y []int64) (int64, error) {
+	out, err := clientRun(c, conn, y)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, fmt.Errorf("protocol: serial session returned %d values, want 1", len(out))
+	}
+	return out[0], nil
+}
+
 // runSession wires a server and client over an in-memory pipe.
 func runSession(t *testing.T, cfg maxsim.Config, A [][]int64, y []int64) (serverOut []int64, clientOut []int64, st Stats) {
 	t.Helper()
@@ -44,7 +74,7 @@ func runSession(t *testing.T, cfg maxsim.Config, A [][]int64, y []int64) (server
 		defer wg.Done()
 		serverOut, st, srvErr = serveValues(srv, a, Request{Matrix: A})
 	}()
-	clientOut, err = cli.Run(b, y)
+	clientOut, err = clientRun(cli, b, y)
 	wg.Wait()
 	if srvErr != nil {
 		t.Fatal(srvErr)
@@ -167,7 +197,7 @@ func TestSessionOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cli.Run(conn, y)
+	got, err := clientRun(cli, conn, y)
 	wg.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +228,7 @@ func TestVectorLengthMismatchRejected(t *testing.T) {
 		defer wg.Done()
 		srv.Serve(a, Request{Matrix: [][]int64{{1, 2, 3}}})
 	}()
-	if _, err := cli.Run(b, []int64{1}); err == nil {
+	if _, err := clientRun(cli, b, []int64{1}); err == nil {
 		t.Fatal("length mismatch accepted by client")
 	}
 	a.Close() // unblock server
@@ -223,7 +253,7 @@ func TestClientRejectsOutOfRangeInput(t *testing.T) {
 		defer wg.Done()
 		srv.Serve(a, Request{Matrix: [][]int64{{1}}})
 	}()
-	if _, err := cli.Run(b, []int64{500}); err == nil {
+	if _, err := clientRun(cli, b, []int64{500}); err == nil {
 		t.Fatal("out-of-range client value accepted")
 	}
 	a.Close()
@@ -287,7 +317,7 @@ func TestBatchedOTSession(t *testing.T) {
 		defer wg.Done()
 		srvOut, _, srvErr = serveValues(srv, a, Request{Matrix: A, OT: OTBatched})
 	}()
-	got, err := cli.Run(b, y)
+	got, err := clientRun(cli, b, y)
 	wg.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -324,7 +354,7 @@ func TestBatchedOTUsesFewerMessages(t *testing.T) {
 			defer wg.Done()
 			srv.Serve(a, Request{Matrix: [][]int64{{1, 2, 3, 4, 5, 6}}, OT: mode})
 		}()
-		if _, err := cli.Run(cb, []int64{1, 1, 1, 1, 1, 1}); err != nil {
+		if _, err := clientRun(cli, cb, []int64{1, 1, 1, 1, 1, 1}); err != nil {
 			t.Fatal(err)
 		}
 		wg.Wait()
@@ -362,7 +392,7 @@ func TestCorrelatedOTSession(t *testing.T) {
 		defer wg.Done()
 		srvOut, _, srvErr = serveValues(srv, a, Request{Matrix: A, OT: OTCorrelated})
 	}()
-	got, err := cli.Run(b, y)
+	got, err := clientRun(cli, b, y)
 	wg.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -398,7 +428,7 @@ func TestCorrelatedOTHalvesLabelTraffic(t *testing.T) {
 			defer wg.Done()
 			srv.Serve(ca, Request{Matrix: [][]int64{{1, 2, 3, 4, 5, 6, 7, 8}}, OT: mode})
 		}()
-		if _, err := cli.Run(b, []int64{1, 1, 1, 1, 1, 1, 1, 1}); err != nil {
+		if _, err := clientRun(cli, b, []int64{1, 1, 1, 1, 1, 1, 1, 1}); err != nil {
 			t.Fatal(err)
 		}
 		wg.Wait()
@@ -456,7 +486,7 @@ func TestConcurrentSessions(t *testing.T) {
 				errs <- err
 				return
 			}
-			got, err := cli.Run(cb, y)
+			got, err := clientRun(cli, cb, y)
 			if err != nil {
 				errs <- err
 				return
@@ -506,7 +536,7 @@ func TestSerialModeSession(t *testing.T) {
 				srvOut = vals[0]
 			}
 		}()
-		got, err := cli.RunSerial(b, y)
+		got, err := clientRunSerial(cli, b, y)
 		wg.Wait()
 		a.Close()
 		b.Close()
@@ -547,7 +577,7 @@ func TestSerialModeValidationErrors(t *testing.T) {
 		defer wg.Done()
 		srv.Serve(a, Request{Matrix: [][]int64{{1, 2}}, Mode: ModeSerial})
 	}()
-	if _, err := cli.RunSerial(b, []int64{1}); err == nil {
+	if _, err := clientRunSerial(cli, b, []int64{1}); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 	a.Close()

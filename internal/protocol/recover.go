@@ -29,12 +29,19 @@ var panicStackOnce sync.Once
 // recoveredPanic converts a recovered panic value into a per-request
 // error, counting it and logging the stack once per process.
 func recoveredPanic(reg *obs.Registry, r any) error {
+	return recoveredPanicStack(reg, r, debug.Stack())
+}
+
+// recoveredPanicStack is recoveredPanic for panics recovered on another
+// goroutine (the serve pipeline's producer), logging the stack captured
+// at the recovery site instead of the caller's.
+func recoveredPanicStack(reg *obs.Registry, r any, stack []byte) error {
 	reg.Counter("panics_recovered_total",
 		"panics recovered and converted to per-request errors").Inc()
 	logged := false
 	panicStackOnce.Do(func() {
 		logged = true
-		log.Printf("protocol: recovered panic: %v\n%s", r, debug.Stack())
+		log.Printf("protocol: recovered panic: %v\n%s", r, stack)
 	})
 	if !logged {
 		log.Printf("protocol: recovered panic: %v", r)

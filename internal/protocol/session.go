@@ -14,7 +14,6 @@ import (
 	"fmt"
 
 	"maxelerator/internal/circuit"
-	"maxelerator/internal/label"
 	"maxelerator/internal/maxsim"
 	"maxelerator/internal/obs"
 	"maxelerator/internal/ot"
@@ -312,52 +311,15 @@ func (sess *ServerSession) serveRows(ctx context.Context, req Request) (*Respons
 
 	rounds := ss.tr.StartSpan("rounds")
 	defer rounds.End()
-	var agg Stats
-	var allPairs []label.Pair        // batched mode: every round's pairs, in order
-	var runs []*maxsim.DotProductRun // batched mode: material deferred past the OT
-	emit := func(i int, run *maxsim.DotProductRun) error {
-		addStats(&agg, &run.Stats)
-		if req.OT == OTBatched {
-			runs = append(runs, run)
-			for _, gb := range run.Rounds {
-				allPairs = append(allPairs, gb.EvalPairs...)
-			}
-			return nil
-		}
-		for _, gb := range run.Rounds {
-			if err := sendMaterial(sess.conn, &gb.Material); err != nil {
-				return err
-			}
-			if err := ot.SendLabels(sess.sender, gb.EvalPairs); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if pre != nil {
-		for i, run := range pre {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("protocol: streaming interrupted at row %d: %w", i, err)
-			}
-			if err := emit(i, run); err != nil {
-				return nil, err
-			}
-		}
-	} else if err := sess.garbleRows(ctx, A, workers, emit); err != nil {
+	// Streaming pipeline (see stream.go): garbling — or pooled-material
+	// replay — overlaps framing and transfer, so the evaluator starts on
+	// row 0 while later rows are still being produced. The byte stream
+	// is identical to the fully buffered path.
+	st := newRowStreamer(sess, req.OT)
+	if err := st.run(ctx, A, workers, pre); err != nil {
 		return nil, err
 	}
-	if req.OT == OTBatched {
-		if err := ot.SendLabels(sess.sender, allPairs); err != nil {
-			return nil, err
-		}
-		for _, run := range runs {
-			for _, gb := range run.Rounds {
-				if err := sendMaterial(sess.conn, &gb.Material); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
+	agg := st.agg
 	rounds.End()
 	ss.tr.SetAttr("macs", fmt.Sprint(agg.MACs))
 	ss.tr.SetAttr("table_bytes", fmt.Sprint(agg.TableBytes))

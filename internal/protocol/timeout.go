@@ -212,6 +212,17 @@ func (tc *timedConn) SendMsg(msg []byte) error {
 	return tc.classify(phase, budget, tc.inner.SendMsg(msg))
 }
 
+// SendVec runs the vectored send path under the current phase budget,
+// so zero-copy framing keeps the same deadline, cancellation and error
+// classification as SendMsg.
+func (tc *timedConn) SendVec(segs [][]byte) error {
+	phase, budget, err := tc.arm()
+	if err != nil {
+		return err
+	}
+	return tc.classify(phase, budget, wire.SendVec(tc.inner, segs))
+}
+
 // RecvMsg implements wire.Conn under the current phase budget.
 func (tc *timedConn) RecvMsg() ([]byte, error) {
 	phase, budget, err := tc.arm()

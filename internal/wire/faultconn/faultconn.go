@@ -185,6 +185,13 @@ type Stream struct {
 	// Write, closes the underlying stream, and fails — the peer is
 	// left holding a partial frame. Zero disables.
 	CutWrite int
+	// CutAfterWrite forwards the Nth (1-based) Write in full and then
+	// closes the underlying stream, so the cut lands exactly on a
+	// write boundary: the Nth write succeeds, the next one fails.
+	// Aimed at the vectored framing path — cutting after a header
+	// write (odd index) leaves the peer holding a complete length
+	// prefix whose payload never arrives. Zero disables.
+	CutAfterWrite int
 
 	mu     sync.Mutex
 	writes int
@@ -216,8 +223,23 @@ func (s *Stream) Write(p []byte) (int, error) {
 		}
 		s.Close()
 		return len(p) / 2, fmt.Errorf("faultconn: stream cut mid-frame at write %d: %w", n, ErrInjected)
+	case s.CutAfterWrite:
+		nn, err := s.rw.Write(p)
+		if err != nil {
+			return nn, err
+		}
+		s.Close()
+		return nn, nil
 	}
 	return s.rw.Write(p)
+}
+
+// Writes reports how many writes have been attempted, including the
+// faulted ones — tests use it to place a cut after a healthy run.
+func (s *Stream) Writes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
 }
 
 // Close closes the wrapped stream when it supports closing.

@@ -138,6 +138,31 @@ func TestStreamCorruptLengthPrefix(t *testing.T) {
 	<-errc
 }
 
+func TestStreamCutAfterWrite(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	// Cut after write 1: the first frame's length prefix lands intact,
+	// the payload never follows — the boundary cut the vectored framing
+	// path can hit between header and payload.
+	fs := NewStream(client)
+	fs.CutAfterWrite = 1
+	faulty := wire.NewStreamConn(fs)
+	errc := make(chan error, 1)
+	go func() { errc <- faulty.SendMsg([]byte("payload")) }()
+	sc := wire.NewStreamConn(server)
+	if _, err := sc.RecvMsg(); !wire.IsDisconnect(err) {
+		t.Fatalf("header-only frame = %v, want disconnect classification", err)
+	}
+	// The header write itself succeeded; the sender fails on the body.
+	if serr := <-errc; serr == nil {
+		t.Fatal("sender reported success across the cut")
+	}
+	if got := fs.Writes(); got != 2 {
+		t.Fatalf("writes = %d, want 2 (header forwarded, body refused)", got)
+	}
+}
+
 func TestStreamCutMidFrame(t *testing.T) {
 	client, server := net.Pipe()
 	defer client.Close()

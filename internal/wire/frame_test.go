@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+// TestSendVecStreamByteIdentical proves the vectored stream path puts
+// exactly the bytes on the wire that SendMsg would: same length prefix,
+// same payload, regardless of how the payload is split into segments.
+func TestSendVecStreamByteIdentical(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	splits := [][][]byte{
+		{payload},
+		{payload[:1], payload[1:]},
+		{payload[:10], payload[10:20], payload[20:]},
+		{nil, payload, {}},
+	}
+
+	var want bytes.Buffer
+	if err := NewStreamConn(&want).SendMsg(payload); err != nil {
+		t.Fatalf("SendMsg: %v", err)
+	}
+	for i, segs := range splits {
+		var got bytes.Buffer
+		if err := SendVec(NewStreamConn(&got), segs); err != nil {
+			t.Fatalf("split %d: SendVec: %v", i, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("split %d: vectored stream bytes differ from SendMsg", i)
+		}
+	}
+}
+
+// TestSendVecStreamOverSocket exercises the writev path a real TCP
+// transport takes and checks the peer reassembles one message.
+func TestSendVecStreamOverSocket(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	done := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		msg, err := NewStreamConn(c).RecvMsg()
+		if err != nil {
+			return
+		}
+		done <- msg
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := SendVec(NewStreamConn(c), [][]byte{[]byte("abc"), []byte("defg")}); err != nil {
+		t.Fatalf("SendVec: %v", err)
+	}
+	if got := <-done; string(got) != "abcdefg" {
+		t.Fatalf("peer received %q, want %q", got, "abcdefg")
+	}
+}
+
+// TestSendVecPipe checks the pipe path joins segments into a single
+// received message.
+func TestSendVecPipe(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	if err := SendVec(a, [][]byte{[]byte("one"), []byte("two")}); err != nil {
+		t.Fatalf("SendVec: %v", err)
+	}
+	got, err := b.RecvMsg()
+	if err != nil {
+		t.Fatalf("RecvMsg: %v", err)
+	}
+	if string(got) != "onetwo" {
+		t.Fatalf("got %q, want %q", got, "onetwo")
+	}
+}
+
+// TestSendVecCountingAccounting proves the Counting wrapper tallies a
+// vectored send like the equivalent SendMsg — the wrapper must not be
+// bypassed by the vectored fast path.
+func TestSendVecCountingAccounting(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	cc := NewCounting(a)
+	if err := SendVec(cc, [][]byte{[]byte("abc"), []byte("de")}); err != nil {
+		t.Fatalf("SendVec: %v", err)
+	}
+	if _, err := b.RecvMsg(); err != nil {
+		t.Fatalf("RecvMsg: %v", err)
+	}
+	sent, _, msgs, _ := cc.Totals()
+	if sent != 5 || msgs != 1 {
+		t.Fatalf("counting saw %d bytes in %d msgs, want 5 in 1", sent, msgs)
+	}
+}
+
+// TestSendVecObservedAccounting proves the Observed wrapper charges the
+// frame header on vectored sends like it does on SendMsg.
+func TestSendVecObservedAccounting(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	var reported int
+	oc := Observed(a, func(n int) { reported += n }, nil)
+	if err := SendVec(oc, [][]byte{[]byte("abc"), []byte("de")}); err != nil {
+		t.Fatalf("SendVec: %v", err)
+	}
+	if _, err := b.RecvMsg(); err != nil {
+		t.Fatalf("RecvMsg: %v", err)
+	}
+	if want := 5 + frameHeaderSize; reported != want {
+		t.Fatalf("observed reported %d bytes, want %d", reported, want)
+	}
+}
+
+// TestArenaAccounting covers checkout accounting: in-use and
+// outstanding rise on Get, fall on Free, peak holds the high-water
+// mark, and double-free is a no-op.
+func TestArenaAccounting(t *testing.T) {
+	a := NewArena()
+	b1 := a.Get(100)
+	b2 := a.Get(200)
+	if a.Outstanding() != 2 {
+		t.Fatalf("outstanding = %d, want 2", a.Outstanding())
+	}
+	if in := a.InUseBytes(); in < 300 {
+		t.Fatalf("in-use = %d, want >= 300", in)
+	}
+	peak := a.PeakBytes()
+	if peak < 300 {
+		t.Fatalf("peak = %d, want >= 300", peak)
+	}
+	b1.Free()
+	b1.Free() // double-free must not corrupt accounting
+	b2.Free()
+	if a.Outstanding() != 0 || a.InUseBytes() != 0 {
+		t.Fatalf("after free: outstanding=%d in-use=%d, want 0/0", a.Outstanding(), a.InUseBytes())
+	}
+	if a.PeakBytes() != peak {
+		t.Fatalf("peak moved after free: %d, want %d", a.PeakBytes(), peak)
+	}
+}
+
+// TestArenaReuse checks a freed buffer's capacity is reused rather than
+// reallocated.
+func TestArenaReuse(t *testing.T) {
+	a := NewArena()
+	b1 := a.Get(64)
+	b1.B = append(b1.B, make([]byte, 64)...)
+	p1 := &b1.B[:1][0]
+	b1.Free()
+	b2 := a.Get(32)
+	defer b2.Free()
+	if cap(b2.B) < 64 {
+		t.Fatalf("pooled capacity lost: cap=%d, want >= 64", cap(b2.B))
+	}
+	b2.B = append(b2.B, 0)
+	if &b2.B[0] != p1 {
+		t.Fatalf("expected the pooled backing array to be reused")
+	}
+}
+
+// TestFrameWriterSendsAndFrees checks a FrameWriter frame round-trips
+// and the buffer returns to the arena even when the send fails.
+func TestFrameWriterSendsAndFrees(t *testing.T) {
+	a, b := Pipe()
+	arena := NewArena()
+	w := NewFrameWriter(a, arena)
+
+	buf := w.Begin(8)
+	buf.B = append(buf.B, []byte("payload")...)
+	if err := w.Send(buf); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := b.RecvMsg()
+	if err != nil {
+		t.Fatalf("RecvMsg: %v", err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q, want %q", got, "payload")
+	}
+	if arena.Outstanding() != 0 {
+		t.Fatalf("buffer not returned after Send: outstanding=%d", arena.Outstanding())
+	}
+
+	a.Close()
+	buf = w.Begin(4)
+	buf.B = append(buf.B, 1, 2, 3)
+	if err := w.Send(buf); err == nil {
+		t.Fatal("Send on closed conn: want error")
+	}
+	if arena.Outstanding() != 0 {
+		t.Fatalf("buffer leaked on failed send: outstanding=%d", arena.Outstanding())
+	}
+}

@@ -242,7 +242,13 @@ func Pipe() (Conn, Conn) {
 }
 
 func (p *pipeConn) SendMsg(msg []byte) error {
-	cp := append([]byte(nil), msg...)
+	return p.sendOwned(append([]byte(nil), msg...))
+}
+
+// sendOwned transmits cp, which the caller must not retain: the
+// receiver takes ownership. SendMsg and SendVec both funnel here after
+// making their single defensive copy.
+func (p *pipeConn) sendOwned(cp []byte) error {
 	select {
 	case <-p.closer.done:
 		return ErrClosed
