@@ -1,0 +1,380 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxelerator/internal/gateway"
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+	"maxelerator/internal/precompute"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+	"maxelerator/internal/wire/faultconn"
+)
+
+// Fault modes a chaos backend can be switched into between kills. New
+// sessions accepted while a mode is active get their connection wrapped
+// in the matching faultconn script; sessions already in flight are left
+// alone (a real degradation hits new work first).
+const (
+	faultNone int32 = iota
+	faultStall      // accepted-but-mute: first read blocks forever
+	faultFlaky      // lossy link: every op fails with probability flakyP
+)
+
+// chaosBackend is one in-process maxd-equivalent the harness can kill,
+// restart and degrade: a real protocol server with a precompute engine
+// behind a TCP listener, plus the /healthz + /shapez surface the
+// gateway probes. Kill closes both listeners and every live session
+// connection (a process crash, not a graceful drain); restart re-binds
+// the same addresses so the gateway's static backend list stays valid.
+type chaosBackend struct {
+	id     int
+	cfg    *chaosConfig
+	logf   func(string, ...any)
+	o      *obs.Obs
+	srv    *protocol.Server
+	eng    *precompute.Engine
+	matrix [][]int64
+	mux    *http.ServeMux
+
+	protoAddr  string // fixed for the run; restart re-binds it
+	healthAddr string
+
+	fault    atomic.Int32
+	flakySeq atomic.Int64 // per-conn seed so flaky runs differ but stay reproducible
+
+	mu    sync.Mutex
+	down  bool
+	ln    net.Listener
+	hsrv  *http.Server
+	conns map[io.Closer]struct{} // wrapped conns of live sessions; kill closes them
+
+	served atomic.Int64 // sessions Serve completed cleanly (end marker seen)
+	wg     sync.WaitGroup
+}
+
+func startChaosBackend(cfg *chaosConfig, id int, logf func(string, ...any)) (*chaosBackend, error) {
+	b := &chaosBackend{
+		id:     id,
+		cfg:    cfg,
+		logf:   logf,
+		o:      obs.New(0),
+		matrix: [][]int64{{2, 3}},
+		conns:  map[io.Closer]struct{}{},
+	}
+	simCfg := maxsim.Config{Width: 8, AccWidth: 24, Signed: true}
+	srv, err := protocol.NewServer(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := precompute.New(precompute.Config{Sim: simCfg, PoolSize: 2, MaxShapes: 8, Metrics: b.o.Metrics()})
+	if err != nil {
+		return nil, err
+	}
+	// I/O budgets bound every session goroutine: a connection cut by a
+	// kill or muted by a stall can hold a serve goroutine for at most
+	// one timeout, so teardown's wg.Wait always terminates. The budgets
+	// are loose because the OT base phase is real 2048-bit crypto — on a
+	// loaded single-core runner a healthy peer can legitimately take
+	// seconds between frames.
+	srv.WithObs(b.o).WithPrecompute(eng).
+		WithTimeouts(protocol.Timeouts{Handshake: 10 * time.Second, IO: 10 * time.Second})
+	eng.Start()
+	b.srv, b.eng = srv, eng
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Stop()
+		return nil, err
+	}
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		eng.Stop()
+		return nil, err
+	}
+	b.protoAddr = ln.Addr().String()
+	b.healthAddr = hln.Addr().String()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shapez", func(w http.ResponseWriter, r *http.Request) {
+		var shapes []string
+		for s := range b.eng.Shapes() {
+			shapes = append(shapes, s.String())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"shapes": shapes})
+	})
+	mux.Handle("/", b.o.Handler())
+	b.mux = mux
+
+	hsrv := &http.Server{Handler: mux}
+	b.ln, b.hsrv = ln, hsrv
+	go b.acceptLoop(ln)
+	go hsrv.Serve(hln)
+	return b, nil
+}
+
+func (b *chaosBackend) acceptLoop(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go b.handle(nc)
+	}
+}
+
+func (b *chaosBackend) handle(nc net.Conn) {
+	defer b.wg.Done()
+	var conn wire.Conn = wire.NewStreamConn(nc)
+	switch b.fault.Load() {
+	case faultStall:
+		conn = faultconn.New(conn, faultconn.Options{StallFirstRead: true})
+	case faultFlaky:
+		conn = faultconn.New(conn, faultconn.Flaky(b.flakySeq.Add(1), b.cfg.flakyP))
+	}
+	b.mu.Lock()
+	if b.down {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.conns[conn] = struct{}{}
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.conns, conn)
+		b.mu.Unlock()
+		conn.Close()
+	}()
+	if _, err := b.srv.Serve(conn, protocol.Request{Matrix: b.matrix}); err == nil {
+		b.served.Add(1)
+	}
+}
+
+// kill models a process crash: both listeners close, every live
+// session connection is cut mid-stream. Idempotent.
+func (b *chaosBackend) kill() {
+	b.mu.Lock()
+	if b.down {
+		b.mu.Unlock()
+		return
+	}
+	b.down = true
+	ln, hsrv := b.ln, b.hsrv
+	conns := make([]io.Closer, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	ln.Close()
+	hsrv.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// restart re-binds the crashed backend's original addresses. The
+// kernel can hold the freed port briefly, so binding retries for up to
+// two seconds before giving up.
+func (b *chaosBackend) restart() error {
+	var ln, hln net.Listener
+	var err error
+	for i := 0; i < 40 && (ln == nil || hln == nil); i++ {
+		if i > 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if ln == nil {
+			ln, err = net.Listen("tcp", b.protoAddr)
+		}
+		if ln != nil && hln == nil {
+			hln, err = net.Listen("tcp", b.healthAddr)
+		}
+	}
+	if ln == nil || hln == nil {
+		if ln != nil {
+			ln.Close()
+		}
+		return fmt.Errorf("backend %d: re-bind after restart: %w", b.id, err)
+	}
+	hsrv := &http.Server{Handler: b.mux}
+	b.mu.Lock()
+	b.down = false
+	b.ln, b.hsrv = ln, hsrv
+	b.mu.Unlock()
+	go b.acceptLoop(ln)
+	go hsrv.Serve(hln)
+	return nil
+}
+
+// stop is the end-of-run teardown: crash the backend, wait for every
+// session goroutine (bounded by the server's I/O budgets), stop the
+// precompute engine. After stop, served and ArenaOutstanding are final.
+func (b *chaosBackend) stop() {
+	b.kill()
+	b.wg.Wait()
+	b.eng.Stop()
+}
+
+// chaosFleet is the system under test: one live gateway routing over
+// real TCP to the chaos backends.
+type chaosFleet struct {
+	cfg      *chaosConfig
+	o        *obs.Obs
+	gw       *gateway.Gateway
+	ln       net.Listener
+	gwAddr   string
+	gwDone   chan error
+	backends []*chaosBackend
+	logf     func(string, ...any)
+}
+
+func startFleet(cfg *chaosConfig, logf func(string, ...any)) (*chaosFleet, error) {
+	f := &chaosFleet{cfg: cfg, o: obs.New(0), logf: logf}
+	var gwBackends []gateway.Backend
+	for i := 0; i < cfg.backends; i++ {
+		b, err := startChaosBackend(cfg, i, logf)
+		if err != nil {
+			f.teardownBackends()
+			return nil, err
+		}
+		f.backends = append(f.backends, b)
+		gwBackends = append(gwBackends, gateway.Backend{Addr: b.protoAddr, HealthURL: "http://" + b.healthAddr})
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends:        gwBackends,
+		PeekTimeout:     100 * time.Millisecond,
+		ProbeInterval:   cfg.probeInterval,
+		EjectAfter:      cfg.ejectAfter,
+		BreakerCooldown: cfg.breakerCooldown,
+		RetryBudget:     cfg.retryBudget,
+		RetryBudgetMin:  cfg.retryBudgetMin,
+		MaxFailovers:    2,
+		LoadFactor:      1.25,
+		Obs:             f.o,
+		Logf:            logf,
+	})
+	if err != nil {
+		f.teardownBackends()
+		return nil, err
+	}
+	f.gw = gw
+	gw.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		f.teardownBackends()
+		return nil, err
+	}
+	f.ln, f.gwAddr = ln, ln.Addr().String()
+	f.gwDone = make(chan error, 1)
+	go func() { f.gwDone <- gw.Serve(ln) }()
+	return f, nil
+}
+
+func (f *chaosFleet) teardownBackends() {
+	for _, b := range f.backends {
+		b.stop()
+	}
+}
+
+// stopIntake closes the gateway's listener so no new session can
+// arrive; call before Drain.
+func (f *chaosFleet) stopIntake() {
+	f.ln.Close()
+	<-f.gwDone
+}
+
+// close tears the whole fleet down: prober, then every backend.
+func (f *chaosFleet) close() {
+	f.gw.Close()
+	f.teardownBackends()
+}
+
+// chaosCounters tallies what the chaos loop actually did.
+type chaosCounters struct {
+	kills, restarts, restartFails atomic.Int64
+	stalls, flakyWindows          atomic.Int64
+}
+
+// chaosLoop is the fault injector: every killEvery it crashes the next
+// backend round-robin (restarting it downFor later) and, on alternating
+// cycles, opens a mute-peer stall window or a lossy-link flaky window
+// on the following replica. One backend is down and at most one
+// degraded at any time by construction, so the fleet always has live
+// capacity and the invariants stay assertable.
+func (f *chaosFleet) chaosLoop(done <-chan struct{}, c *chaosCounters) {
+	t := time.NewTicker(f.cfg.killEvery)
+	defer t.Stop()
+	var wg sync.WaitGroup
+	n := len(f.backends)
+	for cycle := 0; ; cycle++ {
+		select {
+		case <-done:
+			wg.Wait()
+			return
+		case <-t.C:
+			v := f.backends[cycle%n]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v.kill()
+				c.kills.Add(1)
+				f.logf("chaos: killed backend %d (%s)", v.id, v.protoAddr)
+				select {
+				case <-time.After(f.cfg.downFor):
+				case <-done:
+				}
+				if err := v.restart(); err != nil {
+					c.restartFails.Add(1)
+					f.logf("chaos: %v", err)
+					return
+				}
+				c.restarts.Add(1)
+				f.logf("chaos: restarted backend %d (%s)", v.id, v.protoAddr)
+			}()
+			if n < 2 {
+				continue
+			}
+			degraded := f.backends[(cycle+1)%n]
+			switch {
+			case cycle%2 == 0 && f.cfg.stallFor > 0:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					degraded.fault.Store(faultStall)
+					c.stalls.Add(1)
+					f.logf("chaos: stalling new sessions on backend %d for %s", degraded.id, f.cfg.stallFor)
+					select {
+					case <-time.After(f.cfg.stallFor):
+					case <-done:
+					}
+					degraded.fault.Store(faultNone)
+				}()
+			case cycle%2 == 1 && f.cfg.flakyP > 0:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					degraded.fault.Store(faultFlaky)
+					c.flakyWindows.Add(1)
+					f.logf("chaos: flaky link p=%.2f on backend %d for %s", f.cfg.flakyP, degraded.id, f.cfg.flakyFor)
+					select {
+					case <-time.After(f.cfg.flakyFor):
+					case <-done:
+					}
+					degraded.fault.Store(faultNone)
+				}()
+			}
+		}
+	}
+}

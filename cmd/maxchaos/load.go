@@ -1,0 +1,130 @@
+package main
+
+import (
+	"crypto/rand"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+// chaosHints rotates each session through the hinted routing paths
+// (three shape keys hashing to different ring positions) and the
+// unhinted least-loaded path. Hints are routing metadata only — every
+// backend serves the same 1×2 matrix — so the lying widths are safe
+// and exercise hint-miss accounting.
+var chaosHints = []*protocol.ShapeHint{
+	{Rows: 1, Cols: 2, Width: 8, Signed: true, Mode: "matvec", OT: "per-round"},
+	{Rows: 1, Cols: 2, Width: 16, Signed: true, Mode: "matvec", OT: "per-round"},
+	{Rows: 1, Cols: 2, Width: 32, Signed: true, Mode: "matvec", OT: "per-round"},
+	nil,
+}
+
+// loadStats are the client-visible outcomes of the open-loop load.
+type loadStats struct {
+	sessions    atomic.Int64 // sessions actually launched
+	skipped     atomic.Int64 // arrivals dropped because maxInflight was saturated
+	succeeded   atomic.Int64
+	shed        atomic.Int64 // BUSY from the gateway or a backend
+	failed      atomic.Int64 // hard errors: resets, timeouts, injected faults
+	miscomputed atomic.Int64 // sessions that "succeeded" with a wrong result
+}
+
+func (st *loadStats) fail(err error) {
+	var be *protocol.BusyError
+	if errors.As(err, &be) {
+		st.shed.Add(1)
+		return
+	}
+	st.failed.Add(1)
+}
+
+// runLoad drives open-loop load at the gateway for d: one session per
+// loadInterval tick, regardless of how previous sessions are doing.
+// Open-loop is the point — a retry storm or a stalled fleet must not
+// slow the arrival clock, it must surface as errors. Concurrency is
+// capped at maxInflight so a wedged fleet cannot grow goroutines
+// without bound; arrivals past the cap are counted as skipped, never
+// blocked on.
+func (f *chaosFleet) runLoad(d time.Duration) *loadStats {
+	st := &loadStats{}
+	sem := make(chan struct{}, f.cfg.maxInflight)
+	var wg sync.WaitGroup
+	tick := time.NewTicker(f.cfg.loadInterval)
+	defer tick.Stop()
+	stop := time.After(d)
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			wg.Wait()
+			return st
+		case <-tick.C:
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				st.sessions.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					f.oneSession(i, st)
+				}(i)
+			default:
+				st.skipped.Add(1)
+			}
+		}
+	}
+}
+
+// oneSession runs a single client request through the gateway over
+// real TCP: dial, handshake, one MAC evaluation, clean close. Every
+// phase is deadline-bounded so no chaos event can wedge a client
+// forever.
+func (f *chaosFleet) oneSession(i int, st *loadStats) {
+	cli, err := protocol.NewClient(rand.Reader)
+	if err != nil {
+		st.failed.Add(1)
+		return
+	}
+	// Generous budgets: a session's OT base phase is real public-key
+	// crypto, and concurrent sessions contend for the same cores. The
+	// deadline exists to bound sessions wedged on a muted or killed
+	// backend, not to police healthy-but-slow crypto.
+	cli.WithTimeouts(protocol.Timeouts{Handshake: 8 * time.Second, IO: 8 * time.Second})
+	if hint := chaosHints[i%len(chaosHints)]; hint != nil {
+		cli.WithShapeHint(*hint)
+	}
+	nc, err := net.DialTimeout("tcp", f.gwAddr, 2*time.Second)
+	if err != nil {
+		f.logf("load: session %d tcp dial: %v", i, err)
+		st.failed.Add(1)
+		return
+	}
+	conn := wire.NewStreamConn(nc)
+	defer conn.Close()
+	cs, err := cli.Dial(conn)
+	if err != nil {
+		f.logf("load: session %d dial: %v", i, err)
+		st.fail(err)
+		return
+	}
+	out, err := cs.Do([]int64{4, 5})
+	if err != nil {
+		f.logf("load: session %d do: %v", i, err)
+		st.fail(err)
+		return
+	}
+	if err := cs.Close(); err != nil {
+		f.logf("load: session %d close: %v", i, err)
+		st.fail(err)
+		return
+	}
+	if len(out) != 1 || out[0] != 2*4+3*5 {
+		st.miscomputed.Add(1)
+		return
+	}
+	st.succeeded.Add(1)
+}

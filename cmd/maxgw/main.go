@@ -10,11 +10,24 @@
 //	    -metrics-addr :7001
 //
 // Each -backends entry is ADDR or ADDR=HEALTHURL; with a health URL
-// the gateway polls HEALTHURL/healthz every -probe-interval and ejects
-// a backend from the routing ring after -eject-after consecutive
-// failures (readmitting on the first success), and polls
+// the gateway polls HEALTHURL/healthz every -probe-interval, and polls
 // HEALTHURL/shapez (maxd -advertise) to prefer backends already
 // holding a warm pool for a session's exact shape.
+//
+// Membership is breaker-driven: -eject-after consecutive failures
+// (probe verdicts and routing-time handshake results feed the same
+// per-backend circuit breaker) trip the breaker open and the backend
+// leaves the ring. Readmission is hysteretic — after -breaker-cooldown
+// (doubling on every re-trip) a single successful probe readmits, and
+// never sooner, so a flapping backend cannot oscillate the ring. A
+// backend whose handshake-latency EWMA exceeds -outlier-k times the
+// fleet median is demoted to last-resort candidate for
+// -outlier-cooldown (slow-but-alive detection). Failover attempts
+// beyond each session's first candidate draw from a token-bucket
+// retry budget (-retry-budget of arriving sessions plus a
+// -retry-budget-min burst); an exhausted budget sheds the session
+// with BUSY immediately, turning fleet-wide outages into fast
+// rejections instead of retry storms.
 //
 // Routing is shape-affine: clients that open with a shape-hint preface
 // (protocol.Client.WithShapeHint; maxcli -hint) are consistently
@@ -34,10 +47,13 @@
 //
 // With -metrics-addr the gateway exposes its own observability
 // surface: /metrics (gw_sessions_total{backend}, gw_failovers_total
-// {reason}, ring membership gauges), /healthz (ok with a full ring,
+// {reason}, ring membership gauges, gw_breaker_state{backend},
+// gw_ejections_total{reason}, gw_retry_budget_tokens_milli,
+// gw_hint_misses_total{shape}), /healthz (ok with a full ring,
 // degraded with a partial one, overloaded with an empty one — answers
-// 503) and /fleetz (per-backend JSON: health, in-flight sessions,
-// advertised shapes) for maxtop's fleet panel.
+// 503) and /fleetz (per-backend JSON: health, breaker state,
+// in-flight sessions, handshake-latency EWMA, advertised shapes) for
+// maxtop's fleet panel.
 package main
 
 import (
@@ -61,16 +77,21 @@ import (
 
 // gwConfig gathers every knob of one maxgw instance.
 type gwConfig struct {
-	listen        string
-	backends      string
-	metricsAddr   string
-	peekTimeout   time.Duration
-	probeInterval time.Duration
-	ejectAfter    int
-	maxFailovers  int
-	loadFactor    float64
-	vnodes        int
-	drainTimeout  time.Duration
+	listen          string
+	backends        string
+	metricsAddr     string
+	peekTimeout     time.Duration
+	probeInterval   time.Duration
+	ejectAfter      int
+	breakerCooldown time.Duration
+	outlierK        float64
+	outlierCooldown time.Duration
+	retryBudget     float64
+	retryBudgetMin  float64
+	maxFailovers    int
+	loadFactor      float64
+	vnodes          int
+	drainTimeout    time.Duration
 }
 
 func main() {
@@ -80,7 +101,12 @@ func main() {
 	flag.StringVar(&gc.metricsAddr, "metrics-addr", "", "HTTP address for /metrics, /healthz and /fleetz (empty disables)")
 	flag.DurationVar(&gc.peekTimeout, "peek-timeout", 75*time.Millisecond, "wait for a client's shape-hint preface before routing unhinted")
 	flag.DurationVar(&gc.probeInterval, "probe-interval", 2*time.Second, "backend health poll period")
-	flag.IntVar(&gc.ejectAfter, "eject-after", 3, "consecutive probe failures before a backend leaves the ring")
+	flag.IntVar(&gc.ejectAfter, "eject-after", 3, "consecutive probe or handshake failures before a backend's breaker opens")
+	flag.DurationVar(&gc.breakerCooldown, "breaker-cooldown", 5*time.Second, "base wait before an open breaker's half-open readmission trial (doubles per re-trip)")
+	flag.Float64Var(&gc.outlierK, "outlier-k", 3, "demote a backend whose handshake-latency EWMA exceeds this multiple of the fleet median")
+	flag.DurationVar(&gc.outlierCooldown, "outlier-cooldown", 10*time.Second, "how long a latency-outlier demotion lasts")
+	flag.Float64Var(&gc.retryBudget, "retry-budget", 0.2, "sustained fraction of sessions allowed a failover attempt")
+	flag.Float64Var(&gc.retryBudgetMin, "retry-budget-min", 10, "failover burst allowance before the ratio governs (negative disables)")
 	flag.IntVar(&gc.maxFailovers, "max-failovers", 2, "extra backends tried after the primary fails pre-handshake")
 	flag.Float64Var(&gc.loadFactor, "load-factor", 1.25, "bounded-load factor; a backend above this times the mean load yields (<=1 disables)")
 	flag.IntVar(&gc.vnodes, "vnodes", 0, "virtual nodes per backend on the hash ring (0 = default)")
@@ -123,14 +149,20 @@ func run(gc gwConfig) error {
 	}
 	o := obs.New(0)
 	gw, err := gateway.New(gateway.Config{
-		Backends:      backends,
-		Vnodes:        gc.vnodes,
-		PeekTimeout:   gc.peekTimeout,
-		ProbeInterval: gc.probeInterval,
-		EjectAfter:    gc.ejectAfter,
-		MaxFailovers:  gc.maxFailovers,
-		LoadFactor:    gc.loadFactor,
-		Obs:           o,
+		Backends:        backends,
+		Vnodes:          gc.vnodes,
+		PeekTimeout:     gc.peekTimeout,
+		ProbeInterval:   gc.probeInterval,
+		EjectAfter:      gc.ejectAfter,
+		BreakerCooldown: gc.breakerCooldown,
+		OutlierK:        gc.outlierK,
+		OutlierCooldown: gc.outlierCooldown,
+		RetryBudget:     gc.retryBudget,
+		RetryBudgetMin:  gc.retryBudgetMin,
+		MaxFailovers:    gc.maxFailovers,
+		LoadFactor:      gc.loadFactor,
+		Obs:             o,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package main
 import (
 	"crypto/rand"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -382,6 +383,76 @@ func TestE2EFailoverOnBusyAndKilledBackend(t *testing.T) {
 	drainBackends(b0, b1)
 	if got := other.served.Load(); got != 2 {
 		t.Fatalf("replica served %d after kill, want 2", got)
+	}
+}
+
+// TestE2EBreakerOpensOnDeadBackend: a backend that dies entirely
+// (protocol listener and health surface both gone) trips its breaker
+// within ejectAfter probe ticks, and the breaker's position surfaces
+// on both /fleetz (breaker: "open", healthy: false) and /metrics
+// (gw_breaker_state 1) — while the surviving replica keeps serving.
+func TestE2EBreakerOpensOnDeadBackend(t *testing.T) {
+	b0, b1 := startBackend(t), startBackend(t)
+	gwAddr, maddr, done := startGateway(t, true, b0, b1)
+	defer stopGateway(t, done)
+
+	dead := b0.addr()
+	b0.kill()
+	b0.hs.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + maddr + "/fleetz")
+		if err != nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("/fleetz never answered: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		var fleet struct {
+			Backends []gateway.BackendStatus `json:"backends"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&fleet)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opened := false
+		for _, st := range fleet.Backends {
+			if st.Addr == dead {
+				opened = st.Breaker == "open" && !st.Healthy
+			}
+		}
+		if opened {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead backend never showed an open breaker: %+v", fleet.Backends)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `gw_breaker_state{backend="` + dead + `"} 1`
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+
+	if err := runSession(t, gwAddr, &e2eHint); err != nil {
+		t.Fatalf("session with a dead replica: %v", err)
+	}
+	drainBackends(b1)
+	if got := b1.served.Load(); got != 1 {
+		t.Fatalf("survivor served %d sessions, want 1", got)
 	}
 }
 

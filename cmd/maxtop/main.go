@@ -14,10 +14,12 @@
 // consecutive scrapes, so the first frame of a watch shows totals only.
 //
 // Pointed at a maxgw metrics address instead of a maxd one, maxtop
-// renders the fleet panel: ring membership, session routing and
-// failover counts from the gw_* metric families, plus a per-backend
-// table (health, in-flight sessions, advertised shapes) scraped from
-// the gateway's /fleetz endpoint.
+// renders the fleet panel: ring membership, session routing, failover
+// and retry-budget counts from the gw_* metric families, plus a
+// per-backend table (health, breaker state, in-flight sessions,
+// handshake latency, advertised shapes) scraped from the gateway's
+// /fleetz endpoint and closed by an aggregated fleet row — summed
+// counters with a load-weighted latency figure.
 package main
 
 import (
@@ -276,9 +278,10 @@ func fetchFleet(url string) []gateway.BackendStatus {
 	return fleet.Backends
 }
 
-// renderFleet draws the maxgw panel: ring membership and routing
-// counters from the gw_* families, and the per-backend /fleetz table
-// when the snapshot came back.
+// renderFleet draws the maxgw panel: ring membership, routing and
+// resilience counters from the gw_* families, and the per-backend
+// /fleetz table — closed by an aggregated fleet row (summed counters,
+// load-weighted latency) — when the snapshot came back.
 func renderFleet(w io.Writer, cur *snapshot, fleet []gateway.BackendStatus) {
 	total, ok := cur.get("gw_backends_total")
 	if !ok {
@@ -296,12 +299,24 @@ func renderFleet(w io.Writer, cur *snapshot, fleet []gateway.BackendStatus) {
 	if len(parts) > 0 {
 		line += " (" + strings.Join(parts, ", ") + ")"
 	}
+	// Resilience figures only render when the gateway exports them, so
+	// older gateways keep their unchanged panel.
+	if milli, ok := cur.get("gw_retry_budget_tokens_milli"); ok {
+		line += fmt.Sprintf("   budget %.1f tokens", milli/1000)
+		if denied := cur.val("gw_retry_budget_exhausted_total"); denied > 0 {
+			line += fmt.Sprintf(" (%.0f denied)", denied)
+		}
+	}
 	fmt.Fprintln(w, line)
 
 	hinted := cur.val("gw_peeks_total", "result", "hint")
 	unhinted := cur.val("gw_peeks_total", "result", "none") + cur.val("gw_peeks_total", "result", "other")
-	fmt.Fprintf(w, "routing     hinted %.0f   unhinted %.0f   peek errors %.0f   membership changes %.0f\n",
+	routing := fmt.Sprintf("routing     hinted %.0f   unhinted %.0f   peek errors %.0f   membership changes %.0f",
 		hinted, unhinted, cur.val("gw_peek_errors_total"), sumAll(cur, "gw_membership_changes_total"))
+	if miss := sumAll(cur, "gw_hint_misses_total"); miss > 0 {
+		routing += fmt.Sprintf("   hint misses %.0f", miss)
+	}
+	fmt.Fprintln(w, routing)
 
 	if len(fleet) == 0 {
 		return
@@ -310,19 +325,56 @@ func renderFleet(w io.Writer, cur *snapshot, fleet []gateway.BackendStatus) {
 	for _, e := range cur.sumBy("gw_sessions_total", "backend") {
 		sessionsBy[e.Label] = e.Value
 	}
-	t := report.NewTable("\nper-backend", "backend", "status", "active", "sessions", "warm shapes")
+	t := report.NewTable("\nper-backend", "backend", "status", "breaker", "active", "sessions", "latency", "warm shapes")
+	var sumActive int64
+	var sumSessions float64
+	var weightedLat, latWeight float64
+	healthyN := 0
 	for _, b := range fleet {
 		status := b.Status
-		if !b.Healthy {
+		if b.Healthy {
+			healthyN++
+		} else {
 			status += " (ejected)"
+		}
+		breaker := b.Breaker
+		if breaker == "" {
+			breaker = "—"
+		}
+		lat := "—"
+		if b.LatencyEWMAMs > 0 {
+			lat = fmt.Sprintf("%.1fms", b.LatencyEWMAMs)
+			if b.Ejected {
+				lat += " (slow)"
+			}
+			// Load-weighted: a backend carrying most of the traffic should
+			// dominate the fleet figure; idle backends weigh in by their
+			// lifetime share, and a never-loaded one counts once.
+			wgt := float64(b.Active)
+			if wgt <= 0 {
+				wgt = sessionsBy[b.Addr]
+			}
+			if wgt <= 0 {
+				wgt = 1
+			}
+			weightedLat += wgt * b.LatencyEWMAMs
+			latWeight += wgt
 		}
 		shapes := strings.Join(b.Shapes, " ")
 		if shapes == "" {
 			shapes = "—"
 		}
-		t.AddRow(b.Addr, status, fmt.Sprintf("%d", b.Active),
-			fmt.Sprintf("%.0f", sessionsBy[b.Addr]), shapes)
+		t.AddRow(b.Addr, status, breaker, fmt.Sprintf("%d", b.Active),
+			fmt.Sprintf("%.0f", sessionsBy[b.Addr]), lat, shapes)
+		sumActive += b.Active
+		sumSessions += sessionsBy[b.Addr]
 	}
+	fleetLat := "—"
+	if latWeight > 0 {
+		fleetLat = fmt.Sprintf("%.1fms", weightedLat/latWeight)
+	}
+	t.AddRow("ALL", fmt.Sprintf("%d/%d up", healthyN, len(fleet)), "",
+		fmt.Sprintf("%d", sumActive), fmt.Sprintf("%.0f", sumSessions), fleetLat, "")
 	fmt.Fprint(w, t.String())
 }
 

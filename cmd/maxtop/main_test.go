@@ -310,6 +310,83 @@ func TestRenderFleetPanel(t *testing.T) {
 	}
 }
 
+// gwResilienceExposition extends the gateway scrape with the
+// resilience families a post-breaker maxgw exports.
+const gwResilienceExposition = gwExposition + `gw_retry_budget_tokens_milli 8500
+gw_retry_budget_exhausted_total 2
+gw_hint_misses_total{shape="9x9/b8s/matvec/per-round"} 4
+gw_breaker_state{backend="10.0.0.3:7700"} 1
+`
+
+// TestRenderFleetPanelAggregates: the resilience columns and the
+// summed fleet row. The aggregate latency is load-weighted: backend .1
+// carries 3 of the 4 in-flight sessions at 10ms, backend .2 one at
+// 50ms → (3·10+1·50)/4 = 20ms, not the 30ms plain mean.
+func TestRenderFleetPanelAggregates(t *testing.T) {
+	cur, err := parseMetrics(strings.NewReader(gwResilienceExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.when = time.Unix(1000, 0)
+	fleet := []gateway.BackendStatus{
+		{Addr: "10.0.0.1:7700", Healthy: true, Status: "ok", Breaker: "closed",
+			Active: 3, LatencyEWMAMs: 10},
+		{Addr: "10.0.0.2:7700", Healthy: true, Status: "ok", Breaker: "closed",
+			Active: 1, LatencyEWMAMs: 50, Ejected: true},
+		{Addr: "10.0.0.3:7700", Healthy: false, Status: "unreachable", Breaker: "open"},
+	}
+	var sb strings.Builder
+	render(&sb, "u", nil, cur, fleet)
+	out := sb.String()
+	for _, want := range []string{
+		"budget 8.5 tokens (2 denied)",
+		"hint misses 4",
+		"breaker",
+		"open",
+		"50.0ms (slow)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet frame missing %q:\n%s", want, out)
+		}
+	}
+	// The aggregate row: 2/3 up, 4 active, 7 sessions (5+2 scraped),
+	// load-weighted 20ms.
+	var all string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "ALL") {
+			all = line
+		}
+	}
+	if all == "" {
+		t.Fatalf("aggregate ALL row missing:\n%s", out)
+	}
+	for _, want := range []string{"2/3 up", "4", "7", "20.0ms"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("aggregate row missing %q: %q", want, all)
+		}
+	}
+}
+
+// TestRenderFleetPanelOldGateway: a pre-resilience gateway (no budget
+// or breaker families, no breaker fields on /fleetz) renders dashes,
+// not zeros, and no budget figure.
+func TestRenderFleetPanelOldGateway(t *testing.T) {
+	cur, err := parseMetrics(strings.NewReader(gwExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.when = time.Unix(1000, 0)
+	fleet := []gateway.BackendStatus{{Addr: "10.0.0.1:7700", Healthy: true, Status: "ok"}}
+	var sb strings.Builder
+	render(&sb, "u", nil, cur, fleet)
+	if strings.Contains(sb.String(), "budget") {
+		t.Fatalf("budget figure rendered without the metric:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "hint misses") {
+		t.Fatalf("hint misses rendered without the metric:\n%s", sb.String())
+	}
+}
+
 // TestRenderNoFleetPanel: a plain maxd scrape must not grow the fleet
 // panel.
 func TestRenderNoFleetPanel(t *testing.T) {

@@ -33,6 +33,7 @@ import (
 
 	"maxelerator/internal/obs"
 	"maxelerator/internal/protocol"
+	"maxelerator/internal/resilience"
 	"maxelerator/internal/wire"
 )
 
@@ -61,12 +62,49 @@ type Config struct {
 	LoadFactor float64
 	// ProbeInterval is the health-poll period. Default 2s.
 	ProbeInterval time.Duration
-	// EjectAfter is how many consecutive probe failures remove a
-	// backend from the ring (one success readmits). Default 3.
+	// EjectAfter is how many consecutive failures — probe verdicts and
+	// routing-time handshake results feed the same counter — trip a
+	// backend's circuit breaker open, removing it from the ring.
+	// Default 3.
 	EjectAfter int
+	// BreakerCooldown is the base open-state dwell before the breaker's
+	// half-open readmission trial; it doubles on every re-trip before a
+	// full recovery (hysteresis against flapping). Default 5s.
+	BreakerCooldown time.Duration
+	// BreakerMaxCooldown caps the hysteresis doubling. Default
+	// 8×BreakerCooldown.
+	BreakerMaxCooldown time.Duration
+	// OutlierK is the latency-ejection cutoff: a backend whose
+	// handshake-latency EWMA exceeds K times the fleet median is
+	// demoted to last-resort candidate. Default 3.
+	OutlierK float64
+	// OutlierMinSamples is how many latency samples a backend needs
+	// before its EWMA is trusted for ejection. Default 5.
+	OutlierMinSamples int
+	// OutlierCooldown is how long a latency ejection lasts; on expiry
+	// the backend re-enters on probation. Default 10s.
+	OutlierCooldown time.Duration
+	// RetryBudget is the sustained failover allowance as a fraction of
+	// arriving sessions: beyond the burst, at most this fraction of
+	// sessions may fail over to another backend before the gateway
+	// sheds with BUSY instead. Default 0.2.
+	RetryBudget float64
+	// RetryBudgetMin is the burst allowance a cold gateway starts with
+	// (failover attempts permitted before the ratio governs). Default
+	// 10; negative means no burst.
+	RetryBudgetMin float64
+	// HintMissLogEvery rate-limits the "shape hint matches no
+	// advertised backend" log line. Default 5s.
+	HintMissLogEvery time.Duration
 	// RetryAfter is the backoff hint sent with the gateway's own BUSY
 	// rejection when every candidate failed. Default 200ms.
 	RetryAfter time.Duration
+	// Logf receives rate-limited operational log lines (breaker
+	// transitions, hint misses). Nil silences them.
+	Logf func(format string, args ...any)
+	// Now is the clock behind the breakers, the latency ejector and
+	// handshake timing; tests inject a fake. Default time.Now.
+	Now func() time.Time
 	// Obs receives the gateway's metrics and health; nil disables
 	// observability (the repo-wide nil-Obs contract).
 	Obs *obs.Obs
@@ -77,6 +115,12 @@ type Config struct {
 	// Probe asks a backend for health and advertised shapes. Nil uses
 	// the HTTP prober against Backend.HealthURL.
 	Probe ProbeFunc
+
+	// onTransition, when set by tests, observes every breaker
+	// transition (in delivery order, under the breaker's lock) so the
+	// flapping tests can assert monotonicity without reaching into the
+	// breakers.
+	onTransition func(addr string, tr resilience.Transition)
 }
 
 // withDefaults resolves the zero fields.
@@ -105,6 +149,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 200 * time.Millisecond
 	}
+	if c.HintMissLogEvery <= 0 {
+		c.HintMissLogEvery = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	if c.Dial == nil {
 		dialTimeout := c.DialTimeout
 		c.Dial = func(addr string) (wire.Conn, error) {
@@ -125,11 +175,16 @@ func (c Config) withDefaults() Config {
 // New, optionally Start the health prober, feed it connections via
 // Serve or HandleConn, and Close to stop.
 type Gateway struct {
-	cfg    Config
-	ring   *Ring
-	states []*backendState // config order; membership lives on the ring
-	byAddr map[string]*backendState
-	reg    *obs.Registry
+	cfg     Config
+	ring    *Ring
+	states  []*backendState // config order; membership lives on the ring
+	byAddr  map[string]*backendState
+	reg     *obs.Registry
+	ejector *resilience.Ejector
+	budget  *resilience.Budget
+
+	hintMu       sync.Mutex
+	lastHintMiss time.Time
 
 	stop    chan struct{}
 	stopped sync.Once
@@ -158,6 +213,16 @@ func New(cfg Config) (*Gateway, error) {
 		reg:    cfg.Obs.Metrics(),
 		stop:   make(chan struct{}),
 		conns:  make(map[wire.Conn]struct{}),
+		ejector: resilience.NewEjector(resilience.EjectorConfig{
+			K:          cfg.OutlierK,
+			MinSamples: cfg.OutlierMinSamples,
+			Cooldown:   cfg.OutlierCooldown,
+			Now:        cfg.Now,
+		}),
+		budget: resilience.NewBudget(resilience.BudgetConfig{
+			Ratio:     cfg.RetryBudget,
+			MinTokens: cfg.RetryBudgetMin,
+		}),
 	}
 	for _, b := range cfg.Backends {
 		if b.Addr == "" {
@@ -167,12 +232,23 @@ func New(cfg Config) (*Gateway, error) {
 			return nil, fmt.Errorf("gateway: duplicate backend %q", b.Addr)
 		}
 		st := &backendState{Backend: b, healthy: true, status: obs.HealthOK}
+		st.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold:   cfg.EjectAfter,
+			Cooldown:    cfg.BreakerCooldown,
+			MaxCooldown: cfg.BreakerMaxCooldown,
+			Now:         cfg.Now,
+			OnTransition: func(tr resilience.Transition) {
+				g.onBreakerTransition(st, tr)
+			},
+		})
 		g.states = append(g.states, st)
 		g.byAddr[b.Addr] = st
 		g.ring.Add(b.Addr)
+		g.reg.BreakerState(b.Addr).Set(obs.BreakerStateClosed)
 	}
 	cfg.Obs.SetHealth(g.healthVerdict)
 	g.publishRingState()
+	g.publishBudget()
 	return g, nil
 }
 
@@ -273,6 +349,8 @@ func (g *Gateway) HandleConn(conn wire.Conn) {
 	}
 	g.reg.Counter("gw_peeks_total", "routing-peek outcomes", obs.L("result", result)).Inc()
 
+	g.budget.Deposit()
+	g.publishBudget()
 	candidates := g.route(hint, hinted)
 	if len(candidates) == 0 {
 		g.shed(conn, nil)
@@ -284,10 +362,23 @@ func (g *Gateway) HandleConn(conn wire.Conn) {
 	}
 	var lastBusy *protocol.BusyError
 	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// Every attempt beyond the session's first candidate is a
+			// failover and must be paid for: an empty budget means the
+			// fleet is failing broadly, and the cheapest thing this
+			// session can do is shed fast rather than add dials.
+			if !g.budget.Withdraw() {
+				g.reg.Counter(obs.MetricRetryBudgetExhausted, obs.HelpRetryBudgetExhausted).Inc()
+				break
+			}
+			g.publishBudget()
+		}
 		b := candidates[i]
+		start := g.cfg.Now()
 		backendConn, first, busy, err := g.connect(b, pending)
 		switch {
 		case err != nil:
+			b.breaker.Observe(false)
 			reason := "dial"
 			if wire.IsTimeout(err) {
 				reason = "timeout"
@@ -296,11 +387,17 @@ func (g *Gateway) HandleConn(conn wire.Conn) {
 				obs.L("reason", reason)).Inc()
 			continue
 		case busy != nil:
+			// BUSY is an orderly rejection from a live backend: it feeds
+			// the breaker as a success (the backend answered promptly)
+			// and the ejector not at all (no session was served).
+			b.breaker.Observe(true)
 			lastBusy = busy
 			g.reg.Counter("gw_failovers_total", "pre-handshake backend failovers",
 				obs.L("reason", "busy")).Inc()
 			continue
 		}
+		b.breaker.Observe(true)
+		g.ejector.Observe(b.Addr, g.cfg.Now().Sub(start))
 		g.relay(conn, backendConn, b, first)
 		return
 	}
@@ -333,53 +430,82 @@ func (g *Gateway) peek(conn wire.Conn) (pending []byte, hint protocol.ShapeHint,
 	}
 }
 
-// route orders the healthy backends for one session. Hinted sessions
+// route orders the routable backends for one session. Hinted sessions
 // get ring order for their shape key, advertised exact-shape matches
 // first and over-bound backends last (consistent hashing with bounded
 // loads: a backend above LoadFactor times the mean in-flight load
 // yields to the next replica, trading a cold pool for tail latency).
-// Unhinted sessions get least-loaded order.
+// Unhinted sessions get least-loaded order. Two resilience demotions
+// apply to both: latency-ejected backends sort behind everything
+// routable, and breaker-open backends whose cooldown has expired are
+// appended dead last — they are offered only so a handshake can serve
+// as the half-open trial (the readmission path for backends with no
+// health prober).
 func (g *Gateway) route(hint protocol.ShapeHint, hinted bool) []*backendState {
-	healthy := make([]*backendState, 0, len(g.states))
+	routable := make([]*backendState, 0, len(g.states))
+	var trial []*backendState
 	for _, b := range g.states {
-		if up, _ := b.snapshotHealth(); up {
-			healthy = append(healthy, b)
+		switch {
+		case b.breaker.Routable():
+			routable = append(routable, b)
+		case b.breaker.TrialReady():
+			trial = append(trial, b)
 		}
 	}
-	if len(healthy) == 0 {
+	if len(routable)+len(trial) == 0 {
 		return nil
 	}
+	var ordered []*backendState
 	if !hinted {
-		sort.SliceStable(healthy, func(i, j int) bool {
-			li, lj := healthy[i].active.Load(), healthy[j].active.Load()
+		ordered = routable
+		sort.SliceStable(ordered, func(i, j int) bool {
+			li, lj := ordered[i].active.Load(), ordered[j].active.Load()
 			if li != lj {
 				return li < lj
 			}
-			return healthy[i].Addr < healthy[j].Addr
+			return ordered[i].Addr < ordered[j].Addr
 		})
-		return healthy
-	}
-	key := hint.Key()
-	ordered := make([]*backendState, 0, len(healthy))
-	for _, addr := range g.ring.Lookup(key, 0) {
-		if b, ok := g.byAddr[addr]; ok {
-			ordered = append(ordered, b)
+	} else {
+		key := hint.Key()
+		if !g.fleetAdvertises(key) {
+			g.noteHintMiss(key)
+		}
+		ordered = make([]*backendState, 0, len(routable))
+		for _, addr := range g.ring.Lookup(key, 0) {
+			if b, ok := g.byAddr[addr]; ok {
+				ordered = append(ordered, b)
+			}
+		}
+		// Warm pools first: a backend advertising the exact shape beats
+		// ring position (ring order breaks ties, so steady state stays
+		// consistent — the ring primary is the one that learned the shape).
+		sort.SliceStable(ordered, func(i, j int) bool {
+			return ordered[i].advertises(key) && !ordered[j].advertises(key)
+		})
+		// Bounded load: push over-bound backends to the back rather than
+		// dropping them — a hot backend is still better than shedding.
+		if bound := g.loadBound(len(ordered)); bound > 0 {
+			sort.SliceStable(ordered, func(i, j int) bool {
+				return ordered[i].active.Load() <= bound && ordered[j].active.Load() > bound
+			})
 		}
 	}
-	// Warm pools first: a backend advertising the exact shape beats
-	// ring position (ring order breaks ties, so steady state stays
-	// consistent — the ring primary is the one that learned the shape).
-	sort.SliceStable(ordered, func(i, j int) bool {
-		return ordered[i].advertises(key) && !ordered[j].advertises(key)
-	})
-	// Bounded load: push over-bound backends to the back rather than
-	// dropping them — a hot backend is still better than shedding.
-	if bound := g.loadBound(len(ordered)); bound > 0 {
+	// Latency demotion last so it dominates: an ejected backend is a
+	// worse bet than a hot one, but still better than shedding.
+	ejected := make(map[*backendState]bool, len(ordered))
+	demoted := false
+	for _, b := range ordered {
+		if g.ejector.Ejected(b.Addr) {
+			ejected[b] = true
+			demoted = true
+		}
+	}
+	if demoted {
 		sort.SliceStable(ordered, func(i, j int) bool {
-			return ordered[i].active.Load() <= bound && ordered[j].active.Load() > bound
+			return !ejected[ordered[i]] && ejected[ordered[j]]
 		})
 	}
-	return ordered
+	return append(ordered, trial...)
 }
 
 // loadBound computes the bounded-load ceiling: LoadFactor times the
@@ -492,9 +618,16 @@ type BackendStatus struct {
 	Addr     string   `json:"addr"`
 	Healthy  bool     `json:"healthy"`
 	Status   string   `json:"status"`
+	Breaker  string   `json:"breaker"`
 	Active   int64    `json:"active_sessions"`
 	Sessions int64    `json:"sessions_total"`
 	Shapes   []string `json:"advertised_shapes,omitempty"`
+	// LatencyEWMAMs is the handshake-latency estimate behind outlier
+	// ejection; zero until the first committed session.
+	LatencyEWMAMs float64 `json:"latency_ewma_ms,omitempty"`
+	// Ejected reports an active latency ejection (the backend is
+	// demoted to last-resort, not removed).
+	Ejected bool `json:"ejected,omitempty"`
 }
 
 // Snapshot reports the fleet state in config order — the payload of
@@ -502,6 +635,12 @@ type BackendStatus struct {
 func (g *Gateway) Snapshot() []BackendStatus {
 	out := make([]BackendStatus, 0, len(g.states))
 	for _, b := range g.states {
+		// Breaker and ejector reads happen outside b.mu: the transition
+		// hook takes b.mu while holding the breaker's lock, so the
+		// reverse order would invert it.
+		breakerState := b.breaker.State().String()
+		ewma, _ := g.ejector.EWMA(b.Addr)
+		ejected := g.ejector.Ejected(b.Addr)
 		b.mu.Lock()
 		shapes := make([]string, 0, len(b.shapes))
 		for s := range b.shapes {
@@ -509,7 +648,10 @@ func (g *Gateway) Snapshot() []BackendStatus {
 		}
 		st := BackendStatus{
 			Addr: b.Addr, Healthy: b.healthy, Status: b.status,
-			Active: b.active.Load(), Sessions: b.sessions.Load(),
+			Breaker: breakerState,
+			Active:  b.active.Load(), Sessions: b.sessions.Load(),
+			LatencyEWMAMs: float64(ewma) / float64(time.Millisecond),
+			Ejected:       ejected,
 		}
 		b.mu.Unlock()
 		sort.Strings(shapes)

@@ -319,11 +319,38 @@ func TestAllBusySheds(t *testing.T) {
 	}
 }
 
-// TestProbeEjectsAndReadmits drives the health-driven membership
-// machine: consecutive failed probes remove a backend from the ring
-// (sessions reroute), one healthy probe restores it.
+// testClock is an injectable clock for breaker-cooldown tests.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock { return &testClock{now: time.Unix(1_700_000_000, 0)} }
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestProbeEjectsAndReadmits drives the breaker-driven membership
+// machine: consecutive failed probes trip the breaker and remove a
+// backend from the ring (sessions reroute); a healthy probe readmits
+// it only after the breaker's cooldown — a lucky probe mid-cooldown
+// must not flap the ring.
 func TestProbeEjectsAndReadmits(t *testing.T) {
-	f := newFleet(t, 3, nil)
+	clock := newTestClock()
+	const cooldown = 5 * time.Second
+	f := newFleet(t, 3, func(cfg *Config) {
+		cfg.Now = clock.Now
+		cfg.BreakerCooldown = cooldown
+	})
 	order := f.gw.ring.Lookup(testHint.Key(), 0)
 	primary := f.backends[order[0]]
 
@@ -352,12 +379,21 @@ func TestProbeEjectsAndReadmits(t *testing.T) {
 		t.Fatalf("ejected backend served %d sessions", got)
 	}
 
+	// Hysteresis: healthy probes inside the cooldown are ignored.
 	primary.mu.Lock()
 	primary.status = obs.HealthOK
 	primary.mu.Unlock()
 	f.gw.ProbeNow()
+	if f.gw.ring.Has(order[0]) {
+		t.Fatal("healthy probe mid-cooldown readmitted the backend")
+	}
+
+	// Past the cooldown the next healthy probe is the half-open trial
+	// and readmits.
+	clock.Advance(cooldown + time.Second)
+	f.gw.ProbeNow()
 	if !f.gw.ring.Has(order[0]) {
-		t.Fatal("healthy probe did not readmit the backend")
+		t.Fatal("healthy probe after the cooldown did not readmit the backend")
 	}
 	if got := f.gw.healthVerdict(); got != obs.HealthOK {
 		t.Fatalf("gateway health = %q with a full fleet", got)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"maxelerator/internal/obs"
+	"maxelerator/internal/resilience"
 )
 
 // Backend names one garbler daemon the gateway can route to.
@@ -26,15 +27,19 @@ type Backend struct {
 }
 
 // backendState is the gateway's live view of one backend: health
-// (prober-driven), advertised shapes, and in-flight session count
-// (bounded-load input).
+// (breaker-driven, fed by probes and handshake results), advertised
+// shapes, and in-flight session count (bounded-load input).
 type backendState struct {
 	Backend
 
+	// breaker owns routability; its transition hook keeps healthy and
+	// ring membership in sync. Never call a breaker method while
+	// holding mu — the hook takes mu under the breaker's own lock.
+	breaker *resilience.Breaker
+
 	mu      sync.Mutex
-	healthy bool
+	healthy bool   // mirror of breaker.Routable(), maintained by the hook
 	status  string // last probe verdict: ok | degraded | overloaded | unreachable
-	fails   int    // consecutive probe failures
 	shapes  map[string]struct{}
 
 	active   atomic.Int64 // sessions currently relayed to this backend
@@ -140,15 +145,22 @@ func (g *Gateway) probeLoop() {
 	}
 }
 
-// ProbeNow runs one synchronous probe pass over every backend,
-// applying the eject/readmit policy:
+// ProbeNow runs one synchronous probe pass over every backend and
+// feeds the verdicts into the circuit breakers:
 //
-//   - ok and degraded verdicts count as healthy (a degraded daemon is
-//     queueing, not rejecting — still better than shedding the
+//   - ok and degraded verdicts count as successes (a degraded daemon
+//     is queueing, not rejecting — still better than shedding the
 //     session here);
 //   - overloaded verdicts and unreachable backends count as failures;
-//     EjectAfter consecutive failures remove the backend from the
-//     ring, one success readmits it.
+//     EjectAfter consecutive failures trip the breaker open and the
+//     backend leaves the ring. Readmission is the breaker's half-open
+//     trial: after the cooldown (doubling on every re-trip) the next
+//     successful probe readmits — never sooner, however healthy the
+//     probes look mid-cooldown. Ring membership itself moves inside
+//     the breaker's transition hook.
+//
+// The pass also sweeps the latency ejector, so outlier demotions are
+// re-evaluated on probe cadence.
 //
 // Exported so tests (and operators via a future admin surface) can
 // force convergence without waiting out the interval.
@@ -165,33 +177,16 @@ func (g *Gateway) ProbeNow() {
 		} else {
 			b.status = status
 		}
-		if failed {
-			b.fails++
-		} else {
-			b.fails = 0
+		if !failed {
 			b.shapes = toSet(shapes)
 		}
-		eject := b.healthy && b.fails >= g.cfg.EjectAfter
-		readmit := !b.healthy && !failed
-		if eject {
-			b.healthy = false
-		}
-		if readmit {
-			b.healthy = true
-		}
 		b.mu.Unlock()
-		switch {
-		case eject:
-			g.ring.Remove(b.Addr)
-			g.reg.Counter("gw_membership_changes_total",
-				"backend ring ejections and readmissions",
-				obs.L("backend", b.Addr), obs.L("change", "eject")).Inc()
-		case readmit:
-			g.ring.Add(b.Addr)
-			g.reg.Counter("gw_membership_changes_total",
-				"backend ring ejections and readmissions",
-				obs.L("backend", b.Addr), obs.L("change", "readmit")).Inc()
-		}
+		b.breaker.Observe(!failed)
+	}
+	for _, addr := range g.ejector.Sweep() {
+		g.reg.Counter(obs.MetricEjections, obs.HelpEjections,
+			obs.L("backend", addr), obs.L("reason", "latency")).Inc()
+		g.logf("gateway: latency outlier %s demoted to last-resort (EWMA beyond k×median)", addr)
 	}
 	g.publishRingState()
 }

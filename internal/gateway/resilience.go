@@ -1,0 +1,117 @@
+package gateway
+
+import (
+	"maxelerator/internal/obs"
+	"maxelerator/internal/resilience"
+)
+
+// This file wires the three resilience mechanisms (internal/resilience)
+// into the gateway's routing machinery:
+//
+//   - every backend gets a circuit breaker fed by both probe verdicts
+//     and routing-time handshake results; its transitions drive ring
+//     membership, so a dead backend leaves the ring at dial speed and
+//     a flapping one stays off it through the breaker's hysteresis;
+//   - the ejector folds each committed session's dial→first-frame
+//     latency into a per-backend EWMA; backends beyond K× the fleet
+//     median are demoted to last-resort candidates (not removed — a
+//     uniformly slow fleet still serves);
+//   - the retry budget gates every failover attempt beyond a session's
+//     first candidate, so a fleet-wide outage degrades to fast BUSY
+//     rejections instead of each session marching the full replica
+//     list.
+//
+// Lock discipline: breaker transition hooks run under the breaker's
+// own lock and may take backendState.mu and the ring lock; nothing in
+// the gateway calls a breaker method while holding backendState.mu,
+// so the ordering breaker.mu → backendState.mu is acyclic.
+
+// onBreakerTransition is every backend breaker's OnTransition hook:
+// it mirrors the breaker's position into ring membership, the healthy
+// flag, and the canonical metrics. Transitions are delivered under the
+// breaker's lock in Seq order, which is what makes membership updates
+// race-free — two probes (or a probe and a failed dial) cannot
+// interleave an eject and a readmit for the same backend.
+func (g *Gateway) onBreakerTransition(b *backendState, tr resilience.Transition) {
+	g.reg.BreakerState(b.Addr).Set(obs.BreakerStateValue(tr.To.String()))
+	if g.cfg.onTransition != nil {
+		g.cfg.onTransition(b.Addr, tr)
+	}
+	switch {
+	case tr.From == resilience.StateClosed && tr.To == resilience.StateOpen:
+		b.mu.Lock()
+		b.healthy = false
+		b.mu.Unlock()
+		g.ring.Remove(b.Addr)
+		g.reg.Counter("gw_membership_changes_total",
+			"backend ring ejections and readmissions",
+			obs.L("backend", b.Addr), obs.L("change", "eject")).Inc()
+		g.reg.Counter(obs.MetricEjections, obs.HelpEjections,
+			obs.L("backend", b.Addr), obs.L("reason", "breaker")).Inc()
+		g.logf("gateway: breaker opened for %s (consecutive failures)", b.Addr)
+	case tr.To == resilience.StateClosed:
+		b.mu.Lock()
+		b.healthy = true
+		b.mu.Unlock()
+		g.ring.Add(b.Addr)
+		g.reg.Counter("gw_membership_changes_total",
+			"backend ring ejections and readmissions",
+			obs.L("backend", b.Addr), obs.L("change", "readmit")).Inc()
+		g.logf("gateway: breaker closed for %s (trial succeeded)", b.Addr)
+	}
+	// open→half-open and half-open→open keep the backend off the ring:
+	// half-open admits exactly the trial observation, never sessions.
+}
+
+// publishBudget refreshes the retry-budget gauge after a deposit or
+// withdrawal (millitokens: the registry's gauges are integers).
+func (g *Gateway) publishBudget() {
+	g.reg.Gauge(obs.MetricRetryBudgetTokens, obs.HelpRetryBudgetTokens).
+		Set(int64(g.budget.Tokens() * 1000))
+}
+
+// noteHintMiss counts a hinted session whose shape matched no
+// advertised backend pool and emits a rate-limited log line — one per
+// HintMissLogEvery fleet-wide, because a shape nobody advertises tends
+// to arrive in bursts and each miss says the same thing: the session
+// is riding cold-pool routing.
+func (g *Gateway) noteHintMiss(key string) {
+	g.reg.Counter(obs.MetricHintMisses, obs.HelpHintMisses, obs.L("shape", key)).Inc()
+	if g.cfg.Logf == nil {
+		return
+	}
+	now := g.cfg.Now()
+	g.hintMu.Lock()
+	due := now.Sub(g.lastHintMiss) >= g.cfg.HintMissLogEvery
+	if due {
+		g.lastHintMiss = now
+	}
+	g.hintMu.Unlock()
+	if due {
+		g.cfg.Logf("gateway: shape hint %q matches no advertised backend pool; routing by ring position (cold pool)", key)
+	}
+}
+
+// fleetAdvertises reports whether any configured backend advertises a
+// warm pool for the shape key.
+func (g *Gateway) fleetAdvertises(key string) bool {
+	for _, b := range g.states {
+		if b.advertises(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// logf forwards to the configured logger, if any.
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// RetryBudgetStats exposes the budget's lifetime counters — the
+// numbers maxchaos checks the failover-bound invariant against.
+func (g *Gateway) RetryBudgetStats() (deposits, withdrawals, denials uint64) {
+	return g.budget.Stats()
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakerStateValue(t *testing.T) {
+	cases := map[string]int64{
+		"closed":    BreakerStateClosed,
+		"open":      BreakerStateOpen,
+		"half-open": BreakerStateHalfOpen,
+		"invalid":   BreakerStateOpen, // unknown reads as open: alert, don't hide
+		"":          BreakerStateOpen,
+	}
+	for in, want := range cases {
+		if got := BreakerStateValue(in); got != want {
+			t.Fatalf("BreakerStateValue(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestBreakerStateGauge(t *testing.T) {
+	r := NewRegistry()
+	r.BreakerState("b1").Set(BreakerStateHalfOpen)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := MetricBreakerState + `{backend="b1"} 2`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, HelpBreakerState) {
+		t.Fatal("exposition missing the canonical help string")
+	}
+
+	// Nil-safety follows the repo-wide contract.
+	var nilReg *Registry
+	nilReg.BreakerState("b1").Set(1)
+}

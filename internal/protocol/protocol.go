@@ -436,6 +436,13 @@ func (s *Server) WithTimeouts(t Timeouts) *Server {
 	return s
 }
 
+// ArenaOutstanding reports how many frame-assembly buffers the
+// server's wire arena currently has checked out. Every Serve path —
+// success, fault, or mid-session disconnect — must return its buffers,
+// so a server with no session in flight reports zero; harnesses (cmd/
+// maxchaos) assert this after a drain as the arena-leak check.
+func (s *Server) ArenaOutstanding() int64 { return s.arena.Outstanding() }
+
 // Stats of the last served computation.
 type Stats = maxsim.Stats
 

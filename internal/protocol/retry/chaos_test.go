@@ -488,3 +488,59 @@ func TestChaosAttemptBudgetExhausted(t *testing.T) {
 func contains(s, sub string) bool {
 	return len(s) >= len(sub) && bytes.Contains([]byte(s), []byte(sub))
 }
+
+// TestChaosFlakyLinkHealedByRetry: the seeded per-op loss mode —
+// attempts 1 and 2 ride a link where ~a third of all server-side ops
+// fail at random (deterministic under the seed), attempt 3 is clean.
+// The retry taxonomy must classify every injected loss as retryable
+// and land the request.
+func TestChaosFlakyLinkHealedByRetry(t *testing.T) {
+	before := runtime.NumGoroutine()
+	defer checkGoroutines(t, before)
+
+	h := newChaosServer(t, map[int]dialScript{
+		1: {faults: faultconn.Flaky(11, 0.35)},
+		2: {faults: faultconn.Flaky(12, 0.35)},
+	})
+	defer h.shutdown()
+	rd, reg := newTestReDialer(t, h, protocol.Timeouts{Handshake: 2 * time.Second, IO: 2 * time.Second})
+	defer rd.Close()
+
+	out, err := rd.Do([]int64{5, -6})
+	if err != nil {
+		t.Fatalf("Do did not recover from a flaky link: %v", err)
+	}
+	wantResult(t, out)
+	var retries uint64
+	for _, reason := range []string{"disconnect", "timeout", "internal"} {
+		retries += reg.Counter("retry_attempts_total", "", obs.L("reason", reason)).Value()
+	}
+	if retries == 0 {
+		t.Error("flaky attempts produced no counted retries — the fault never fired")
+	}
+}
+
+// TestChaosMutePeerFirstReadStall: StallFirstRead is the
+// accepted-but-mute peer — the server comes up, speaks its hello, and
+// then its first read never completes, so the client's OT setup wedges
+// until the phase budget expires and the retry layer re-dials.
+func TestChaosMutePeerFirstReadStall(t *testing.T) {
+	before := runtime.NumGoroutine()
+	defer checkGoroutines(t, before)
+
+	h := newChaosServer(t, map[int]dialScript{
+		1: {faults: faultconn.Options{StallFirstRead: true}},
+	})
+	defer h.shutdown()
+	rd, reg := newTestReDialer(t, h, protocol.Timeouts{Handshake: time.Second, IO: 5 * time.Second})
+	defer rd.Close()
+
+	out, err := rd.Do([]int64{5, -6})
+	if err != nil {
+		t.Fatalf("Do did not recover from a mute peer: %v", err)
+	}
+	wantResult(t, out)
+	if got := reg.Counter("retry_attempts_total", "", obs.L("reason", "timeout")).Value(); got != 1 {
+		t.Errorf("retry_attempts_total{timeout} = %d, want 1", got)
+	}
+}

@@ -1,0 +1,107 @@
+package resilience
+
+import "sync"
+
+// BudgetConfig shapes one Budget. The zero value resolves to the
+// defaults noted per field.
+type BudgetConfig struct {
+	// Ratio is the sustained failover allowance as a fraction of
+	// arriving sessions: every Deposit (one per session) adds Ratio
+	// tokens, every Withdraw (one per failover attempt) spends one.
+	// Default 0.2 — at most ~20% of sessions may fail over once the
+	// initial burst is spent.
+	Ratio float64
+	// MinTokens is the bucket's starting level — the burst allowance
+	// that lets a cold gateway absorb an isolated backend loss at full
+	// failover fidelity before the ratio governs. Default 10; a
+	// negative value means no burst (start empty).
+	MinTokens float64
+	// Cap bounds the bucket so a long healthy stretch cannot bank an
+	// unbounded failover burst. Default max(MinTokens, 100).
+	Cap float64
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.Ratio <= 0 {
+		c.Ratio = 0.2
+	}
+	if c.MinTokens < 0 {
+		c.MinTokens = 0
+	} else if c.MinTokens == 0 {
+		c.MinTokens = 10
+	}
+	if c.Cap <= 0 {
+		c.Cap = 100
+	}
+	if c.Cap < c.MinTokens {
+		c.Cap = c.MinTokens
+	}
+	return c
+}
+
+// Budget is a token-bucket retry budget: the gateway deposits on every
+// arriving session and withdraws before every failover attempt beyond
+// a session's first candidate. When the bucket is empty the session
+// sheds immediately with BUSY instead of marching down the replica
+// list — which is the property that turns a fleet-wide outage into
+// fast, bounded rejections rather than a retry storm: over any run,
+//
+//	withdrawals ≤ Ratio·deposits + MinTokens
+//
+// so the extra dial load a dead fleet sees is a fixed fraction of
+// offered load plus a constant, regardless of outage length.
+type Budget struct {
+	cfg BudgetConfig
+
+	mu          sync.Mutex
+	tokens      float64
+	deposits    uint64
+	withdrawals uint64
+	denials     uint64
+}
+
+// NewBudget builds a bucket holding MinTokens.
+func NewBudget(cfg BudgetConfig) *Budget {
+	cfg = cfg.withDefaults()
+	return &Budget{cfg: cfg, tokens: cfg.MinTokens}
+}
+
+// Deposit credits one arriving session's failover allowance.
+func (b *Budget) Deposit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deposits++
+	b.tokens += b.cfg.Ratio
+	if b.tokens > b.cfg.Cap {
+		b.tokens = b.cfg.Cap
+	}
+}
+
+// Withdraw spends one failover attempt, reporting whether the budget
+// allowed it.
+func (b *Budget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denials++
+		return false
+	}
+	b.tokens--
+	b.withdrawals++
+	return true
+}
+
+// Tokens reads the current bucket level.
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Stats reports lifetime deposit/withdrawal/denial counts — the
+// numbers maxchaos checks the budget invariant against.
+func (b *Budget) Stats() (deposits, withdrawals, denials uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.deposits, b.withdrawals, b.denials
+}

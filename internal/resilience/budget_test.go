@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetBurstThenRatio(t *testing.T) {
+	b := NewBudget(BudgetConfig{Ratio: 0.5, MinTokens: 2, Cap: 100})
+	// Burst: the initial MinTokens allow 2 failovers with no traffic.
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("burst allowance denied")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty bucket allowed a withdrawal")
+	}
+	// Ratio: two deposits bank one token.
+	b.Deposit()
+	if b.Withdraw() {
+		t.Fatal("half a token allowed a withdrawal")
+	}
+	b.Deposit()
+	if !b.Withdraw() {
+		t.Fatal("banked token denied")
+	}
+	dep, wd, den := b.Stats()
+	if dep != 2 || wd != 3 || den != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 2/3/2", dep, wd, den)
+	}
+}
+
+func TestBudgetCap(t *testing.T) {
+	b := NewBudget(BudgetConfig{Ratio: 1, MinTokens: 1, Cap: 3})
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got != 3 {
+		t.Fatalf("tokens = %v, want capped at 3", got)
+	}
+}
+
+// TestBudgetInvariantUnderTotalOutage is the property the gateway
+// depends on: however long the outage, withdrawals never exceed
+// Ratio·deposits + MinTokens.
+func TestBudgetInvariantUnderTotalOutage(t *testing.T) {
+	const ratio, minTokens = 0.2, 10.0
+	b := NewBudget(BudgetConfig{Ratio: ratio, MinTokens: minTokens, Cap: 50})
+	withdrawals := 0
+	for session := 0; session < 5000; session++ {
+		b.Deposit()
+		// Every session tries to fail over twice (dead fleet).
+		for attempt := 0; attempt < 2; attempt++ {
+			if b.Withdraw() {
+				withdrawals++
+			}
+		}
+	}
+	bound := int(ratio*5000+minTokens) + 1
+	if withdrawals > bound {
+		t.Fatalf("withdrawals = %d, want ≤ %d", withdrawals, bound)
+	}
+	// And the budget is not pathologically stingy: at least the ratio
+	// share minus the fractional losses got through.
+	if withdrawals < int(ratio*5000) {
+		t.Fatalf("withdrawals = %d, want ≥ %d", withdrawals, int(ratio*5000))
+	}
+}
+
+func TestBudgetConcurrency(t *testing.T) {
+	b := NewBudget(BudgetConfig{Ratio: 0.5, MinTokens: 0, Cap: 1000})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				b.Deposit()
+				b.Withdraw()
+			}
+		}()
+	}
+	wg.Wait()
+	dep, wd, den := b.Stats()
+	if dep != 4000 || wd+den != 4000 {
+		t.Fatalf("stats = %d deposits, %d+%d outcomes", dep, wd, den)
+	}
+}

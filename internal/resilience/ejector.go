@@ -1,0 +1,193 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// EjectorConfig shapes one Ejector. The zero value resolves to the
+// defaults noted per field.
+type EjectorConfig struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]: the weight of the
+	// newest sample. Default 0.3.
+	Alpha float64
+	// K is the outlier cutoff: a backend whose EWMA exceeds K times
+	// the fleet median is ejected. Default 3.
+	K float64
+	// MinSamples is how many samples a backend needs before its EWMA
+	// is trusted — for the median and for ejection. Default 5.
+	MinSamples int
+	// MinFleet is how many sample-bearing backends a sweep needs
+	// before a median is meaningful; below it nothing ejects. With
+	// two backends "median" is their midpoint and a single slow node
+	// is half the fleet — ejecting on that signal is a coin flip.
+	// Default 3.
+	MinFleet int
+	// Floor is the absolute latency below which a backend never
+	// ejects, however skewed the ratio: at sub-floor latencies the
+	// "outlier" is measurement noise. Default 1ms.
+	Floor time.Duration
+	// Cooldown is how long an ejection lasts. On expiry the backend
+	// re-enters on probation: its sample count restarts, so it must
+	// earn MinSamples fresh observations before it can eject again —
+	// otherwise a stale-high EWMA (no traffic while ejected) would
+	// re-eject it forever. Default 10s.
+	Cooldown time.Duration
+	// Now is the clock; tests inject a fake. Default time.Now.
+	Now func() time.Time
+}
+
+func (c EjectorConfig) withDefaults() EjectorConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.K <= 1 {
+		c.K = 3
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.MinFleet <= 0 {
+		c.MinFleet = 3
+	}
+	if c.Floor <= 0 {
+		c.Floor = time.Millisecond
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// entry is one backend's latency state.
+type entry struct {
+	ewma  float64 // seconds
+	n     int     // samples since creation or last probation reset
+	until time.Time
+}
+
+// Ejector tracks a latency EWMA per backend and temporarily ejects
+// backends whose EWMA is an outlier against the fleet median. It
+// exists for the failure shape probes cannot see: a backend that
+// answers /healthz promptly while serving sessions 10× slower than its
+// peers. Ejection is advisory — the gateway demotes ejected backends
+// to last-resort rather than removing them, so a fleet that is
+// uniformly slow still serves.
+type Ejector struct {
+	cfg EjectorConfig
+
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+// NewEjector builds an empty ejector.
+func NewEjector(cfg EjectorConfig) *Ejector {
+	return &Ejector{cfg: cfg.withDefaults(), m: make(map[string]*entry)}
+}
+
+// Observe folds one latency sample (typically dial→first-frame of a
+// session handshake, measured by the relay) into the backend's EWMA.
+func (e *Ejector) Observe(id string, d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s := d.Seconds()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	en := e.m[id]
+	if en == nil {
+		en = &entry{}
+		e.m[id] = en
+	}
+	e.expire(en, e.cfg.Now())
+	if en.n == 0 {
+		en.ewma = s
+	} else {
+		en.ewma = e.cfg.Alpha*s + (1-e.cfg.Alpha)*en.ewma
+	}
+	en.n++
+}
+
+// expire handles probation: an ejection that ran out resets the
+// sample count so the backend must re-earn trust in its EWMA before
+// it can eject again. Callers hold mu.
+func (e *Ejector) expire(en *entry, now time.Time) {
+	if !en.until.IsZero() && !now.Before(en.until) {
+		en.until = time.Time{}
+		en.n = 0
+	}
+}
+
+// Ejected reports whether the backend is currently weighted out.
+func (e *Ejector) Ejected(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	en := e.m[id]
+	if en == nil {
+		return false
+	}
+	e.expire(en, e.cfg.Now())
+	return !en.until.IsZero()
+}
+
+// EWMA reports the backend's current latency estimate; ok is false
+// before the first sample.
+func (e *Ejector) EWMA(id string) (time.Duration, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	en := e.m[id]
+	if en == nil || (en.n == 0 && en.ewma == 0) {
+		return 0, false
+	}
+	return time.Duration(en.ewma * float64(time.Second)), true
+}
+
+// Sweep evaluates the outlier rule once — the probe loop's tick —
+// and returns the ids ejected by this pass (already-ejected backends
+// are extended silently). A backend ejects when at least MinFleet
+// backends carry MinSamples samples, the fleet median is known, and
+// its EWMA exceeds both K·median and the noise floor.
+func (e *Ejector) Sweep() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.cfg.Now()
+	for _, en := range e.m {
+		e.expire(en, now)
+	}
+	var ewmas []float64
+	for _, en := range e.m {
+		if en.n >= e.cfg.MinSamples {
+			ewmas = append(ewmas, en.ewma)
+		}
+	}
+	if len(ewmas) < e.cfg.MinFleet {
+		return nil
+	}
+	sort.Float64s(ewmas)
+	median := ewmas[len(ewmas)/2]
+	if len(ewmas)%2 == 0 {
+		median = (ewmas[len(ewmas)/2-1] + ewmas[len(ewmas)/2]) / 2
+	}
+	if median <= 0 {
+		return nil
+	}
+	cutoff := e.cfg.K * median
+	floor := e.cfg.Floor.Seconds()
+	var ejected []string
+	for id, en := range e.m {
+		if en.n < e.cfg.MinSamples || en.ewma <= cutoff || en.ewma <= floor {
+			continue
+		}
+		fresh := en.until.IsZero()
+		en.until = now.Add(e.cfg.Cooldown)
+		if fresh {
+			ejected = append(ejected, id)
+		}
+	}
+	sort.Strings(ejected)
+	return ejected
+}

@@ -6,7 +6,9 @@
 //   - Conn wraps a wire.Conn and injects message-level faults — added
 //     latency (deterministically jittered from a seed), indefinite
 //     stalls, injected errors, and mid-protocol closes, each triggered
-//     on the Nth send or receive.
+//     on the Nth send or receive; plus two unscripted-index modes:
+//     a seeded per-op loss probability (Flaky) and a first-read stall
+//     (StallFirstRead), which maxchaos drives at fleet scale.
 //   - Stream wraps the byte stream beneath wire.NewStreamConn and
 //     injects byte-level faults a message wrapper cannot express —
 //     corrupt length prefixes and mid-frame cuts.
@@ -55,7 +57,24 @@ type Options struct {
 	// CloseOnSend / CloseOnRecv close the underlying connection on the
 	// Nth send / receive and fail it — the vanishing-peer fault.
 	CloseOnSend, CloseOnRecv int
+	// FlakyP makes every send and receive fail with ErrInjected with
+	// probability p ∈ (0, 1], drawn from the seeded generator — the
+	// lossy-link / overloaded-kernel fault where *which* op fails is
+	// not scripted, only how often. Deterministic given Seed and the
+	// op sequence. Zero disables.
+	FlakyP float64
+	// StallFirstRead makes the very first RecvMsg block until the
+	// connection is closed — the accepted-but-mute peer: the TCP
+	// handshake succeeded, then nothing ever arrives. Distinct from
+	// StallOnRecv so harnesses can script both (stall the first read
+	// of a reconnect while a later indexed stall covers the steady
+	// state).
+	StallFirstRead bool
 }
+
+// Flaky is the Options shorthand maxchaos and the fault matrix share:
+// every op fails with probability p, reproducibly under seed.
+func Flaky(seed int64, p float64) Options { return Options{Seed: seed, FlakyP: p} }
 
 // Conn wraps an inner wire.Conn with scripted message-level faults.
 type Conn struct {
@@ -111,6 +130,16 @@ func (c *Conn) stall(op string) error {
 	return fmt.Errorf("faultconn: stalled %s released by close: %w", op, ErrInjected)
 }
 
+// flake draws the seeded per-op loss coin.
+func (c *Conn) flake() bool {
+	if c.opts.FlakyP <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < c.opts.FlakyP
+}
+
 // SendMsg implements wire.Conn with the scripted send-side faults.
 func (c *Conn) SendMsg(msg []byte) error {
 	c.mu.Lock()
@@ -129,6 +158,9 @@ func (c *Conn) SendMsg(msg []byte) error {
 		c.Close()
 		return fmt.Errorf("faultconn: send %d closed the connection: %w", n, ErrInjected)
 	}
+	if c.flake() {
+		return fmt.Errorf("faultconn: flaky send %d: %w", n, ErrInjected)
+	}
 	return c.inner.SendMsg(msg)
 }
 
@@ -142,6 +174,8 @@ func (c *Conn) RecvMsg() ([]byte, error) {
 		return nil, err
 	}
 	switch {
+	case n == 1 && c.opts.StallFirstRead:
+		return nil, c.stall("first recv")
 	case n == c.opts.StallOnRecv:
 		return nil, c.stall("recv")
 	case n == c.opts.ErrOnRecv:
@@ -149,6 +183,9 @@ func (c *Conn) RecvMsg() ([]byte, error) {
 	case n == c.opts.CloseOnRecv:
 		c.Close()
 		return nil, fmt.Errorf("faultconn: recv %d closed the connection: %w", n, ErrInjected)
+	}
+	if c.flake() {
+		return nil, fmt.Errorf("faultconn: flaky recv %d: %w", n, ErrInjected)
 	}
 	return c.inner.RecvMsg()
 }

@@ -185,3 +185,82 @@ func TestStreamCutMidFrame(t *testing.T) {
 		t.Fatalf("cut sender error = %v, want ErrInjected", serr)
 	}
 }
+
+// TestFlakyIsSeededAndProportional: the per-op loss mode fails roughly
+// p of the ops, reproducibly for a given seed, and never touches the
+// wire on a faulted op.
+func TestFlakyIsSeededAndProportional(t *testing.T) {
+	run := func(seed int64) (failed []int) {
+		a, b := wire.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go func() { // drain whatever gets through
+			for {
+				if _, err := b.RecvMsg(); err != nil {
+					return
+				}
+			}
+		}()
+		fc := New(a, Flaky(seed, 0.3))
+		for i := 0; i < 200; i++ {
+			if err := fc.SendMsg([]byte("m")); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("op %d: %v, want ErrInjected", i, err)
+				}
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	first := run(7)
+	if n := len(first); n < 30 || n > 90 {
+		t.Fatalf("p=0.3 failed %d/200 ops — not plausibly proportional", n)
+	}
+	second := run(7)
+	if len(first) != len(second) {
+		t.Fatalf("same seed, different outcomes: %d vs %d failures", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed, different failure indices at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+	third := run(8)
+	different := len(third) != len(first)
+	for i := 0; !different && i < len(first); i++ {
+		different = first[i] != third[i]
+	}
+	if !different {
+		t.Fatal("different seeds produced identical failure patterns")
+	}
+}
+
+// TestStallFirstRead: the accepted-but-mute peer — the very first
+// receive blocks until close, later reads are clean.
+func TestStallFirstRead(t *testing.T) {
+	a, b := wire.Pipe()
+	defer b.Close()
+	fc := New(a, Options{StallFirstRead: true})
+	if err := b.SendMsg([]byte("waiting")); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fc.RecvMsg()
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("first read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released first-read stall = %v, want ErrInjected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not release the stalled first read")
+	}
+}
