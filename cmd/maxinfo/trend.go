@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"maxelerator/internal/benchgrid"
+	"maxelerator/internal/report"
+)
+
+// trendReport renders the repo's performance trajectory: every
+// committed BENCH_PR*.json grid in the directory, ordered by PR number
+// (version sort, so PR10 follows PR9), with each cell's p50 and
+// tables/sec tracked across grids and the delta from first to last.
+func trendReport(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_PR*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_PR*.json grids under %s", dir)
+	}
+	sort.Slice(paths, func(i, j int) bool { return versionLess(paths[i], paths[j]) })
+
+	grids := make([]*benchgrid.Grid, len(paths))
+	names := make([]string, len(paths))
+	for i, p := range paths {
+		g, err := benchgrid.Load(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		grids[i] = g
+		names[i] = trimGridName(p)
+	}
+
+	// Cell universe: every key seen in any grid, in the order the last
+	// grid lists them (newest layout wins), then any extinct keys.
+	var keys []string
+	seen := map[string]bool{}
+	for i := len(grids) - 1; i >= 0; i-- {
+		for _, c := range grids[i].Cells {
+			if k := c.Key(); !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("perf trajectory across %d grids: %v\n", len(grids), names)
+	p50 := report.NewTable("p50 latency (ms) per cell", append([]string{"cell"}, append(names, "Δ first→last")...)...)
+	tps := report.NewTable("tables/sec per cell", append([]string{"cell"}, append(names, "Δ first→last")...)...)
+	for _, k := range keys {
+		rowP := []string{k}
+		rowT := []string{k}
+		var firstP, lastP, firstT, lastT float64
+		haveFirst := false
+		for _, g := range grids {
+			c, ok := g.Cell(k)
+			if !ok {
+				rowP = append(rowP, "—")
+				rowT = append(rowT, "—")
+				continue
+			}
+			mark := ""
+			if c.Degraded {
+				mark = "*"
+			}
+			rowP = append(rowP, fmt.Sprintf("%.2f%s", c.P50Ms, mark))
+			rowT = append(rowT, fmt.Sprintf("%.0f%s", c.TablesPerSec, mark))
+			if !haveFirst {
+				firstP, firstT, haveFirst = c.P50Ms, c.TablesPerSec, true
+			}
+			lastP, lastT = c.P50Ms, c.TablesPerSec
+		}
+		rowP = append(rowP, deltaPct(firstP, lastP, haveFirst))
+		rowT = append(rowT, deltaPct(firstT, lastT, haveFirst))
+		p50.AddRow(rowP...)
+		tps.AddRow(rowT...)
+	}
+	fmt.Println(p50)
+	fmt.Println(tps)
+	fmt.Println("cells marked * were measured degraded (mixed serving regime); Δ compares first and last grids carrying the cell")
+	return nil
+}
+
+func deltaPct(first, last float64, have bool) string {
+	if !have || first == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", (last-first)/first*100)
+}
+
+func trimGridName(p string) string {
+	base := filepath.Base(p)
+	if len(base) > len("BENCH_")+len(".json") {
+		return base[len("BENCH_") : len(base)-len(".json")]
+	}
+	return base
+}
+
+// versionLess compares paths with `sort -V` semantics: digit runs
+// compare numerically, everything else byte-wise — so BENCH_PR10 sorts
+// after BENCH_PR9, not between PR1 and PR2.
+func versionLess(a, b string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ca, cb := a[i], b[j]
+		if isDigit(ca) && isDigit(cb) {
+			ia, na := scanNumber(a, i)
+			ib, nb := scanNumber(b, j)
+			if na != nb {
+				return na < nb
+			}
+			i, j = ia, ib
+			continue
+		}
+		if ca != cb {
+			return ca < cb
+		}
+		i++
+		j++
+	}
+	return len(a)-i < len(b)-j
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// scanNumber reads the digit run starting at i, returning the index
+// past it and its numeric value.
+func scanNumber(s string, i int) (int, uint64) {
+	start := i
+	for i < len(s) && isDigit(s[i]) {
+		i++
+	}
+	n, _ := strconv.ParseUint(s[start:i], 10, 64)
+	return i, n
+}

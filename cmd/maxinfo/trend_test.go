@@ -1,0 +1,66 @@
+package main
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestVersionLess(t *testing.T) {
+	paths := []string{
+		"BENCH_PR10.json", "BENCH_PR2.json", "BENCH_PR9.json", "BENCH_PR1.json",
+	}
+	sort.Slice(paths, func(i, j int) bool { return versionLess(paths[i], paths[j]) })
+	want := []string{"BENCH_PR1.json", "BENCH_PR2.json", "BENCH_PR9.json", "BENCH_PR10.json"}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v", paths, want)
+		}
+	}
+	cases := []struct {
+		a, b string
+		less bool
+	}{
+		{"PR9", "PR10", true},
+		{"PR10", "PR9", false},
+		{"PR2", "PR2", false},
+		{"a", "b", true},
+		{"PR2", "PR2b", true},  // shorter suffix first
+		{"PR02", "PR2", false}, // equal numeric runs fall through to length
+	}
+	for _, c := range cases {
+		if got := versionLess(c.a, c.b); got != c.less {
+			t.Errorf("versionLess(%q, %q) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestTrimGridName(t *testing.T) {
+	if got := trimGridName("/x/y/BENCH_PR8.json"); got != "PR8" {
+		t.Errorf("trimGridName = %q, want PR8", got)
+	}
+	if got := trimGridName("odd"); got != "odd" {
+		t.Errorf("short names pass through, got %q", got)
+	}
+}
+
+func TestDeltaPct(t *testing.T) {
+	if got := deltaPct(100, 80, true); got != "-20.0%" {
+		t.Errorf("deltaPct = %q", got)
+	}
+	if got := deltaPct(0, 5, true); got != "—" {
+		t.Errorf("zero-base delta = %q, want —", got)
+	}
+	if got := deltaPct(1, 2, false); got != "—" {
+		t.Errorf("missing cell delta = %q, want —", got)
+	}
+}
+
+// The trend report must load the repo's committed grids end to end.
+func TestTrendReportOnCommittedGrids(t *testing.T) {
+	if err := trendReport("../.."); err != nil {
+		t.Fatalf("trendReport over committed BENCH_PR*.json: %v", err)
+	}
+	if err := trendReport(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package capmodel
+
+import (
+	"fmt"
+	"math"
+
+	"maxelerator/internal/load"
+)
+
+// ToleranceBand states how far a prediction may drift from a live
+// measurement before validation fails. Latency checks pass when the
+// predicted percentile is within LatencyFactor× of the measured one
+// in either direction, OR within LatencySlackMs absolute — the slack
+// keeps sub-millisecond percentiles from failing on scheduler noise.
+type ToleranceBand struct {
+	LatencyFactor  float64 `json:"latency_factor"`
+	LatencySlackMs float64 `json:"latency_slack_ms"`
+	// HitRateAbs bounds the absolute pool hit-rate difference.
+	HitRateAbs float64 `json:"hit_rate_abs"`
+}
+
+// DefaultTolerance is the band the repo's own validation harness and
+// the CI smoke job assert: predicted p50/p99 within 3× (or 25 ms) of
+// measured, hit-rate within 0.35 absolute. Wide by design — the model
+// predicts a noisy software stack on shared CI hardware; the claim is
+// "right regime and right shape", not clock-level agreement. DESIGN.md
+// §15 records the actually-measured error, which sits well inside this.
+var DefaultTolerance = ToleranceBand{LatencyFactor: 3, LatencySlackMs: 25, HitRateAbs: 0.35}
+
+// Validate compares a live measurement with a prediction of the same
+// scenario and returns one violation string per breached bound; empty
+// means the prediction held.
+func Validate(measured *load.Report, predicted *Result, tol ToleranceBand) []string {
+	var out []string
+	if measured.Succeeded == 0 {
+		return []string{"measured run had no successful sessions — nothing to validate against"}
+	}
+	if predicted.Succeeded == 0 {
+		return []string{"prediction had no successful sessions"}
+	}
+	check := func(name string, m, p float64) {
+		if within(m, p, tol) {
+			return
+		}
+		out = append(out, fmt.Sprintf(
+			"%s: predicted %.2f ms vs measured %.2f ms (beyond %gx / %g ms slack)",
+			name, p, m, tol.LatencyFactor, tol.LatencySlackMs))
+	}
+	check("p50", measured.Latency.P50Ms, predicted.Latency.P50Ms)
+	check("p99", measured.Latency.P99Ms, predicted.Latency.P99Ms)
+	if measured.Pool != nil && predicted.Pool != nil {
+		if d := math.Abs(measured.Pool.HitRate - predicted.Pool.HitRate); d > tol.HitRateAbs {
+			out = append(out, fmt.Sprintf(
+				"pool hit-rate: predicted %.2f vs measured %.2f (|Δ|=%.2f beyond %.2f)",
+				predicted.Pool.HitRate, measured.Pool.HitRate, d, tol.HitRateAbs))
+		}
+	}
+	return out
+}
+
+// within applies the factor-or-slack latency rule.
+func within(m, p float64, tol ToleranceBand) bool {
+	if math.Abs(m-p) <= tol.LatencySlackMs {
+		return true
+	}
+	if m <= 0 || p <= 0 {
+		return false
+	}
+	ratio := p / m
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	return ratio <= tol.LatencyFactor
+}
+
+// Error summarizes prediction error for reporting: the worst latency
+// ratio across p50/p99 and the absolute hit-rate delta.
+func Error(measured *load.Report, predicted *Result) map[string]float64 {
+	out := map[string]float64{}
+	ratio := func(m, p float64) float64 {
+		if m <= 0 || p <= 0 {
+			return 0
+		}
+		r := p / m
+		if r < 1 {
+			r = 1 / r
+		}
+		return r
+	}
+	out["p50_ratio"] = ratio(measured.Latency.P50Ms, predicted.Latency.P50Ms)
+	out["p99_ratio"] = ratio(measured.Latency.P99Ms, predicted.Latency.P99Ms)
+	if measured.Pool != nil && predicted.Pool != nil {
+		out["hit_rate_abs_delta"] = math.Abs(measured.Pool.HitRate - predicted.Pool.HitRate)
+	}
+	return out
+}

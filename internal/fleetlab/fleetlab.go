@@ -1,0 +1,327 @@
+// Package fleetlab boots real in-process MAXelerator backends for the
+// capacity-model validation loop: a protocol server with a precompute
+// engine and maxd-style admission control behind a live TCP listener,
+// plus the /metrics + /histz observability surface. The load generator
+// (internal/load) drives it over real sockets; the capacity simulator
+// (internal/capmodel) is then calibrated from the very histograms the
+// run produced, so prediction and measurement share one ground truth.
+//
+// This is deliberately a lab harness, not a daemon: no signal handling,
+// no drain ceremony, no model files — just the serving hot path with
+// the same admission semantics as cmd/maxd (semaphore, bounded queue
+// wait, BUSY shed).
+package fleetlab
+
+import (
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"maxelerator/internal/maxsim"
+	"maxelerator/internal/obs"
+	"maxelerator/internal/precompute"
+	"maxelerator/internal/protocol"
+	"maxelerator/internal/wire"
+)
+
+// Config sizes one lab backend.
+type Config struct {
+	// Width is the operand bit-width (power of two ≥ 4).
+	Width int
+	// Rows, Cols shape the served model matrix.
+	Rows, Cols int
+	// Seed derives the model matrix deterministically.
+	Seed int64
+	// MaxSessions bounds concurrent sessions; 0 = unlimited.
+	MaxSessions int
+	// AdmissionWait bounds the queue wait behind MaxSessions before a
+	// BUSY shed; 0 with MaxSessions > 0 sheds immediately when full.
+	AdmissionWait time.Duration
+	// PoolSize enables the precompute engine when > 0: entries kept
+	// warm per shape.
+	PoolSize int
+	// MaxShapes bounds distinct pooled shapes (default 8).
+	MaxShapes int
+	// GarbleWorkers sizes the per-request row-garbling pool (default 1).
+	GarbleWorkers int
+	// Timeouts are the per-phase wire deadlines (default 10s/10s).
+	Timeouts protocol.Timeouts
+	// Metrics serves /metrics and /histz on a second listener when true.
+	Metrics bool
+}
+
+// Backend is one live lab backend.
+type Backend struct {
+	// Addr is the protocol TCP address to dial.
+	Addr string
+	// MetricsAddr is the observability HTTP address ("" without
+	// Config.Metrics).
+	MetricsAddr string
+
+	cfg    Config
+	o      *obs.Obs
+	srv    *protocol.Server
+	eng    *precompute.Engine
+	matrix [][]int64
+	ln     net.Listener
+	hsrv   *http.Server
+	sem    chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[wire.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Matrix returns the served model matrix (fixed-point words).
+func (b *Backend) Matrix() [][]int64 { return b.matrix }
+
+// Obs exposes the backend's observability root.
+func (b *Backend) Obs() *obs.Obs { return b.o }
+
+// Registry exposes the live metrics registry — the calibration source
+// for in-process validation runs.
+func (b *Backend) Registry() *obs.Registry { return b.o.Metrics() }
+
+// Shape returns the precompute shape of the served model under ot.
+func (b *Backend) Shape(ot string) precompute.Shape {
+	return precompute.Shape{
+		Rows: b.cfg.Rows, Cols: b.cfg.Cols, Width: b.cfg.Width,
+		Signed: true, Mode: "matvec", OT: ot,
+	}
+}
+
+// Prefill synchronously fills the model shape's pools to depth n in
+// both poolable OT modes, so a validation run starts against a warm
+// daemon instead of racing the background refill.
+func (b *Backend) Prefill(n int) error {
+	if b.eng == nil {
+		return nil
+	}
+	for _, ot := range []string{"per-round", "batched"} {
+		if err := b.eng.Prefill(b.Shape(ot), n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PoolStats returns cumulative precompute hits and misses (zeros
+// without an engine).
+func (b *Backend) PoolStats() (hits, misses uint64) {
+	if b.eng == nil {
+		return 0, 0
+	}
+	return b.eng.PoolStats()
+}
+
+// Start boots a backend on a loopback port.
+func Start(cfg Config) (*Backend, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 8
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 4
+	}
+	if cfg.Cols == 0 {
+		cfg.Cols = 4
+	}
+	if cfg.MaxShapes == 0 {
+		cfg.MaxShapes = 8
+	}
+	if cfg.GarbleWorkers == 0 {
+		cfg.GarbleWorkers = 1
+	}
+	if cfg.Timeouts == (protocol.Timeouts{}) {
+		cfg.Timeouts = protocol.Timeouts{Handshake: 10 * time.Second, IO: 10 * time.Second}
+	}
+	b := &Backend{cfg: cfg, o: obs.New(0), conns: map[wire.Conn]struct{}{}}
+
+	// Deterministic model: small signed words well inside the b-bit
+	// range, derived from the seed so every run serves the same matrix.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	limit := int64(1) << (cfg.Width - 2)
+	if limit > 64 {
+		limit = 64
+	}
+	b.matrix = make([][]int64, cfg.Rows)
+	for i := range b.matrix {
+		b.matrix[i] = make([]int64, cfg.Cols)
+		for j := range b.matrix[i] {
+			b.matrix[i][j] = rng.Int63n(2*limit+1) - limit
+		}
+	}
+
+	simCfg := maxsim.Config{Width: cfg.Width, AccWidth: 2 * cfg.Width, Signed: true}
+	srv, err := protocol.NewServer(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	srv.WithObs(b.o).WithTimeouts(cfg.Timeouts)
+	if cfg.PoolSize > 0 {
+		eng, err := precompute.New(precompute.Config{
+			Sim: simCfg, PoolSize: cfg.PoolSize, MaxShapes: cfg.MaxShapes,
+			Metrics: b.o.Metrics(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv.WithPrecompute(eng)
+		for _, ot := range []string{"per-round", "batched"} {
+			eng.Admit(b.Shape(ot))
+		}
+		eng.Start()
+		b.eng = eng
+	}
+	b.srv = srv
+	if cfg.MaxSessions > 0 {
+		b.sem = make(chan struct{}, cfg.MaxSessions)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if b.eng != nil {
+			b.eng.Stop()
+		}
+		return nil, err
+	}
+	b.ln, b.Addr = ln, ln.Addr().String()
+
+	if cfg.Metrics {
+		mln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ln.Close()
+			if b.eng != nil {
+				b.eng.Stop()
+			}
+			return nil, err
+		}
+		b.MetricsAddr = mln.Addr().String()
+		b.hsrv = &http.Server{Handler: b.o.Handler()}
+		go b.hsrv.Serve(mln)
+	}
+
+	go b.acceptLoop(ln)
+	return b, nil
+}
+
+func (b *Backend) acceptLoop(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go b.handle(nc)
+	}
+}
+
+// handle runs maxd's admission + multiplexed session loop for one
+// connection: acquire a session slot (bounded queue, BUSY shed), then
+// serve requests over one OT setup until the client ends the session.
+func (b *Backend) handle(nc net.Conn) {
+	defer b.wg.Done()
+	conn := wire.NewStreamConn(nc)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.conns[conn] = struct{}{}
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.conns, conn)
+		b.mu.Unlock()
+		conn.Close()
+	}()
+
+	if admitted, busy := b.acquire(); busy {
+		b.o.Metrics().Counter("busy_rejects_total",
+			"connections shed with a BUSY frame after the admission-wait queue deadline").Inc()
+		nc.SetDeadline(time.Now().Add(2 * time.Second))
+		protocol.SendBusy(conn, b.cfg.AdmissionWait)
+		return
+	} else if !admitted {
+		return
+	}
+	defer b.release()
+
+	sess, err := b.srv.NewSession(conn, protocol.SessionConfig{GarbleWorkers: b.cfg.GarbleWorkers})
+	if err != nil {
+		return
+	}
+	defer sess.Close()
+	for {
+		// ErrSessionEnded is the clean end marker; any other error tears
+		// the connection down the same way — the lab has no peer to blame.
+		if _, err := sess.Serve(protocol.Request{Matrix: b.matrix}); err != nil {
+			return
+		}
+	}
+}
+
+// acquire implements the maxd admission semantics: immediate slot if
+// free, else a bounded queue wait visible on sessions_waiting, then a
+// BUSY shed.
+func (b *Backend) acquire() (admitted, busy bool) {
+	if b.sem == nil {
+		return true, false
+	}
+	select {
+	case b.sem <- struct{}{}:
+		return true, false
+	default:
+	}
+	if b.cfg.AdmissionWait <= 0 {
+		return false, true
+	}
+	waiting := b.o.Metrics().Gauge("sessions_waiting", "connections queued behind the session limit")
+	waiting.Add(1)
+	defer waiting.Add(-1)
+	t := time.NewTimer(b.cfg.AdmissionWait)
+	defer t.Stop()
+	select {
+	case b.sem <- struct{}{}:
+		return true, false
+	case <-t.C:
+		return false, true
+	}
+}
+
+func (b *Backend) release() {
+	if b.sem != nil {
+		<-b.sem
+	}
+}
+
+// Stop tears the backend down: listener closed, live connections cut,
+// session goroutines drained (bounded by the wire timeouts), engine
+// stopped. Idempotent.
+func (b *Backend) Stop() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	conns := make([]wire.Conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	b.ln.Close()
+	if b.hsrv != nil {
+		b.hsrv.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	b.wg.Wait()
+	if b.eng != nil {
+		b.eng.Stop()
+	}
+}

@@ -1,0 +1,110 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Edge coverage for the resource and PCIe models at the points the
+// capacity-model calibrator's analytic fallback (internal/capmodel)
+// relies on: bit-width interpolation outside the published {8, 16, 32}
+// calibration set — including extrapolation past both ends — and PCIe
+// drain saturation.
+
+// TestMACUnitResourcesEdgeWidths walks the bit-width axis from below
+// the calibrated range (b=2, where naive extrapolation would drive
+// LUTRAM to zero) to far above it (b=128), table-driven, asserting
+// every resource stays positive and monotone nondecreasing in b —
+// Table 1's linearity claim, which the interpolator must not break
+// between or beyond the published widths.
+func TestMACUnitResourcesEdgeWidths(t *testing.T) {
+	widths := []int{2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40, 48, 64, 128}
+	var prev Resources
+	for i, b := range widths {
+		r, err := MACUnitResources(b)
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		if r.LUT < 1 || r.LUTRAM < 1 || r.FlipFlop < 1 {
+			t.Fatalf("b=%d: non-positive resource %+v (extrapolation floor broken)", b, r)
+		}
+		if i > 0 {
+			if r.LUT < prev.LUT || r.LUTRAM < prev.LUTRAM || r.FlipFlop < prev.FlipFlop {
+				t.Fatalf("b=%d: resources %+v below b=%d's %+v (not monotone)", b, r, widths[i-1], prev)
+			}
+		}
+		prev = r
+	}
+	// The low-end extrapolation floor must actually engage: at b=2 the
+	// raw lerp of the 8→16 LUTRAM segment goes negative.
+	r2, err := MACUnitResources(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.LUTRAM != 1 {
+		t.Errorf("b=2 LUTRAM = %d, want the 1-unit floor", r2.LUTRAM)
+	}
+}
+
+// TestPCIeTransferTimeEdges: zero and negative volumes are free, and
+// transfer time is strictly monotone in volume past that.
+func TestPCIeTransferTimeEdges(t *testing.T) {
+	l := DefaultPCIe
+	if got := l.TransferTime(-100); got != 0 {
+		t.Errorf("TransferTime(-100) = %v, want 0", got)
+	}
+	var prev time.Duration
+	for _, n := range []int{1, 64, 4096, 1 << 20, 1 << 28} {
+		got := l.TransferTime(n)
+		if got <= prev {
+			t.Fatalf("TransferTime(%d) = %v not above previous %v", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestPCIeDrainSaturation: Utilization must cross 1.0 exactly at the
+// link's sustained bandwidth and agree with SustainsThroughput on both
+// sides — the capacity model's transfer-bound regime detector.
+func TestPCIeDrainSaturation(t *testing.T) {
+	l := PCIeLink{BandwidthMBps: 800, LatencyPerTransfer: 10 * time.Microsecond}
+	cap := 800.0 * 1024 * 1024
+	cases := []struct {
+		name     string
+		rate     float64
+		wantU    float64
+		sustains bool
+	}{
+		{"idle", 0, 0, true},
+		{"negative clamps to idle", -5, 0, true},
+		{"half load", cap / 2, 0.5, true},
+		{"exactly saturated", cap, 1.0, true},
+		{"past saturation", 2 * cap, 2.0, false},
+	}
+	for _, tc := range cases {
+		if got := l.Utilization(tc.rate); math.Abs(got-tc.wantU) > 1e-12 {
+			t.Errorf("%s: Utilization(%g) = %g, want %g", tc.name, tc.rate, got, tc.wantU)
+		}
+		if got := l.SustainsThroughput(tc.rate); got != tc.sustains {
+			t.Errorf("%s: SustainsThroughput(%g) = %v, want %v", tc.name, tc.rate, got, tc.sustains)
+		}
+	}
+	// Monotone in offered rate.
+	var prev float64 = -1
+	for _, r := range []float64{0, cap / 4, cap / 2, cap, 4 * cap} {
+		u := l.Utilization(r)
+		if u < prev {
+			t.Fatalf("Utilization(%g) = %g below previous %g", r, u, prev)
+		}
+		prev = u
+	}
+	// A zero-bandwidth link cannot drain anything.
+	dead := PCIeLink{BandwidthMBps: 0}
+	if !math.IsInf(dead.Utilization(1), 1) {
+		t.Error("zero-bandwidth link should report +Inf utilization under load")
+	}
+	if dead.Utilization(0) != 0 {
+		t.Error("zero-bandwidth link at zero load should report 0")
+	}
+}

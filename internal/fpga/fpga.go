@@ -173,3 +173,20 @@ func (l PCIeLink) TransferTime(n int) time.Duration {
 func (l PCIeLink) SustainsThroughput(bytesPerSecond float64) bool {
 	return bytesPerSecond <= l.BandwidthMBps*1024*1024
 }
+
+// Utilization is the capacity-model cost hook behind that caveat as a
+// number: the fraction of the link's sustained bandwidth bytesPerSecond
+// consumes. Values above 1 mean the offered table traffic exceeds what
+// the link can drain — the queueing regime where transfer, not
+// garbling, sets the fleet's throughput ceiling. Zero-bandwidth links
+// report +Inf for any positive load.
+func (l PCIeLink) Utilization(bytesPerSecond float64) float64 {
+	if bytesPerSecond <= 0 {
+		return 0
+	}
+	cap := l.BandwidthMBps * 1024 * 1024
+	if cap <= 0 {
+		return math.Inf(1)
+	}
+	return bytesPerSecond / cap
+}

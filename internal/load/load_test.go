@@ -1,0 +1,189 @@
+package load
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func mix() []ShapeWeight {
+	return []ShapeWeight{
+		{Rows: 4, Cols: 4, Width: 8, Weight: 3},
+		{Rows: 2, Cols: 8, Width: 8, Weight: 1},
+	}
+}
+
+func TestArrivalTimesDeterministic(t *testing.T) {
+	sc := Scenario{Rate: 50, Process: Poisson, DurationSec: 5, Seed: 42, Shapes: mix()}
+	a, err := ArrivalTimes(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ArrivalTimes(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	sc.Seed = 43
+	c, err := ArrivalTimes(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestArrivalTimesRateAndOrdering(t *testing.T) {
+	for _, proc := range []string{Poisson, Uniform, Burst} {
+		sc := Scenario{Rate: 100, Process: proc, DurationSec: 10, Seed: 7, Shapes: mix()}
+		arr, err := ArrivalTimes(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Offered count tracks rate·duration. Poisson fluctuates; 30%
+		// slack at n=1000 is > 9 standard deviations.
+		want := sc.Rate * sc.DurationSec
+		if got := float64(len(arr)); got < want*0.7 || got > want*1.3 {
+			t.Errorf("%s: %v arrivals, want ≈%v", proc, got, want)
+		}
+		prev := 0.0
+		for i, a := range arr {
+			if a.At < prev {
+				t.Fatalf("%s: arrival %d at %v before %v (not sorted)", proc, i, a.At, prev)
+			}
+			if a.At >= sc.DurationSec {
+				t.Fatalf("%s: arrival %d at %v past the %vs window", proc, i, a.At, sc.DurationSec)
+			}
+			prev = a.At
+		}
+	}
+}
+
+// The shape stream is seeded independently of the gap stream, so the
+// two processes draw the same shape sequence at the same seed.
+func TestShapeSequenceSharedAcrossProcesses(t *testing.T) {
+	base := Scenario{Rate: 40, Process: Poisson, DurationSec: 5, Seed: 9, Shapes: mix()}
+	p, err := ArrivalTimes(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Process = Uniform
+	u, err := ArrivalTimes(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(p)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if p[i].Shape != u[i].Shape {
+			t.Fatalf("shape draw %d differs across processes: %v vs %v", i, p[i].Shape, u[i].Shape)
+		}
+	}
+}
+
+func TestArrivalTimesShapeMixWeights(t *testing.T) {
+	sc := Scenario{Rate: 200, Process: Uniform, DurationSec: 20, Seed: 3, Shapes: mix()}
+	arr, err := ArrivalTimes(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := 0
+	for _, a := range arr {
+		if a.Shape.Rows == 4 {
+			heavy++
+		}
+	}
+	frac := float64(heavy) / float64(len(arr))
+	if math.Abs(frac-0.75) > 0.05 {
+		t.Errorf("weight-3 shape drew %.3f of arrivals, want ≈0.75", frac)
+	}
+}
+
+func TestBurstClumping(t *testing.T) {
+	sc := Scenario{Rate: 80, Process: Burst, BurstSize: 8, DurationSec: 2, Seed: 1, Shapes: mix()}
+	arr, err := ArrivalTimes(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr)%8 != 0 {
+		t.Fatalf("%d arrivals, want a multiple of the burst size 8", len(arr))
+	}
+	for i := 0; i < len(arr); i += 8 {
+		for k := 1; k < 8; k++ {
+			if arr[i+k].At != arr[i].At {
+				t.Fatalf("burst at index %d not clumped: %v vs %v", i, arr[i+k].At, arr[i].At)
+			}
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	good := Scenario{Rate: 1, Process: Poisson, DurationSec: 1, Shapes: mix()}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"zero rate", func(s *Scenario) { s.Rate = 0 }},
+		{"zero duration", func(s *Scenario) { s.DurationSec = 0 }},
+		{"unknown process", func(s *Scenario) { s.Process = "fractal" }},
+		{"no shapes", func(s *Scenario) { s.Shapes = nil }},
+		{"zero weights", func(s *Scenario) { s.Shapes = []ShapeWeight{{Rows: 1, Cols: 1, Width: 8, Weight: 0}} }},
+		{"bad shape", func(s *Scenario) { s.Shapes = []ShapeWeight{{Rows: 0, Cols: 1, Width: 8, Weight: 1}} }},
+	}
+	for _, tc := range cases {
+		s := good
+		s.Shapes = mix()
+		tc.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSummarizeNearestRank(t *testing.T) {
+	// 100 samples 1ms..100ms: the nearest-rank p50 is exactly the 50th.
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = float64(i+1) / 1000
+	}
+	p := Summarize(s)
+	if p.P50Ms != 50 || p.P99Ms != 99 || p.MaxMs != 100 || p.Samples != 100 {
+		t.Errorf("percentiles = %+v", p)
+	}
+	if math.Abs(p.MeanMs-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", p.MeanMs)
+	}
+	if got := Summarize(nil); got != (Percentiles{}) {
+		t.Errorf("empty input = %+v, want zero value", got)
+	}
+	one := Summarize([]float64{0.007})
+	if one.P50Ms != 7 || one.P99Ms != 7 {
+		t.Errorf("single sample = %+v", one)
+	}
+}
+
+func TestReportFinalize(t *testing.T) {
+	r := &Report{
+		Scenario:  Scenario{Rate: 10, DurationSec: 4},
+		Offered:   40,
+		Succeeded: 30,
+	}
+	r.Finalize([]float64{0.01, 0.02, 0.03})
+	if r.OfferedRate != 10 {
+		t.Errorf("offered rate = %v, want 10", r.OfferedRate)
+	}
+	if r.AchievedRate != 7.5 {
+		t.Errorf("achieved rate = %v, want 7.5", r.AchievedRate)
+	}
+	if r.Latency.Samples != 3 {
+		t.Errorf("latency samples = %d, want 3", r.Latency.Samples)
+	}
+}

@@ -1,0 +1,48 @@
+package load
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"maxelerator/internal/obs"
+)
+
+// FetchSnapshot pulls the machine-readable metrics snapshot from a
+// live daemon's /histz endpoint. base is the observability base URL
+// ("http://host:port"); a trailing slash or an explicit /histz path
+// are both accepted.
+func FetchSnapshot(base string) (*obs.Snapshot, error) {
+	url := strings.TrimSuffix(base, "/")
+	if !strings.HasSuffix(url, "/histz") {
+		url += "/histz"
+	}
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("load: scraping %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: scraping %s: status %s", url, resp.Status)
+	}
+	snap, err := obs.DecodeSnapshot(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("load: decoding %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// PoolFromSnapshot reads the cumulative precompute pool counters out
+// of a snapshot. A target without a precompute engine reports zeros,
+// which NewPoolStats renders as a zero hit-rate.
+func PoolFromSnapshot(snap *obs.Snapshot) *PoolStats {
+	if snap == nil {
+		return nil
+	}
+	return NewPoolStats(
+		snap.CounterSum("precompute_hits_total", nil),
+		snap.CounterSum("precompute_misses_total", nil),
+	)
+}

@@ -114,6 +114,9 @@ func (o *Obs) healthStatus() string {
 // Handler returns the daemon's debug surface:
 //
 //	GET /metrics         Prometheus text exposition of every metric
+//	GET /histz           machine-readable JSON snapshot: exact histogram
+//	                     bucket bounds and counts plus counter/gauge
+//	                     values (the capacity-model calibration feed)
 //	GET /debug/sessions  recent session traces as JSON (?n=K limits)
 //	GET /healthz         health probe: ok | degraded | overloaded
 //	                     (overloaded answers 503; see SetHealth)
@@ -123,6 +126,11 @@ func (o *Obs) Handler() http.Handler {
 		o.scraped()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/histz", func(w http.ResponseWriter, r *http.Request) {
+		o.scraped()
+		w.Header().Set("Content-Type", "application/json")
+		o.Metrics().SnapshotJSON(w)
 	})
 	mux.HandleFunc("/debug/sessions", func(w http.ResponseWriter, r *http.Request) {
 		n := 0

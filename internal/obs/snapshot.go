@@ -1,0 +1,260 @@
+package obs
+
+// Machine-readable registry snapshots. The Prometheus text exposition
+// (/metrics) is for scrapers; this JSON form is for programs inside the
+// repo — above all the capacity-model calibrator (internal/capmodel),
+// which turns live histogram buckets into simulator service-time
+// distributions and must not re-parse exposition text to do it.
+// Histograms are exported with their exact bucket bounds and exact
+// per-bucket counts, so a snapshot round-trips losslessly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// HistogramSnapshot is one histogram child frozen at snapshot time.
+// Counts are per-bucket (non-cumulative): Counts[i] is the samples that
+// landed in (Bounds[i-1], Bounds[i]], and the final element — one past
+// the last bound — is the implicit +Inf bucket.
+type HistogramSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Bounds are the finite bucket upper bounds, ascending.
+	Bounds []float64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the +Inf bucket.
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    float64  `json:"sum"`
+}
+
+// CumulativeCounts renders the buckets in Prometheus `le` style:
+// entry i is the samples at or below Bounds[i], the final entry the
+// total. This is the shape BucketQuantile consumes.
+func (h HistogramSnapshot) CumulativeCounts() []uint64 {
+	out := make([]uint64, len(h.Counts))
+	var run uint64
+	for i, c := range h.Counts {
+		run += c
+		out[i] = run
+	}
+	return out
+}
+
+// CounterSnapshot is one counter child frozen at snapshot time.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  uint64            `json:"value"`
+}
+
+// GaugeSnapshot is one gauge child frozen at snapshot time.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// Snapshot is a point-in-time machine-readable dump of a registry.
+type Snapshot struct {
+	Histograms []HistogramSnapshot `json:"histograms"`
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+}
+
+// Histogram returns the snapshot of the named histogram whose labels
+// are a superset match of want (nil want matches any), merged across
+// every matching child: bucket counts are summed bound-by-bound. The
+// bool is false when no child matched. Merging requires every matching
+// child to share one bound set — true by construction, since a family's
+// bounds are fixed by its first registration.
+func (s *Snapshot) Histogram(name string, want map[string]string) (HistogramSnapshot, bool) {
+	var out HistogramSnapshot
+	found := false
+	for _, h := range s.Histograms {
+		if h.Name != name || !labelsMatch(h.Labels, want) {
+			continue
+		}
+		if !found {
+			out = HistogramSnapshot{Name: name, Labels: want}
+			out.Bounds = append([]float64(nil), h.Bounds...)
+			out.Counts = make([]uint64, len(h.Counts))
+			found = true
+		}
+		if len(h.Counts) != len(out.Counts) {
+			continue // different bound set: cannot merge, skip
+		}
+		for i, c := range h.Counts {
+			out.Counts[i] += c
+		}
+		out.Count += h.Count
+		out.Sum += h.Sum
+	}
+	return out, found
+}
+
+// CounterSum sums every counter child of name whose labels are a
+// superset match of want (nil want matches all children).
+func (s *Snapshot) CounterSum(name string, want map[string]string) uint64 {
+	var sum uint64
+	for _, c := range s.Counters {
+		if c.Name == name && labelsMatch(c.Labels, want) {
+			sum += c.Value
+		}
+	}
+	return sum
+}
+
+// labelsMatch reports whether have contains every key=value of want.
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mean is Sum/Count, 0 on an empty histogram.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-th quantile of the snapshotted distribution
+// (see BucketQuantileOK for the honesty bit semantics).
+func (h HistogramSnapshot) Quantile(q float64) (float64, bool) {
+	uppers := append(append([]float64(nil), h.Bounds...), math.Inf(1))
+	return BucketQuantileOK(uppers, h.CumulativeCounts(), q)
+}
+
+// Snapshot freezes every metric family into the machine-readable form,
+// sorted by name then label signature (deterministic output). Bucket
+// counts are read per-bucket atomically; a histogram observed mid-
+// snapshot may show the new sample in its buckets but not yet in Sum
+// (or vice versa) — snapshot a quiescent registry when exactness
+// matters, e.g. after a measurement pass completes.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Histograms: []HistogramSnapshot{},
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type labelled struct {
+		labels []Label
+		ch     *child
+	}
+	fams := make(map[string][]labelled, len(names))
+	kinds := make(map[string]metricKind, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		kinds[name] = f.kind
+		for _, sig := range f.order {
+			ch := f.children[sig]
+			fams[name] = append(fams[name], labelled{labels: ch.labels, ch: ch})
+		}
+	}
+	r.mu.Unlock()
+
+	for _, name := range names {
+		for _, lc := range fams[name] {
+			labels := labelMap(lc.labels)
+			switch kinds[name] {
+			case kindCounter:
+				snap.Counters = append(snap.Counters, CounterSnapshot{
+					Name: name, Labels: labels, Value: lc.ch.c.Value(),
+				})
+			case kindGauge:
+				snap.Gauges = append(snap.Gauges, GaugeSnapshot{
+					Name: name, Labels: labels, Value: lc.ch.g.Value(),
+				})
+			case kindHistogram:
+				h := lc.ch.h
+				hs := HistogramSnapshot{
+					Name:   name,
+					Labels: labels,
+					Bounds: append([]float64(nil), h.bounds...),
+					Counts: make([]uint64, len(h.bounds)+1),
+					Count:  h.Count(),
+					Sum:    h.Sum(),
+				}
+				var finite uint64
+				for i := range h.bounds {
+					c := h.buckets[i].Load()
+					hs.Counts[i] = c
+					finite += c
+				}
+				// The +Inf bucket is implicit in the live histogram;
+				// reconstruct it from the total. Clamp against a torn
+				// concurrent observe (count incremented before its bucket).
+				if hs.Count > finite {
+					hs.Counts[len(hs.Counts)-1] = hs.Count - finite
+				}
+				snap.Histograms = append(snap.Histograms, hs)
+			}
+		}
+	}
+	return snap
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// SnapshotJSON writes the machine-readable snapshot as indented JSON —
+// the /histz payload.
+func (r *Registry) SnapshotJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// DecodeSnapshot reads a snapshot written by SnapshotJSON, validating
+// the histogram shape invariants (counts length, count consistency).
+func DecodeSnapshot(rd io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(rd).Decode(&s); err != nil {
+		return nil, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	for _, h := range s.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return nil, fmt.Errorf("obs: snapshot histogram %q has %d counts for %d bounds (want bounds+1)",
+				h.Name, len(h.Counts), len(h.Bounds))
+		}
+		var sum uint64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != h.Count {
+			return nil, fmt.Errorf("obs: snapshot histogram %q bucket counts sum to %d, count says %d",
+				h.Name, sum, h.Count)
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] <= h.Bounds[i-1] {
+				return nil, fmt.Errorf("obs: snapshot histogram %q bounds not ascending at %d", h.Name, i)
+			}
+		}
+	}
+	return &s, nil
+}

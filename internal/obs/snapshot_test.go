@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotRoundTrip is the satellite contract: a histogram's exact
+// bucket bounds and per-bucket counts survive SnapshotJSON →
+// DecodeSnapshot bit-for-bit.
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("svc_seconds", "svc", []float64{0.001, 0.01, 0.1, 1}, L("phase", "garble"))
+	for _, v := range []float64{0.0005, 0.0005, 0.004, 0.05, 0.05, 0.05, 0.5, 3} {
+		h.Observe(v)
+	}
+	r.Counter("hits_total", "hits", L("shape", "4x4")).Add(7)
+	r.Gauge("depth", "depth").Set(-3)
+
+	var buf bytes.Buffer
+	if err := r.SnapshotJSON(&buf); err != nil {
+		t.Fatalf("SnapshotJSON: %v", err)
+	}
+	got, err := DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	want := r.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	hs := got.Histograms[0]
+	if !reflect.DeepEqual(hs.Bounds, []float64{0.001, 0.01, 0.1, 1}) {
+		t.Fatalf("bounds changed: %v", hs.Bounds)
+	}
+	// 2 at ≤0.001, 1 at ≤0.01, 3 at ≤0.1, 1 at ≤1, 1 in +Inf.
+	if !reflect.DeepEqual(hs.Counts, []uint64{2, 1, 3, 1, 1}) {
+		t.Fatalf("counts: %v", hs.Counts)
+	}
+	if hs.Count != 8 {
+		t.Fatalf("count: %d", hs.Count)
+	}
+	if hs.Labels["phase"] != "garble" {
+		t.Fatalf("labels: %v", hs.Labels)
+	}
+	if math.Abs(hs.Sum-(0.001+0.004+0.15+0.5+3)) > 1e-12 {
+		t.Fatalf("sum: %g", hs.Sum)
+	}
+	if got.CounterSum("hits_total", nil) != 7 {
+		t.Fatalf("counter sum: %d", got.CounterSum("hits_total", nil))
+	}
+	if got.Gauges[0].Value != -3 {
+		t.Fatalf("gauge: %d", got.Gauges[0].Value)
+	}
+}
+
+func TestSnapshotCumulativeAndQuantile(t *testing.T) {
+	hs := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{2, 2, 0, 0},
+		Count:  4,
+	}
+	if got := hs.CumulativeCounts(); !reflect.DeepEqual(got, []uint64{2, 4, 4, 4}) {
+		t.Fatalf("cumulative: %v", got)
+	}
+	q, ok := hs.Quantile(0.5)
+	if !ok || q != 1 {
+		t.Fatalf("q50 = %g ok=%v, want 1 true", q, ok)
+	}
+	if _, ok := (HistogramSnapshot{}).Quantile(0.5); ok {
+		t.Fatal("empty histogram quantile should report not-ok")
+	}
+}
+
+// TestSnapshotHistogramMerge: label-filtered lookup merges children
+// bound-by-bound.
+func TestSnapshotHistogramMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "", []float64{1, 2}, L("kind", "a")).Observe(0.5)
+	r.Histogram("lat_seconds", "", []float64{1, 2}, L("kind", "b")).Observe(1.5)
+	snap := r.Snapshot()
+
+	all, ok := snap.Histogram("lat_seconds", nil)
+	if !ok || all.Count != 2 || !reflect.DeepEqual(all.Counts, []uint64{1, 1, 0}) {
+		t.Fatalf("merged: ok=%v %+v", ok, all)
+	}
+	onlyA, ok := snap.Histogram("lat_seconds", map[string]string{"kind": "a"})
+	if !ok || onlyA.Count != 1 || onlyA.Counts[0] != 1 {
+		t.Fatalf("filtered: ok=%v %+v", ok, onlyA)
+	}
+	if _, ok := snap.Histogram("lat_seconds", map[string]string{"kind": "c"}); ok {
+		t.Fatal("no child should match kind=c")
+	}
+	if _, ok := snap.Histogram("absent", nil); ok {
+		t.Fatal("absent histogram should report not-ok")
+	}
+}
+
+func TestDecodeSnapshotRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"counts length":        `{"histograms":[{"name":"h","bounds":[1,2],"counts":[1,2],"count":3}]}`,
+		"count mismatch":       `{"histograms":[{"name":"h","bounds":[1],"counts":[1,1],"count":3}]}`,
+		"bounds not ascending": `{"histograms":[{"name":"h","bounds":[2,1],"counts":[1,1,1],"count":3}]}`,
+		"not json":             `{`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeSnapshot(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decode accepted malformed snapshot", name)
+		}
+	}
+}
+
+// TestHistzEndpoint: the /histz surface serves a decodable snapshot.
+func TestHistzEndpoint(t *testing.T) {
+	o := New(0)
+	o.Metrics().Histogram("x_seconds", "", []float64{1}).Observe(0.5)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/histz")
+	if err != nil {
+		t.Fatalf("GET /histz: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	snap, err := DecodeSnapshot(resp.Body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	hs, ok := snap.Histogram("x_seconds", nil)
+	if !ok || hs.Count != 1 || hs.Counts[0] != 1 {
+		t.Fatalf("snapshot content: ok=%v %+v", ok, hs)
+	}
+}
+
+// TestNilRegistrySnapshot: nil-safety contract of the package.
+func TestNilRegistrySnapshot(t *testing.T) {
+	var r *Registry
+	snap := r.Snapshot()
+	if snap == nil || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.SnapshotJSON(&buf); err != nil {
+		t.Fatalf("nil SnapshotJSON: %v", err)
+	}
+}

@@ -627,3 +627,12 @@ func (ss *session) observeOTSetup(d time.Duration) {
 	ss.reg.Histogram("ot_setup_seconds", "base-OT plus IKNP extension setup time", nil).
 		Observe(d.Seconds())
 }
+
+// observeRequest times one completed matvec request end to end (header
+// through decode), labelled by its precompute outcome ("hit", "miss",
+// "off") — the per-request service-time distribution the capacity-model
+// calibrator (internal/capmodel) samples simulated work from.
+func (ss *session) observeRequest(precompute string, d time.Duration) {
+	ss.reg.Histogram("request_seconds", "completed matvec request duration (header through decode)",
+		nil, obs.L("precompute", precompute)).Observe(d.Seconds())
+}

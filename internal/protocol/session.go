@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"maxelerator/internal/circuit"
 	"maxelerator/internal/maxsim"
@@ -277,6 +278,7 @@ func (sess *ServerSession) serveRows(ctx context.Context, req Request) (*Respons
 	A := req.Matrix
 	cols := len(A[0])
 	ss := sess.ss
+	reqStart := time.Now()
 	sess.tc.enterPhase(phaseRounds, sess.to.IO)
 	ss.tr.SetAttr("rows", fmt.Sprint(len(A)))
 	ss.tr.SetAttr("cols", fmt.Sprint(cols))
@@ -296,6 +298,7 @@ func (sess *ServerSession) serveRows(ctx context.Context, req Request) (*Respons
 	// identical either way, so the evaluator cannot tell (and need not
 	// care) which path served it.
 	var pre []*maxsim.DotProductRun
+	pcOutcome := "off"
 	if eng := sess.srv.pre; eng != nil {
 		if ent := eng.Take(sess.srv.shapeOf(req)); ent != nil {
 			bound, err := ent.Bind(A)
@@ -303,8 +306,10 @@ func (sess *ServerSession) serveRows(ctx context.Context, req Request) (*Respons
 				return nil, err
 			}
 			pre = bound
+			pcOutcome = "hit"
 			ss.tr.SetAttr("precompute", "hit")
 		} else {
+			pcOutcome = "miss"
 			ss.tr.SetAttr("precompute", "miss")
 		}
 	}
@@ -328,6 +333,10 @@ func (sess *ServerSession) serveRows(ctx context.Context, req Request) (*Respons
 	if err != nil {
 		return nil, err
 	}
+	// Completed requests only: the calibrator (internal/capmodel) turns
+	// this distribution into simulator service times, and an aborted
+	// request's partial duration would poison it.
+	ss.observeRequest(pcOutcome, time.Since(reqStart))
 	return &Response{Values: vals, Stats: agg}, nil
 }
 

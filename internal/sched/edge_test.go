@@ -1,0 +1,92 @@
+package sched
+
+import "testing"
+
+// Edge coverage for the cost hooks the capacity-model calibrator's
+// analytic fallback (internal/capmodel) leans on: degenerate shapes
+// must cost zero, and every cost must be monotone in the workload —
+// a simulator sampling a non-monotone cost model would rank fleet
+// configurations nonsensically.
+
+func TestShapeCyclesDegenerateShapes(t *testing.T) {
+	s := MustBuild(16)
+	cases := []struct {
+		name       string
+		rows, cols int
+	}{
+		{"zero rows", 0, 8},
+		{"zero cols", 8, 0},
+		{"both zero", 0, 0},
+		{"negative rows", -1, 8},
+		{"negative cols", 8, -3},
+	}
+	for _, tc := range cases {
+		if got := s.ShapeCycles(tc.rows, tc.cols); got != 0 {
+			t.Errorf("%s: ShapeCycles(%d,%d) = %d, want 0", tc.name, tc.rows, tc.cols, got)
+		}
+		if got := s.ShapeTables(tc.rows, tc.cols); got != 0 {
+			t.Errorf("%s: ShapeTables(%d,%d) = %d, want 0", tc.name, tc.rows, tc.cols, got)
+		}
+	}
+}
+
+func TestShapeCyclesMonotone(t *testing.T) {
+	for _, b := range []int{4, 8, 16, 32, 64} {
+		s := MustBuild(b)
+		// Monotone in rows at fixed cols, and in cols at fixed rows.
+		var prev uint64
+		for rows := 1; rows <= 64; rows *= 2 {
+			got := s.ShapeCycles(rows, 8)
+			if got <= prev {
+				t.Fatalf("b=%d: ShapeCycles(%d,8)=%d not above ShapeCycles(%d,8)=%d", b, rows, got, rows/2, prev)
+			}
+			prev = got
+		}
+		prev = 0
+		for cols := 1; cols <= 64; cols *= 2 {
+			got := s.ShapeCycles(8, cols)
+			if got <= prev {
+				t.Fatalf("b=%d: ShapeCycles(8,%d)=%d not monotone", b, cols, got)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestShapeCyclesConsistency pins the hook to the published §4.3
+// arithmetic: one MAC is the pipeline fill, each further MAC one
+// steady-state period, and tables scale exactly with MAC count.
+func TestShapeCyclesConsistency(t *testing.T) {
+	for _, b := range []int{8, 16, 32} {
+		s := MustBuild(b)
+		if got, want := s.ShapeCycles(1, 1), uint64(s.LatencyCycles()); got != want {
+			t.Errorf("b=%d: single-MAC shape = %d cycles, want fill latency %d", b, got, want)
+		}
+		macs := 4 * 7
+		want := uint64(s.LatencyCycles()) + uint64(macs-1)*uint64(s.CyclesPerMAC())
+		if got := s.ShapeCycles(4, 7); got != want {
+			t.Errorf("b=%d: ShapeCycles(4,7) = %d, want %d", b, got, want)
+		}
+		if got, want := s.ShapeTables(4, 7), uint64(s.TablesPerMAC())*28; got != want {
+			t.Errorf("b=%d: ShapeTables(4,7) = %d, want %d", b, got, want)
+		}
+	}
+}
+
+// TestShapeCyclesMonotoneInWidth: a wider datapath garbles more tables
+// per MAC and takes more cycles per request — the bit-width axis of the
+// capacity table must preserve that ordering.
+func TestShapeCyclesMonotoneInWidth(t *testing.T) {
+	var prevCycles, prevTables uint64
+	for _, b := range []int{4, 8, 16, 32, 64} {
+		s := MustBuild(b)
+		c, tb := s.ShapeCycles(4, 4), s.ShapeTables(4, 4)
+		if c <= prevCycles {
+			t.Fatalf("b=%d: cycles %d not above previous width's %d", b, c, prevCycles)
+		}
+		if tb <= prevTables {
+			t.Fatalf("b=%d: tables %d not above previous width's %d", b, tb, prevTables)
+		}
+		prevCycles, prevTables = c, tb
+	}
+}

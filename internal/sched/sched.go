@@ -264,3 +264,26 @@ func (s *Schedule) TotalCycles(n int) uint64 {
 // k·(b/2) fresh random bits per clock cycle (one fresh label per
 // segment-1 core when a new x word loads).
 func (s *Schedule) WorstCaseRNGBitsPerCycle(k int) int { return k * s.Width / 2 }
+
+// ShapeCycles is the capacity-model cost hook: clock cycles to garble
+// one rows×cols matvec request on a single MAC unit — rows independent
+// MAC chains of cols MACs each, run back to back through the pipeline
+// (one fill, then rows·cols−1 steady-state periods). Degenerate shapes
+// (zero or negative rows or cols) cost nothing: an empty request
+// garbles no tables.
+func (s *Schedule) ShapeCycles(rows, cols int) uint64 {
+	if rows <= 0 || cols <= 0 {
+		return 0
+	}
+	return s.TotalCycles(rows * cols)
+}
+
+// ShapeTables is the garbled-table volume of one rows×cols matvec
+// request — the byte-count driver of the PCIe drain model. Zero for
+// degenerate shapes, matching ShapeCycles.
+func (s *Schedule) ShapeTables(rows, cols int) uint64 {
+	if rows <= 0 || cols <= 0 {
+		return 0
+	}
+	return uint64(s.TablesPerMAC()) * uint64(rows) * uint64(cols)
+}
